@@ -1,0 +1,103 @@
+// Ablation study of WGTT's design choices (beyond the paper's own
+// parameter studies in §5.3): what each mechanism buys, measured by
+// knocking it out of the full system one at a time.
+//
+//  * median-ESNR selection  -> replace the window median with the newest
+//    reading (§3.1.1 argues the median rides out fading spikes);
+//  * downlink fan-out       -> send only to the active AP (removes the
+//    pre-placed backlog that makes start(c, k) instant, §3.1.2);
+//  * old-AP quench          -> let the abandoned AP retry its NIC backlog
+//    indefinitely (the paper's "rapidly quenching each others'
+//    transmissions" motivation);
+//  * Block-ACK forwarding   -> drop overheard BAs instead of forwarding
+//    (§3.2.1);
+//  * Minstrel vs ESNR rate control -> the channel-aware alternative the
+//    CSI plumbing makes possible (the paper keeps stock Minstrel).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scenario/experiment.h"
+
+using namespace wgtt;
+
+namespace {
+
+struct Row {
+  const char* name;
+  std::function<void(scenario::DriveScenarioConfig&)> mutate;
+};
+
+void run_suite(scenario::TrafficType traffic, const char* label) {
+  const Row rows[] = {
+      {"full WGTT (default)", [](scenario::DriveScenarioConfig&) {}},
+      {"latest-reading selection",
+       [](scenario::DriveScenarioConfig& c) {
+         c.wgtt.controller.use_latest_reading = true;
+       }},
+      {"no downlink fan-out",
+       [](scenario::DriveScenarioConfig& c) {
+         c.wgtt.controller.fanout_active_only = true;
+       }},
+      {"no old-AP quench",
+       [](scenario::DriveScenarioConfig& c) {
+         c.wgtt.nic_drain_window = Time::sec(30);  // never flush
+       }},
+      {"no BA forwarding",
+       [](scenario::DriveScenarioConfig& c) {
+         c.wgtt.enable_ba_forwarding = false;
+       }},
+      {"ESNR rate control",
+       [](scenario::DriveScenarioConfig& c) {
+         c.wgtt.rate_control = scenario::RateControlKind::kEsnr;
+       }},
+      {"selection window W=100ms",
+       [](scenario::DriveScenarioConfig& c) {
+         c.wgtt.controller.selection_window = Time::ms(100);
+       }},
+  };
+
+  std::printf("\n--- %s, 15 mph, averaged over 3 seeds ---\n", label);
+  std::printf("%-28s %10s %10s %10s\n", "variant", "Mb/s", "accuracy",
+              "switches");
+  for (const Row& row : rows) {
+    double goodput = 0.0;
+    double acc = 0.0;
+    double switches = 0.0;
+    const int runs = 3;
+    for (int s = 0; s < runs; ++s) {
+      scenario::DriveScenarioConfig cfg;
+      cfg.traffic = traffic;
+      cfg.speed_mph = 15.0;
+      cfg.udp_offered_mbps = 15.0;
+      cfg.seed = 42 + static_cast<unsigned>(s);
+      row.mutate(cfg);
+      auto r = scenario::run_drive(cfg);
+      goodput += r.mean_goodput_mbps();
+      acc += r.clients[0].switching_accuracy;
+      switches += static_cast<double>(r.switches.size());
+    }
+    std::printf("%-28s %10.2f %9.1f%% %10.1f\n", row.name, goodput / runs,
+                acc / runs * 100.0, switches / runs);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablations", "knock out one WGTT mechanism at a time");
+  run_suite(scenario::TrafficType::kUdpDownlink, "UDP downlink");
+  run_suite(scenario::TrafficType::kTcpDownlink, "TCP downlink");
+  std::printf("\nreading the numbers: the old-AP quench is the largest\n"
+              "single-mechanism win for UDP; the median buys ~4%% switching\n"
+              "accuracy over latest-reading; fan-out costs little at this\n"
+              "offered load because the active AP usually holds the backlog\n"
+              "anyway; ESNR rate control is a viable Minstrel alternative.\n"
+              "A wider selection window (fewer switches) wins overall in\n"
+              "this build — consistent with EXPERIMENTS.md deviations 3/5:\n"
+              "our ~19 ms switch cost is large relative to the 2-3 ms\n"
+              "channel coherence, so switch churn is pricier than in the\n"
+              "paper's testbed.\n");
+  return 0;
+}

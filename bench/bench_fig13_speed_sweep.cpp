@@ -1,0 +1,48 @@
+// Paper Fig. 13: TCP and UDP throughput vs client speed (0-35 mph),
+// WGTT vs Enhanced 802.11r.
+//
+// The headline result: 2.4-4.7x TCP and 2.6-4.0x UDP improvement at driving
+// speeds, with WGTT staying roughly flat as speed increases while the
+// baseline collapses.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scenario/experiment.h"
+
+using namespace wgtt;
+
+int main() {
+  bench::header("Fig. 13", "TCP/UDP throughput vs driving speed");
+
+  std::printf("\n%-7s %-12s %-12s %-7s %-12s %-12s %-7s\n", "speed",
+              "TCP WGTT", "TCP 802.11r", "ratio", "UDP WGTT", "UDP 802.11r",
+              "ratio");
+
+  for (double mph : {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 35.0}) {
+    double tput[2][2];  // [tcp/udp][wgtt/baseline]
+    for (int traffic = 0; traffic < 2; ++traffic) {
+      for (int sys = 0; sys < 2; ++sys) {
+        scenario::DriveScenarioConfig cfg;
+        cfg.speed_mph = mph;
+        cfg.seed = 42;
+        cfg.traffic = traffic == 0 ? scenario::TrafficType::kTcpDownlink
+                                   : scenario::TrafficType::kUdpDownlink;
+        cfg.system = sys == 0 ? scenario::SystemType::kWgtt
+                              : scenario::SystemType::kEnhanced80211r;
+        tput[traffic][sys] = scenario::run_drive(cfg).mean_goodput_mbps();
+      }
+    }
+    std::printf("%-5.0f   %-12.2f %-12.2f %-7.1f %-12.2f %-12.2f %-7.1f\n",
+                mph, tput[0][0], tput[0][1],
+                tput[0][1] > 0.01 ? tput[0][0] / tput[0][1] : 0.0, tput[1][0],
+                tput[1][1],
+                tput[1][1] > 0.01 ? tput[1][0] / tput[1][1] : 0.0);
+    std::fflush(stdout);
+  }
+  std::printf("\npaper: WGTT averages 6.6 (TCP) / 8.7 (UDP) Mb/s across\n"
+              "speeds; Enhanced 802.11r falls from 2.7/3.3 at 5 mph to\n"
+              "0.8/1.9 at 35 mph — a 2.4-4.7x (TCP) and 2.6-4.0x (UDP) gap\n"
+              "at driving speeds.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Paper Fig. 18: uplink UDP packet loss for three simultaneous clients —
+// multi-AP reception (WGTT: every AP forwards overheard packets, the
+// controller de-duplicates) against single-AP reception (baseline).
+//
+// Claim: with uplink diversity the loss rate stays below ~0.02 throughout
+// the transit; with a single uplink it swings abruptly to large values.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scenario/experiment.h"
+
+using namespace wgtt;
+
+namespace {
+
+void run_case(const char* name, scenario::SystemType sys) {
+  scenario::DriveScenarioConfig cfg;
+  cfg.system = sys;
+  cfg.traffic = scenario::TrafficType::kUdpUplink;
+  cfg.num_clients = 3;
+  cfg.pattern = scenario::MultiClientPattern::kFollowing;
+  cfg.following_gap_m = 6.0;
+  cfg.udp_offered_mbps = 4.0;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 21;
+  auto r = scenario::run_drive(cfg);
+
+  std::printf("\n--- %s ---\n", name);
+  for (std::size_t i = 0; i < r.clients.size(); ++i) {
+    std::printf("client %zu: uplink loss %.3f  (received %.2f Mb/s of %.1f "
+                "offered)\n",
+                i + 1, r.clients[i].udp_loss_rate,
+                r.clients[i].goodput_mbps, cfg.udp_offered_mbps);
+  }
+  if (sys == scenario::SystemType::kWgtt) {
+    std::printf("duplicates removed by the controller: %llu\n",
+                static_cast<unsigned long long>(r.uplink_duplicates_removed));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Fig. 18", "uplink loss, 3 clients: multi-AP vs single-AP");
+  run_case("WGTT (multi-AP reception + de-dup)", scenario::SystemType::kWgtt);
+  run_case("Enhanced 802.11r (single uplink)",
+           scenario::SystemType::kEnhanced80211r);
+  std::printf("\npaper: WGTT's loss stays below ~0.02 for all three clients;\n"
+              "the single-uplink baseline swings to 0.2-0.6 repeatedly.\n");
+  return 0;
+}

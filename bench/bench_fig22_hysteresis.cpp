@@ -1,0 +1,51 @@
+// Paper Fig. 22 / §5.3.3: impact of the AP-switching time hysteresis T.
+//
+// TCP at 15 mph with T = 40 / 80 / 120 ms.  Claim: throughput never drops
+// to zero for any setting (switching still happens), but a smaller T tracks
+// the fast-fading channel better and wins — throughput grows as T shrinks.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scenario/experiment.h"
+
+using namespace wgtt;
+
+int main() {
+  bench::header("Fig. 22", "TCP throughput vs switching hysteresis T");
+
+  for (double t_ms : {40.0, 80.0, 120.0}) {
+    double goodput = 0.0;
+    double accuracy = 0.0;
+    std::size_t switches = 0;
+    const int runs = 5;
+    scenario::DriveScenarioConfig cfg;
+    cfg.traffic = scenario::TrafficType::kTcpDownlink;
+    cfg.speed_mph = 15.0;
+    cfg.wgtt.controller.switch_hysteresis = Time::ms(t_ms);
+    for (int s = 0; s < runs; ++s) {
+      cfg.seed = 42 + static_cast<unsigned>(s);
+      auto r = scenario::run_drive(cfg);
+      goodput += r.clients.front().goodput_mbps;
+      accuracy += r.clients.front().switching_accuracy;
+      switches += r.switches.size();
+    }
+    std::printf("\n--- T = %.0f ms (avg of %d runs) ---\n", t_ms, runs);
+    std::printf("goodput %.2f Mb/s, %.1f switches/run, accuracy %.1f%%\n",
+                goodput / runs, static_cast<double>(switches) / runs,
+                accuracy / runs * 100.0);
+    // One representative timeline (the paper's time-series panel).
+    cfg.seed = 42;
+    auto r = scenario::run_drive(cfg);
+    for (const auto& [t, mbps] : r.clients.front().throughput_bins) {
+      std::printf("  t=%5.1fs %7.2f %s\n", t.to_sec(), mbps,
+                  bench::bar(mbps, 25, 24).c_str());
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\npaper: all three settings avoid zero-throughput periods;\n"
+              "smaller hysteresis adapts faster and yields higher\n"
+              "throughput (1.3 -> 6.4 Mb/s at the 2 s mark as T drops\n"
+              "from 120 ms to 40 ms).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmarks of the library's hot primitives (google-benchmark):
+// ESNR computation, fading evaluation, cyclic-queue operations, the uplink
+// de-duplication hashset, Minstrel updates, and raw scheduler throughput.
+#include <benchmark/benchmark.h>
+
+#include "channel/fading.h"
+#include "core/cyclic_queue.h"
+#include "core/dedup.h"
+#include "phy/esnr.h"
+#include "phy/rate_control.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace wgtt;
+
+void BM_EffectiveSnr(benchmark::State& state) {
+  phy::Csi csi;
+  Rng rng(1);
+  for (auto& s : csi.subcarrier_snr_db) s = rng.uniform(0.0, 30.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phy::effective_snr_db(csi, phy::Modulation::kQam16));
+  }
+}
+BENCHMARK(BM_EffectiveSnr);
+
+void BM_FadingResponse(benchmark::State& state) {
+  channel::FadingProcess fading{channel::FadingConfig{}, Rng{2}};
+  std::array<std::complex<double>, channel::kNumSubcarriers> h;
+  double x = 0.0;
+  for (auto _ : state) {
+    x += 0.01;
+    fading.response(x, channel::ht20_subcarrier_offsets_hz(),
+                    std::span<std::complex<double>>(h.data(), h.size()));
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_FadingResponse);
+
+void BM_CyclicQueueInsertPop(benchmark::State& state) {
+  core::CyclicQueue q;
+  std::uint32_t idx = 0;
+  net::Packet p;
+  p.size_bytes = 1500;
+  auto pkt = net::make_packet(p);
+  for (auto _ : state) {
+    q.insert(idx++ & 0xFFF, pkt);
+    benchmark::DoNotOptimize(q.pop());
+  }
+}
+BENCHMARK(BM_CyclicQueueInsertPop);
+
+void BM_DedupLookup(benchmark::State& state) {
+  core::Deduplicator dedup;
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.src = net::kClientBase;
+  std::uint16_t id = 0;
+  Time now = Time::zero();
+  for (auto _ : state) {
+    p.ip_id = id++;
+    now += Time::us(10);
+    benchmark::DoNotOptimize(dedup.is_duplicate(p, now));
+  }
+}
+BENCHMARK(BM_DedupLookup);
+
+void BM_MinstrelSelectReport(benchmark::State& state) {
+  phy::MinstrelRateControl rc;
+  Time now = Time::zero();
+  for (auto _ : state) {
+    now += Time::ms(2);
+    const phy::McsInfo& mcs = rc.select(now);
+    rc.report(mcs, 32, 30, now);
+    benchmark::DoNotOptimize(&mcs);
+  }
+}
+BENCHMARK(BM_MinstrelSelectReport);
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Scheduler sched;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule(Time::us(i), []() {});
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sched.events_executed());
+  }
+}
+BENCHMARK(BM_SchedulerThroughput)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

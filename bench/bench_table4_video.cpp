@@ -1,0 +1,68 @@
+// Paper Table 4 / §5.4: online HD video streaming — rebuffer ratio vs speed.
+//
+// VLC-style playback (1,500 ms pre-buffer) of a 720p stream over TCP while
+// driving past the eight APs.  Paper: WGTT plays back with zero rebuffering
+// at every speed; Enhanced 802.11r rebuffers 54-69 % of the transit.
+
+#include <cstdio>
+#include <memory>
+
+#include "apps/video_stream.h"
+#include "bench_util.h"
+#include "scenario/testbed.h"
+
+using namespace wgtt;
+
+namespace {
+
+double rebuffer_ratio(bool use_wgtt, double mph, std::uint64_t seed) {
+  scenario::TestbedConfig tb;
+  tb.seed = seed;
+  scenario::Testbed bed(tb);
+  std::unique_ptr<scenario::WgttNetwork> wgtt;
+  std::unique_ptr<scenario::BaselineNetwork> baseline;
+  net::NodeId client;
+  if (use_wgtt) {
+    wgtt = std::make_unique<scenario::WgttNetwork>(bed);
+    client = wgtt->add_client(bed.drive_mobility(mph));
+  } else {
+    baseline = std::make_unique<scenario::BaselineNetwork>(bed);
+    client = baseline->add_client(bed.drive_mobility(mph));
+  }
+  transport::IpIdAllocator ip_ids;
+  apps::VideoStreamApp app(bed.sched(), ip_ids, transport::TcpConfig{},
+                           apps::VideoStreamConfig{}, 100,
+                           scenario::kServerId, client);
+  if (use_wgtt) {
+    wgtt->wire_tcp_downlink(app.connection());
+  } else {
+    baseline->wire_tcp_downlink(app.connection());
+  }
+  const Time start = Time::ms(500);
+  bed.sched().schedule_at(start, [&app]() { app.start(); });
+  const Time end = bed.transit_duration(mph) + start;
+  bed.sched().run_until(end);
+  return app.rebuffer_ratio(end - start);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 4", "video rebuffer ratio vs driving speed");
+
+  std::printf("\n%-20s", "Client speed (mph)");
+  for (double mph : {5.0, 10.0, 15.0, 20.0}) std::printf("%8.0f", mph);
+  std::printf("\n%-20s", "WGTT");
+  for (double mph : {5.0, 10.0, 15.0, 20.0}) {
+    std::printf("%8.2f", rebuffer_ratio(true, mph, 42));
+    std::fflush(stdout);
+  }
+  std::printf("\n%-20s", "Enhanced 802.11r");
+  for (double mph : {5.0, 10.0, 15.0, 20.0}) {
+    std::printf("%8.2f", rebuffer_ratio(false, mph, 42));
+    std::fflush(stdout);
+  }
+  std::printf("\n\npaper: WGTT 0 at all speeds; Enhanced 802.11r 0.69 at\n"
+              "5 mph tapering to 0.54 at 20 mph (shorter transit).\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared output helpers for the experiment benches: every binary prints the
+// rows/series of one paper table or figure, plus the paper's numbers for
+// side-by-side comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace wgtt::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+/// Sparkline-ish inline bar for time series in terminal output.
+inline std::string bar(double value, double max, int width = 40) {
+  if (max <= 0) max = 1;
+  int n = static_cast<int>(value / max * width + 0.5);
+  if (n < 0) n = 0;
+  if (n > width) n = width;
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace wgtt::bench

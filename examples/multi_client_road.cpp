@@ -1,0 +1,59 @@
+// Multi-client road: three cars share the picocell deployment at 15 mph
+// (the paper's Fig. 17 scenario).  Shows per-client throughput under WGTT
+// vs the baseline, and the three driving patterns of Fig. 19/20.
+
+#include <cstdio>
+
+#include "scenario/experiment.h"
+
+using namespace wgtt;
+
+namespace {
+
+void run_count_sweep() {
+  std::printf("--- per-client TCP throughput vs number of clients (15 mph) "
+              "---\n");
+  std::printf("%-9s %-12s %-18s\n", "clients", "WGTT", "Enhanced 802.11r");
+  for (std::size_t n : {1u, 2u, 3u}) {
+    scenario::DriveScenarioConfig cfg;
+    cfg.num_clients = n;
+    cfg.seed = 11;
+    cfg.system = scenario::SystemType::kWgtt;
+    const auto w = scenario::run_drive(cfg);
+    cfg.system = scenario::SystemType::kEnhanced80211r;
+    const auto b = scenario::run_drive(cfg);
+    std::printf("%-9zu %6.2f Mb/s  %6.2f Mb/s\n", n, w.mean_goodput_mbps(),
+                b.mean_goodput_mbps());
+  }
+}
+
+void run_patterns() {
+  std::printf("\n--- two-car driving patterns (WGTT, UDP 15 Mb/s) ---\n");
+  struct Case {
+    const char* name;
+    scenario::MultiClientPattern pattern;
+  };
+  const Case cases[] = {
+      {"following (3 m gap)", scenario::MultiClientPattern::kFollowing},
+      {"parallel lanes", scenario::MultiClientPattern::kParallel},
+      {"opposing directions", scenario::MultiClientPattern::kOpposing},
+  };
+  for (const Case& c : cases) {
+    scenario::DriveScenarioConfig cfg;
+    cfg.num_clients = 2;
+    cfg.pattern = c.pattern;
+    cfg.traffic = scenario::TrafficType::kUdpDownlink;
+    cfg.seed = 11;
+    const auto r = scenario::run_drive(cfg);
+    std::printf("%-22s %6.2f Mb/s per client (medium busy %.0f%%)\n", c.name,
+                r.mean_goodput_mbps(), r.medium_utilization * 100.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  run_count_sweep();
+  run_patterns();
+  return 0;
+}

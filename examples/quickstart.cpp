@@ -1,0 +1,44 @@
+// Quickstart: one client drives past the eight-AP WGTT deployment at
+// 15 mph pulling a bulk TCP download, and we print what happened —
+// throughput, AP switches, and switching accuracy.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "scenario/experiment.h"
+
+int main() {
+  using namespace wgtt;
+
+  scenario::DriveScenarioConfig cfg;
+  cfg.system = scenario::SystemType::kWgtt;
+  cfg.traffic = scenario::TrafficType::kTcpDownlink;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 42;
+
+  std::printf("Driving one client through 8 WGTT picocells at %.0f mph...\n",
+              cfg.speed_mph);
+  const scenario::DriveResult result = scenario::run_drive(cfg);
+
+  const auto& client = result.clients.front();
+  std::printf("\n=== results ===\n");
+  std::printf("transit time        : %.1f s\n",
+              result.measured_duration.to_sec());
+  std::printf("TCP goodput         : %.2f Mbit/s\n", client.goodput_mbps);
+  std::printf("AP switches         : %zu\n", result.switches.size());
+  std::printf("switching accuracy  : %.1f %%\n",
+              client.switching_accuracy * 100.0);
+  std::printf("TCP timeouts        : %llu\n",
+              static_cast<unsigned long long>(client.tcp_stats.timeouts));
+  std::printf("medium utilization  : %.1f %%\n",
+              result.medium_utilization * 100.0);
+
+  std::printf("\nthroughput over time (500 ms bins):\n");
+  for (const auto& [t, mbps] : client.throughput_bins) {
+    std::printf("  t=%5.1fs  %6.2f Mbit/s\n", t.to_sec(), mbps);
+  }
+  return 0;
+}

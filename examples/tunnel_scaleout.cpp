@@ -1,0 +1,83 @@
+// Tunnel scale-out: the paper's motivating scenario (§1: "users travel at
+// high speed through an underground tunnel") and its §7 "large area
+// deployment" outlook, as a runnable example.
+//
+// Builds a 24-AP corridor (3× the testbed), drives a client through it in
+// stop-and-go traffic (WaypointMobility: cruise, stop at a light, crawl,
+// cruise again), and shows that WGTT's switching tracks the car's actual
+// motion — fast switching while moving, none while stopped.
+
+#include <cstdio>
+
+#include "apps/bulk.h"
+#include "scenario/testbed.h"
+#include "util/units.h"
+
+using namespace wgtt;
+
+int main() {
+  // A 24-AP tunnel with uniform 7.5 m spacing.
+  scenario::TestbedConfig tb;
+  tb.ap_x.clear();
+  for (int i = 0; i < 24; ++i) tb.ap_x.push_back(i * 7.5);
+  tb.seed = 19;
+  scenario::Testbed bed(tb);
+  scenario::WgttNetwork net(bed);
+
+  // Stop-and-go trajectory: cruise at ~25 mph, stop for 5 s mid-tunnel,
+  // crawl, then cruise out.
+  const double v = mph_to_mps(25.0);
+  const double crawl = mph_to_mps(5.0);
+  std::vector<channel::WaypointMobility::Waypoint> wp;
+  double x = -15.0;
+  Time t = Time::zero();
+  auto leg = [&](double speed_mps, double distance_m) {
+    x += distance_m;
+    t += Time::sec(distance_m / speed_mps);
+    wp.push_back({t, {x, 0.0, 1.5}});
+  };
+  wp.push_back({Time::zero(), {x, 0.0, 1.5}});
+  leg(v, 75.0);        // cruise a third of the tunnel
+  t += Time::sec(5.0); // red light
+  wp.push_back({t, {x, 0.0, 1.5}});
+  leg(crawl, 30.0);    // crawl through congestion
+  leg(v, 90.0);        // cruise out
+  const Time end = t + Time::sec(1);
+
+  auto mob = std::make_shared<channel::WaypointMobility>(wp);
+  const net::NodeId client = net.add_client(mob);
+
+  transport::IpIdAllocator ids;
+  apps::BulkTcpApp app(bed.sched(), ids, transport::TcpConfig{}, 100,
+                       scenario::kServerId, client);
+  net.wire_tcp_downlink(app.connection());
+  bed.sched().schedule_at(Time::ms(500), [&app]() { app.start(); });
+
+  // Sample the serving AP once a second to show the switching cadence.
+  std::printf("24-AP tunnel, stop-and-go drive (cruise/stop/crawl/cruise)\n");
+  std::printf("%-7s %-9s %-11s %s\n", "t(s)", "x(m)", "speed", "serving AP");
+  std::function<void()> probe = [&]() {
+    const Time now = bed.sched().now();
+    const auto pos = mob->position(now);
+    const double speed = mps_to_mph(mob->speed_mps(now));
+    std::printf("%-7.0f %-9.1f %-8.1fmph AP%u\n", now.to_sec(), pos.x, speed,
+                net.controller().active_ap(client));
+    if (now + Time::sec(2) < end) {
+      bed.sched().schedule(Time::sec(2), probe);
+    }
+  };
+  bed.sched().schedule_at(Time::sec(1), probe);
+  bed.sched().run_until(end);
+
+  const double goodput =
+      app.connection().goodput().average_mbps_over(end - Time::ms(500));
+  std::printf("\nTCP goodput over the whole journey : %.2f Mbit/s\n", goodput);
+  std::printf("AP switches                        : %zu\n",
+              net.controller().switch_log().size());
+  std::printf("switch protocol mean latency       : %.1f ms\n",
+              net.controller().stats().switch_latency_ms.mean());
+  std::printf("\nNote how switching pauses while the car is stopped (the\n"
+              "median-ESNR selection is stable when the channel is) and\n"
+              "resumes at ~1 switch per cell once it moves again.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "apps/bulk.h"
+
+namespace wgtt::apps {
+
+namespace {
+// Effectively infinite backlog for a saturating source.
+constexpr std::size_t kBulkBytes = std::size_t{1} << 40;
+}  // namespace
+
+BulkTcpApp::BulkTcpApp(sim::Scheduler& sched,
+                       transport::IpIdAllocator& ip_ids,
+                       transport::TcpConfig cfg, std::uint32_t flow_id,
+                       net::NodeId server, net::NodeId client)
+    : conn_(sched, ip_ids, cfg, flow_id, server, client) {}
+
+void BulkTcpApp::start() { conn_.app_send(kBulkBytes); }
+
+BulkUdpApp::BulkUdpApp(sim::Scheduler& sched,
+                       transport::IpIdAllocator& ip_ids,
+                       transport::UdpFlowConfig cfg)
+    : sender_(sched, ip_ids, cfg), receiver_(sched, cfg.throughput_bin) {}
+
+}  // namespace wgtt::apps

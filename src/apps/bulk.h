@@ -1,0 +1,51 @@
+// Bulk transfer applications — the iperf3 TCP/UDP workloads behind the
+// paper's end-to-end throughput experiments (Figs. 13-17, 20, 23).
+#pragma once
+
+#include <memory>
+
+#include "transport/tcp_connection.h"
+#include "transport/udp_flow.h"
+
+namespace wgtt::apps {
+
+/// Saturating TCP download: the server side writes an effectively infinite
+/// stream; goodput is measured at the client.
+class BulkTcpApp {
+ public:
+  BulkTcpApp(sim::Scheduler& sched, transport::IpIdAllocator& ip_ids,
+             transport::TcpConfig cfg, std::uint32_t flow_id,
+             net::NodeId server, net::NodeId client);
+
+  transport::TcpConnection& connection() { return conn_; }
+  void start();
+
+  double average_goodput_mbps(Time duration) const {
+    return conn_.goodput().average_mbps_over(duration);
+  }
+
+ private:
+  transport::TcpConnection conn_;
+};
+
+/// Constant-rate UDP download (or upload — direction is just wiring).
+class BulkUdpApp {
+ public:
+  BulkUdpApp(sim::Scheduler& sched, transport::IpIdAllocator& ip_ids,
+             transport::UdpFlowConfig cfg);
+
+  transport::UdpSender& sender() { return sender_; }
+  transport::UdpReceiver& receiver() { return receiver_; }
+  void start() { sender_.start(); }
+
+  double average_goodput_mbps(Time duration) const {
+    return receiver_.throughput().average_mbps_over(duration);
+  }
+  double loss_rate() const { return receiver_.loss_rate(); }
+
+ private:
+  transport::UdpSender sender_;
+  transport::UdpReceiver receiver_;
+};
+
+}  // namespace wgtt::apps

@@ -1,0 +1,64 @@
+#include "apps/video_stream.h"
+
+namespace wgtt::apps {
+
+VideoStreamApp::VideoStreamApp(sim::Scheduler& sched,
+                               transport::IpIdAllocator& ip_ids,
+                               transport::TcpConfig tcp_cfg,
+                               VideoStreamConfig cfg, std::uint32_t flow_id,
+                               net::NodeId server, net::NodeId client)
+    : sched_(sched),
+      cfg_(cfg),
+      conn_(sched, ip_ids, tcp_cfg, flow_id, server, client) {
+  conn_.on_app_receive = [this](std::size_t bytes, Time when) {
+    on_bytes(bytes, when);
+  };
+}
+
+void VideoStreamApp::start() {
+  started_ = true;
+  stall_pending_refill_ = true;  // initial pre-buffering counts as not playing
+  // The server streams the whole file as fast as TCP allows.
+  conn_.app_send(std::size_t{1} << 38);
+  tick();
+}
+
+void VideoStreamApp::on_bytes(std::size_t bytes, Time) {
+  buffer_bytes_ += bytes;
+}
+
+void VideoStreamApp::tick() {
+  if (!started_) return;
+  const double prebuffer_bytes =
+      cfg_.video_bitrate_bps / 8.0 * cfg_.prebuffer.to_sec();
+
+  if (stall_pending_refill_) {
+    if (static_cast<double>(buffer_bytes_) >= prebuffer_bytes) {
+      stall_pending_refill_ = false;
+      playing_ = true;
+    }
+  }
+
+  if (playing_) {
+    began_playback_ = true;
+    const auto need = static_cast<std::uint64_t>(
+        cfg_.video_bitrate_bps / 8.0 * cfg_.playback_tick.to_sec());
+    if (buffer_bytes_ >= need) {
+      buffer_bytes_ -= need;
+      played_ += cfg_.playback_tick;
+    } else {
+      // Rebuffer: stop playback until the pre-buffer refills.
+      playing_ = false;
+      stall_pending_refill_ = true;
+      ++rebuffer_events_;
+      stalled_ += cfg_.playback_tick;
+    }
+  } else if (began_playback_) {
+    // Initial pre-buffering is startup latency, not a rebuffer (the paper's
+    // metric counts interruptions of playback).
+    stalled_ += cfg_.playback_tick;
+  }
+  sched_.schedule(cfg_.playback_tick, [this]() { tick(); });
+}
+
+}  // namespace wgtt::apps

@@ -1,0 +1,23 @@
+#include "channel/antenna.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/units.h"
+
+namespace wgtt::channel {
+
+ParabolicAntenna::ParabolicAntenna(double peak_gain_dbi, double hpbw_deg,
+                                   double side_lobe_rejection_db)
+    : peak_(peak_gain_dbi),
+      hpbw_deg_(hpbw_deg),
+      floor_dbi_(peak_gain_dbi - side_lobe_rejection_db) {}
+
+double ParabolicAntenna::gain_dbi(double angle_rad) const {
+  const double theta_deg = std::abs(rad_to_deg(angle_rad));
+  // 3GPP-style parabolic main lobe: -3 dB at theta = hpbw/2.
+  const double rolloff = 12.0 * (theta_deg / hpbw_deg_) * (theta_deg / hpbw_deg_);
+  return std::max(peak_ - rolloff, floor_dbi_);
+}
+
+}  // namespace wgtt::channel

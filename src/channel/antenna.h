@@ -1,0 +1,49 @@
+// Antenna gain patterns.
+//
+// The WGTT testbed uses Laird 14 dBi parabolic antennas with a 21-degree
+// half-power beamwidth aimed at the road (paper §4.2) — these create the
+// meter-scale picocells.  Clients use small omnidirectional antennas.
+#pragma once
+
+#include <memory>
+
+#include "channel/geometry.h"
+
+namespace wgtt::channel {
+
+class AntennaPattern {
+ public:
+  virtual ~AntennaPattern() = default;
+  /// Gain in dBi at `angle_rad` off boresight (radians, [0, pi]).
+  virtual double gain_dbi(double angle_rad) const = 0;
+};
+
+/// Isotropic-in-practice client antenna.
+class OmniAntenna final : public AntennaPattern {
+ public:
+  explicit OmniAntenna(double gain_dbi = 2.0) : gain_(gain_dbi) {}
+  double gain_dbi(double) const override { return gain_; }
+
+ private:
+  double gain_;
+};
+
+/// Parabolic reflector: Gaussian main lobe (the standard 12*(theta/hpbw)^2
+/// rolloff) limited below by a side-lobe floor.  The paper notes measurable
+/// side lobes — they matter for Block-ACK overhearing by adjacent APs.
+class ParabolicAntenna final : public AntennaPattern {
+ public:
+  ParabolicAntenna(double peak_gain_dbi = 14.0, double hpbw_deg = 21.0,
+                   double side_lobe_rejection_db = 18.0);
+  double gain_dbi(double angle_rad) const override;
+
+  double peak_gain_dbi() const { return peak_; }
+  double hpbw_deg() const { return hpbw_deg_; }
+
+ private:
+  double peak_;
+  double hpbw_deg_;
+  double floor_dbi_;  // peak - side lobe rejection
+};
+
+}  // namespace wgtt::channel

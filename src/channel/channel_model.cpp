@@ -1,0 +1,181 @@
+#include "channel/channel_model.h"
+
+#include <array>
+#include <cassert>
+#include <complex>
+#include <limits>
+
+#include "phy/esnr.h"
+#include "util/units.h"
+
+namespace wgtt::channel {
+
+ChannelModel::ChannelModel(RadioConfig radio, PathLossConfig pathloss,
+                           ShadowingConfig shadowing, FadingConfig fading,
+                           Rng rng)
+    : radio_(radio),
+      pathloss_(pathloss),
+      shadowing_cfg_(shadowing),
+      fading_cfg_(fading),
+      rng_(rng) {
+  fading_cfg_.carrier_hz = radio_.carrier_hz;
+}
+
+void ChannelModel::add_ap(ApSite site) {
+  assert(site.antenna && "AP needs an antenna pattern");
+  ap_order_.push_back(site.id);
+  aps_.emplace(site.id, std::move(site));
+}
+
+void ChannelModel::add_client(net::NodeId id,
+                              std::shared_ptr<const MobilityModel> mobility,
+                              double antenna_gain_dbi) {
+  assert(mobility);
+  clients_[id] = ClientInfo{std::move(mobility), antenna_gain_dbi};
+}
+
+const ApSite& ChannelModel::ap(net::NodeId id) const {
+  auto it = aps_.find(id);
+  assert(it != aps_.end());
+  return it->second;
+}
+
+const MobilityModel& ChannelModel::client_mobility(net::NodeId id) const {
+  auto it = clients_.find(id);
+  assert(it != clients_.end());
+  return *it->second.mobility;
+}
+
+double ChannelModel::noise_floor_dbm() const {
+  return wgtt::noise_floor_dbm(radio_.bandwidth_hz, radio_.noise_figure_db);
+}
+
+double ChannelModel::large_scale_gain_db(const ApSite& ap,
+                                         const ClientInfo& client,
+                                         Time t) const {
+  const Vec3 pos = client.mobility->position(t);
+  const double d = distance(ap.position, pos);
+  const double off_boresight = angle_between(ap.boresight, pos - ap.position);
+  return ap.antenna->gain_dbi(off_boresight) + client.antenna_gain_dbi -
+         pathloss_.loss_db(d) - radio_.ap_system_loss_db;
+}
+
+ChannelModel::Link& ChannelModel::link(net::NodeId ap_id,
+                                       net::NodeId client_id) const {
+  auto key = std::make_pair(ap_id, client_id);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    Link l;
+    const std::uint64_t tag =
+        (static_cast<std::uint64_t>(ap_id) << 32) | client_id;
+    l.fading = std::make_unique<FadingProcess>(fading_cfg_,
+                                               rng_.fork(tag * 2 + 1));
+    l.shadowing = std::make_unique<ShadowingProcess>(shadowing_cfg_,
+                                                     rng_.fork(tag * 2));
+    it = links_.emplace(key, std::move(l)).first;
+  }
+  return it->second;
+}
+
+phy::Csi ChannelModel::make_csi(net::NodeId ap_id, net::NodeId client_id,
+                                Time t, double tx_power_dbm) const {
+  const ApSite& site = ap(ap_id);
+  auto cit = clients_.find(client_id);
+  assert(cit != clients_.end());
+  const ClientInfo& client = cit->second;
+
+  Link& l = link(ap_id, client_id);
+  const double travelled = client.mobility->distance_travelled(t);
+  const double large_scale = large_scale_gain_db(site, client, t) -
+                             l.shadowing->at(travelled);
+
+  static_assert(phy::kNumSubcarriers == kNumSubcarriers);
+  std::array<std::complex<double>, kNumSubcarriers> h;
+  l.fading->response(travelled, ht20_subcarrier_offsets_hz(),
+                     std::span<std::complex<double>>(h.data(), h.size()));
+
+  phy::Csi csi;
+  csi.measured_at = t;
+  const double base_dbm = tx_power_dbm + large_scale;
+  const double noise = noise_floor_dbm();
+  double wideband_mw = 0.0;
+  for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+    const double h2 = std::norm(h[k]);
+    const double fade_db =
+        h2 > 1e-12 ? linear_to_db(h2) : -120.0;
+    csi.subcarrier_snr_db[k] = base_dbm + fade_db - noise;
+    wideband_mw += dbm_to_mw(base_dbm + fade_db);
+  }
+  csi.rssi_dbm = mw_to_dbm(wideband_mw / static_cast<double>(kNumSubcarriers));
+  return csi;
+}
+
+phy::Csi ChannelModel::downlink_csi(net::NodeId ap, net::NodeId client,
+                                    Time t) const {
+  return make_csi(ap, client, t, radio_.ap_tx_power_dbm);
+}
+
+phy::Csi ChannelModel::uplink_csi(net::NodeId ap, net::NodeId client,
+                                  Time t) const {
+  return make_csi(ap, client, t, radio_.client_tx_power_dbm);
+}
+
+double ChannelModel::downlink_rssi_dbm(net::NodeId ap, net::NodeId client,
+                                       Time t) const {
+  return make_csi(ap, client, t, radio_.ap_tx_power_dbm).rssi_dbm;
+}
+
+double ChannelModel::uplink_rssi_dbm(net::NodeId ap, net::NodeId client,
+                                     Time t) const {
+  return make_csi(ap, client, t, radio_.client_tx_power_dbm).rssi_dbm;
+}
+
+double ChannelModel::client_to_client_gain_db(net::NodeId a, net::NodeId b,
+                                              Time t) const {
+  auto ia = clients_.find(a);
+  auto ib = clients_.find(b);
+  assert(ia != clients_.end() && ib != clients_.end());
+  const double d = distance(ia->second.mobility->position(t),
+                            ib->second.mobility->position(t));
+  return ia->second.antenna_gain_dbi + ib->second.antenna_gain_dbi -
+         pathloss_.loss_db(d);
+}
+
+double ChannelModel::path_gain_db(net::NodeId a, net::NodeId b, Time t) const {
+  const bool a_ap = aps_.count(a) != 0;
+  const bool b_ap = aps_.count(b) != 0;
+  if (a_ap && b_ap) {
+    const ApSite& sa = ap(a);
+    const ApSite& sb = ap(b);
+    const double d = distance(sa.position, sb.position);
+    const double ga =
+        sa.antenna->gain_dbi(angle_between(sa.boresight, sb.position - sa.position));
+    const double gb =
+        sb.antenna->gain_dbi(angle_between(sb.boresight, sa.position - sb.position));
+    return ga + gb - pathloss_.loss_db(d) - 2.0 * radio_.ap_system_loss_db;
+  }
+  if (!a_ap && !b_ap) return client_to_client_gain_db(a, b, t);
+  const net::NodeId ap_id = a_ap ? a : b;
+  const net::NodeId client_id = a_ap ? b : a;
+  auto cit = clients_.find(client_id);
+  assert(cit != clients_.end());
+  // Large-scale only (no shadowing/fading) — this feeds carrier-sense and
+  // interference sums where second-order accuracy is enough.
+  return large_scale_gain_db(ap(ap_id), cit->second, t);
+}
+
+net::NodeId ChannelModel::best_ap(net::NodeId client, Time t) const {
+  net::NodeId best = 0;
+  double best_esnr = -std::numeric_limits<double>::infinity();
+  for (net::NodeId id : ap_order_) {
+    const phy::Csi csi = downlink_csi(id, client, t);
+    const double esnr = phy::selection_esnr_db(csi);
+    if (esnr > best_esnr) {
+      best_esnr = esnr;
+      best = id;
+    }
+  }
+  return best;
+}
+
+}  // namespace wgtt::channel

@@ -1,0 +1,115 @@
+// The composite radio channel for the roadside testbed.
+//
+// One ChannelModel instance owns every AP-client link's propagation state:
+// deterministic geometry (distance + antenna pattern), spatially-correlated
+// shadowing, and frequency-selective small-scale fading.  Links are
+// reciprocal — uplink and downlink share one fading realisation — which is
+// the physical property WGTT relies on when it predicts downlink delivery
+// from CSI measured on client *uplink* frames (§3.1.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "channel/antenna.h"
+#include "channel/fading.h"
+#include "channel/geometry.h"
+#include "channel/mobility.h"
+#include "channel/pathloss.h"
+#include "channel/shadowing.h"
+#include "net/packet.h"
+#include "phy/csi.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace wgtt::channel {
+
+struct RadioConfig {
+  double ap_tx_power_dbm = 20.0;
+  double client_tx_power_dbm = 15.0;
+  /// Fixed loss in the AP's RF path (splitter-combiner, cabling, window
+  /// glass, street clutter).  Applied to both link directions — it sits
+  /// between the AP's radio and the air, so the channel stays reciprocal.
+  double ap_system_loss_db = 0.0;
+  double bandwidth_hz = 20e6;
+  double noise_figure_db = 6.0;
+  double carrier_hz = 2.462e9;  // channel 11
+};
+
+struct ApSite {
+  net::NodeId id = 0;
+  Vec3 position;
+  Vec3 boresight;  // direction the directional antenna points
+  std::shared_ptr<const AntennaPattern> antenna;
+};
+
+class ChannelModel {
+ public:
+  ChannelModel(RadioConfig radio, PathLossConfig pathloss,
+               ShadowingConfig shadowing, FadingConfig fading, Rng rng);
+
+  void add_ap(ApSite site);
+  void add_client(net::NodeId id,
+                  std::shared_ptr<const MobilityModel> mobility,
+                  double antenna_gain_dbi = 2.0);
+
+  const std::vector<net::NodeId>& ap_ids() const { return ap_order_; }
+  const ApSite& ap(net::NodeId id) const;
+  const MobilityModel& client_mobility(net::NodeId id) const;
+  double noise_floor_dbm() const;
+  const RadioConfig& radio() const { return radio_; }
+
+  /// Per-subcarrier CSI at the client for a frame transmitted by `ap`.
+  phy::Csi downlink_csi(net::NodeId ap, net::NodeId client, Time t) const;
+
+  /// Per-subcarrier CSI at `ap` for a frame transmitted by the client —
+  /// what the Atheros CSI tool measures and WGTT reports to the controller.
+  phy::Csi uplink_csi(net::NodeId ap, net::NodeId client, Time t) const;
+
+  /// Wideband received power (dBm) including fading — the RSSI a beacon
+  /// from `ap` produces at the client (baseline 802.11r's metric).
+  double downlink_rssi_dbm(net::NodeId ap, net::NodeId client, Time t) const;
+  double uplink_rssi_dbm(net::NodeId ap, net::NodeId client, Time t) const;
+
+  /// Large-scale path gain (dB, excludes fast fading) between two clients —
+  /// carrier-sense coupling between cars sharing the road.
+  double client_to_client_gain_db(net::NodeId a, net::NodeId b, Time t) const;
+
+  /// Generic large-scale gain between any two attached nodes (AP or client);
+  /// used by the MAC medium for carrier sense and interference sums.
+  double path_gain_db(net::NodeId a, net::NodeId b, Time t) const;
+
+  /// Ground truth for the switching-accuracy metric (paper Table 2): the AP
+  /// with the maximum instantaneous downlink selection-ESNR to the client.
+  net::NodeId best_ap(net::NodeId client, Time t) const;
+
+ private:
+  struct ClientInfo {
+    std::shared_ptr<const MobilityModel> mobility;
+    double antenna_gain_dbi = 2.0;
+  };
+  struct Link {
+    std::unique_ptr<FadingProcess> fading;
+    std::unique_ptr<ShadowingProcess> shadowing;
+  };
+
+  /// Large-scale gain: antenna gains - path loss - shadowing (dB).
+  double large_scale_gain_db(const ApSite& ap, const ClientInfo& client,
+                             Time t) const;
+  Link& link(net::NodeId ap, net::NodeId client) const;
+  phy::Csi make_csi(net::NodeId ap, net::NodeId client, Time t,
+                    double tx_power_dbm) const;
+
+  RadioConfig radio_;
+  LogDistancePathLoss pathloss_;
+  ShadowingConfig shadowing_cfg_;
+  FadingConfig fading_cfg_;
+  mutable Rng rng_;
+  std::map<net::NodeId, ApSite> aps_;
+  std::vector<net::NodeId> ap_order_;
+  std::map<net::NodeId, ClientInfo> clients_;
+  mutable std::map<std::pair<net::NodeId, net::NodeId>, Link> links_;
+};
+
+}  // namespace wgtt::channel

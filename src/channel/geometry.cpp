@@ -1,0 +1,15 @@
+#include "channel/geometry.h"
+
+#include <algorithm>
+
+namespace wgtt::channel {
+
+double angle_between(const Vec3& a, const Vec3& b) {
+  const double na = a.norm();
+  const double nb = b.norm();
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  const double c = std::clamp(a.dot(b) / (na * nb), -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace wgtt::channel

@@ -1,0 +1,38 @@
+// Road-side geometry primitives.
+//
+// Coordinate convention (matches paper Figs. 9/10): x runs along the road,
+// y runs across the road (positive toward the building that hosts the APs),
+// z is height above the road surface.  APs sit on the third floor of the
+// building (z ~ 8 m, y ~ 10-15 m); client antennas ride in cars (z ~ 1.5 m).
+#pragma once
+
+#include <cmath>
+
+namespace wgtt::channel {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const { return std::sqrt(dot(*this)); }
+
+  /// Unit vector in the same direction; the zero vector maps to +x.
+  Vec3 normalized() const {
+    const double n = norm();
+    if (n <= 0.0) return {1.0, 0.0, 0.0};
+    return {x / n, y / n, z / n};
+  }
+};
+
+inline double distance(const Vec3& a, const Vec3& b) { return (b - a).norm(); }
+
+/// Angle in radians between two direction vectors, in [0, pi].
+double angle_between(const Vec3& a, const Vec3& b);
+
+}  // namespace wgtt::channel

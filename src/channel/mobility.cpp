@@ -1,0 +1,59 @@
+#include "channel/mobility.h"
+
+#include <cassert>
+
+namespace wgtt::channel {
+
+WaypointMobility::WaypointMobility(std::vector<Waypoint> waypoints)
+    : wp_(std::move(waypoints)) {
+  assert(!wp_.empty());
+  cum_dist_.resize(wp_.size(), 0.0);
+  for (std::size_t i = 1; i < wp_.size(); ++i) {
+    assert(wp_[i].when >= wp_[i - 1].when);
+    cum_dist_[i] = cum_dist_[i - 1] + distance(wp_[i - 1].pos, wp_[i].pos);
+  }
+}
+
+std::size_t WaypointMobility::segment(Time t) const {
+  if (wp_.size() == 1 || t <= wp_.front().when) return 0;
+  for (std::size_t i = 1; i < wp_.size(); ++i) {
+    if (t < wp_[i].when) return i - 1;
+  }
+  return wp_.size() - 1;
+}
+
+Vec3 WaypointMobility::position(Time t) const {
+  if (t <= wp_.front().when) return wp_.front().pos;
+  if (t >= wp_.back().when) return wp_.back().pos;
+  const std::size_t i = segment(t);
+  const Waypoint& a = wp_[i];
+  const Waypoint& b = wp_[i + 1];
+  const double span = (b.when - a.when).to_sec();
+  if (span <= 0.0) return b.pos;
+  const double f = (t - a.when).to_sec() / span;
+  return a.pos + (b.pos - a.pos) * f;
+}
+
+Vec3 WaypointMobility::velocity(Time t) const {
+  if (t < wp_.front().when || t >= wp_.back().when) return {};
+  const std::size_t i = segment(t);
+  const Waypoint& a = wp_[i];
+  const Waypoint& b = wp_[i + 1];
+  const double span = (b.when - a.when).to_sec();
+  if (span <= 0.0) return {};
+  return (b.pos - a.pos) * (1.0 / span);
+}
+
+double WaypointMobility::distance_travelled(Time t) const {
+  if (t <= wp_.front().when) return 0.0;
+  if (t >= wp_.back().when) return cum_dist_.back();
+  const std::size_t i = segment(t);
+  const Waypoint& a = wp_[i];
+  const Waypoint& b = wp_[i + 1];
+  const double span = (b.when - a.when).to_sec();
+  if (span <= 0.0) return cum_dist_[i];
+  const double f = (t - a.when).to_sec() / span;
+  return cum_dist_[i] + distance(a.pos, b.pos) * f;
+}
+
+}  // namespace wgtt::channel

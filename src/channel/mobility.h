@@ -1,0 +1,77 @@
+// Client mobility models.
+//
+// The paper's clients are cars driving along a straight road at 5-35 mph;
+// multi-client scenarios (Fig. 19) add following / parallel / opposing
+// patterns, all of which are linear trajectories with different start
+// offsets, lanes (y), and directions.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "channel/geometry.h"
+#include "util/time.h"
+
+namespace wgtt::channel {
+
+/// A client trajectory: position and velocity as a function of time.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Vec3 position(Time t) const = 0;
+  virtual Vec3 velocity(Time t) const = 0;
+  double speed_mps(Time t) const { return velocity(t).norm(); }
+  /// Cumulative distance travelled since t = 0 (drives spatial fading).
+  virtual double distance_travelled(Time t) const = 0;
+};
+
+/// Stationary client (the "0 mph" point of Fig. 13).
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec3 pos) : pos_(pos) {}
+  Vec3 position(Time) const override { return pos_; }
+  Vec3 velocity(Time) const override { return {}; }
+  double distance_travelled(Time) const override { return 0.0; }
+
+ private:
+  Vec3 pos_;
+};
+
+/// Constant-velocity straight-line motion.
+class LinearMobility final : public MobilityModel {
+ public:
+  LinearMobility(Vec3 start, Vec3 velocity_mps)
+      : start_(start), vel_(velocity_mps) {}
+  Vec3 position(Time t) const override { return start_ + vel_ * t.to_sec(); }
+  Vec3 velocity(Time) const override { return vel_; }
+  double distance_travelled(Time t) const override {
+    return vel_.norm() * t.to_sec();
+  }
+
+ private:
+  Vec3 start_;
+  Vec3 vel_;
+};
+
+/// Piecewise-linear motion through waypoints at given times; clamps at the
+/// ends.  Used for stop-and-go traffic experiments.
+class WaypointMobility final : public MobilityModel {
+ public:
+  struct Waypoint {
+    Time when;
+    Vec3 pos;
+  };
+  /// Waypoints must be sorted by time and non-empty.
+  explicit WaypointMobility(std::vector<Waypoint> waypoints);
+  Vec3 position(Time t) const override;
+  Vec3 velocity(Time t) const override;
+  double distance_travelled(Time t) const override;
+
+ private:
+  /// Index of the segment containing t (last waypoint index < t, clamped).
+  std::size_t segment(Time t) const;
+  std::vector<Waypoint> wp_;
+  std::vector<double> cum_dist_;  // distance travelled up to each waypoint
+};
+
+}  // namespace wgtt::channel

@@ -1,0 +1,15 @@
+#include "channel/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wgtt::channel {
+
+LogDistancePathLoss::LogDistancePathLoss(PathLossConfig cfg) : cfg_(cfg) {}
+
+double LogDistancePathLoss::loss_db(double distance_m) const {
+  const double d = std::max(distance_m, cfg_.min_distance_m);
+  return cfg_.reference_loss_db + 10.0 * cfg_.exponent * std::log10(d);
+}
+
+}  // namespace wgtt::channel

@@ -1,0 +1,26 @@
+// Large-scale path loss.
+//
+// Log-distance model calibrated for 2.4 GHz roadside propagation: free-space
+// loss at the 1 m reference distance plus a distance exponent slightly above
+// free space (street-level clutter, ground reflections).
+#pragma once
+
+namespace wgtt::channel {
+
+struct PathLossConfig {
+  double exponent = 2.7;            // urban roadside
+  double reference_loss_db = 40.27; // FSPL at 1 m, 2.462 GHz (channel 11)
+  double min_distance_m = 1.0;      // clamp to avoid near-field singularity
+};
+
+class LogDistancePathLoss {
+ public:
+  explicit LogDistancePathLoss(PathLossConfig cfg = {});
+  /// Path loss in dB (positive) at the given distance in meters.
+  double loss_db(double distance_m) const;
+
+ private:
+  PathLossConfig cfg_;
+};
+
+}  // namespace wgtt::channel

@@ -1,0 +1,38 @@
+#include "channel/shadowing.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace wgtt::channel {
+
+ShadowingProcess::ShadowingProcess(ShadowingConfig cfg, Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  rho_ = std::exp(-cfg_.grid_step_m / cfg_.decorrelation_m);
+}
+
+double ShadowingProcess::grid_value(std::size_t i) {
+  while (grid_.size() <= i) {
+    if (grid_.empty()) {
+      grid_.push_back(rng_.gaussian(0.0, cfg_.sigma_db));
+    } else {
+      // AR(1): x_{n+1} = rho x_n + sqrt(1-rho^2) w,  w ~ N(0, sigma^2),
+      // which keeps the marginal variance at sigma^2 for all n.
+      const double innov = rng_.gaussian(0.0, cfg_.sigma_db);
+      grid_.push_back(rho_ * grid_.back() +
+                      std::sqrt(1.0 - rho_ * rho_) * innov);
+    }
+  }
+  return grid_[i];
+}
+
+double ShadowingProcess::at(double distance_m) {
+  if (distance_m < 0.0) distance_m = 0.0;
+  const double pos = distance_m / cfg_.grid_step_m;
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  const double a = grid_value(i);
+  const double b = grid_value(i + 1);
+  return a * (1.0 - frac) + b * frac;
+}
+
+}  // namespace wgtt::channel

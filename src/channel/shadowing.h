@@ -1,0 +1,38 @@
+// Spatially-correlated log-normal shadowing (Gudmundson model).
+//
+// Shadowing is a function of the client's position along its trajectory: two
+// nearby positions see correlated obstructions.  We realize one independent
+// 1-D Gaussian process per AP-client link as an AR(1) sequence on a fixed
+// spatial grid, interpolated between grid points, so a query at any travelled
+// distance is O(1) amortized and fully deterministic given the link's seed.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace wgtt::channel {
+
+struct ShadowingConfig {
+  double sigma_db = 3.0;          // standard deviation
+  double decorrelation_m = 10.0;  // Gudmundson decorrelation distance
+  double grid_step_m = 1.0;       // spatial sampling step
+};
+
+class ShadowingProcess {
+ public:
+  ShadowingProcess(ShadowingConfig cfg, Rng rng);
+
+  /// Shadowing value in dB at the given travelled distance (>= 0).
+  double at(double distance_m);
+
+ private:
+  double grid_value(std::size_t i);
+
+  ShadowingConfig cfg_;
+  Rng rng_;
+  double rho_;  // AR(1) coefficient per grid step
+  std::vector<double> grid_;
+};
+
+}  // namespace wgtt::channel

@@ -1,0 +1,69 @@
+#include "core/ap_queue_stack.h"
+
+namespace wgtt::core {
+
+ApQueueStack::ApQueueStack(sim::Scheduler& sched, mac::WifiDevice& device,
+                           net::NodeId client, QueueStackConfig cfg)
+    : sched_(sched), device_(device), client_(client), cfg_(cfg) {
+  device_.set_refill_handler(client_, [this]() { pump(); });
+}
+
+std::optional<std::pair<std::uint32_t, net::PacketPtr>>
+ApQueueStack::pop_fresh() {
+  while (auto item = cyclic_.pop()) {
+    if (sched_.now() - item->second->created <= cfg_.max_packet_age) {
+      return item;
+    }
+    ++stale_dropped_;
+  }
+  return std::nullopt;
+}
+
+void ApQueueStack::on_downlink(std::uint32_t index, net::PacketPtr pkt) {
+  cyclic_.insert(index, std::move(pkt));
+  if (active_) pump();
+}
+
+void ApQueueStack::activate(std::uint32_t start_index) {
+  cyclic_.set_head(start_index);
+  active_ = true;
+  pump();
+}
+
+std::uint32_t ApQueueStack::deactivate() {
+  active_ = false;
+  const std::uint32_t k = next_nic_index();
+  // Flush the kernel stage back into oblivion: the next AP's cyclic queue
+  // already holds these packets, so local copies would only be duplicates.
+  kernel_flushed_ += kernel_.size();
+  kernel_.clear();
+  // NIC queue is left alone: the hardware keeps draining it over the air.
+  return k;
+}
+
+std::uint32_t ApQueueStack::next_nic_index() const {
+  if (!kernel_.empty()) return kernel_.front().first;
+  return cyclic_.head();
+}
+
+void ApQueueStack::pump() {
+  if (!active_) return;
+  // Stage 1: cyclic -> kernel.
+  while (kernel_.size() < cfg_.kernel_queue_limit) {
+    auto item = pop_fresh();
+    if (!item) break;
+    kernel_.push_back(std::move(*item));
+  }
+  // Stage 2: kernel -> NIC.  The 802.11 sequence number is the packet's
+  // 12-bit cyclic index (the WGTT block-ACK integration).
+  while (!kernel_.empty() && device_.has_room(client_)) {
+    auto& [index, pkt] = kernel_.front();
+    const auto seq = static_cast<std::uint16_t>(index & (net::kIndexSpace - 1));
+    if (!device_.enqueue(client_, std::move(pkt), seq)) break;
+    kernel_.pop_front();
+    // Top up the kernel stage as it drains.
+    if (auto item = pop_fresh()) kernel_.push_back(std::move(*item));
+  }
+}
+
+}  // namespace wgtt::core

@@ -1,0 +1,69 @@
+#include "core/ap_selector.h"
+
+#include <algorithm>
+
+namespace wgtt::core {
+
+MedianEsnrSelector::MedianEsnrSelector(Time window, std::size_t min_readings,
+                                       bool use_latest)
+    : window_(window), min_readings_(min_readings), use_latest_(use_latest) {}
+
+void MedianEsnrSelector::add_reading(net::NodeId ap, Time when,
+                                     double esnr_db) {
+  windows_[ap].push_back(Reading{when, esnr_db});
+}
+
+void MedianEsnrSelector::prune(Time now) {
+  const Time cutoff = now >= window_ ? now - window_ : Time::zero();
+  for (auto& [ap, window] : windows_) {
+    while (!window.empty() && window.front().when < cutoff) window.pop_front();
+  }
+}
+
+std::optional<double> MedianEsnrSelector::median(net::NodeId ap,
+                                                 Time now) const {
+  auto it = windows_.find(ap);
+  if (it == windows_.end()) return std::nullopt;
+  const Time cutoff = now >= window_ ? now - window_ : Time::zero();
+  std::vector<double> vals;
+  vals.reserve(it->second.size());
+  for (const Reading& r : it->second) {
+    if (r.when >= cutoff) vals.push_back(r.esnr_db);
+  }
+  if (vals.size() < min_readings_) return std::nullopt;
+  if (use_latest_) return vals.back();  // ablation: newest reading wins
+  // e_{L/2} of the sorted sequence, exactly as §3.1.1 defines it.
+  std::nth_element(vals.begin(), vals.begin() + vals.size() / 2, vals.end());
+  return vals[vals.size() / 2];
+}
+
+net::NodeId MedianEsnrSelector::select(Time now) const {
+  net::NodeId best = 0;
+  double best_median = -1e300;
+  for (const auto& [ap, window] : windows_) {
+    (void)window;
+    const auto m = median(ap, now);
+    if (m && *m > best_median) {
+      best_median = *m;
+      best = ap;
+    }
+  }
+  return best;
+}
+
+std::vector<net::NodeId> MedianEsnrSelector::aps_in_range(Time now) const {
+  const Time cutoff = now >= window_ ? now - window_ : Time::zero();
+  std::vector<net::NodeId> out;
+  for (const auto& [ap, window] : windows_) {
+    for (auto it = window.rbegin(); it != window.rend(); ++it) {
+      if (it->when >= cutoff) {
+        out.push_back(ap);
+        break;
+      }
+      break;  // readings are time-ordered; the newest is at the back
+    }
+  }
+  return out;
+}
+
+}  // namespace wgtt::core

@@ -1,0 +1,63 @@
+// WGTT's AP selection algorithm (paper §3.1.1, Fig. 6).
+//
+// For one client: keep the ESNR readings reported by each AP over a sliding
+// window of duration W, and select the AP whose *median* windowed reading is
+// maximal.  The median (rather than latest or mean) rides out single-frame
+// fading spikes while still reacting within W; the paper's Fig. 21 sweep
+// finds W = 10 ms optimal, which this class defaults to.
+//
+// The class is deliberately standalone: the live controller drives it with
+// backhaul CSI reports, and the Fig. 21 emulation benchmark replays recorded
+// ESNR traces through it at different window sizes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace wgtt::core {
+
+class MedianEsnrSelector {
+ public:
+  /// `use_latest` replaces the median with the newest in-window reading —
+  /// the naive policy the paper's median is an ablation against (a single
+  /// constructive-fade spike then flips the selection).
+  explicit MedianEsnrSelector(Time window = Time::ms(10),
+                              std::size_t min_readings = 2,
+                              bool use_latest = false);
+
+  void add_reading(net::NodeId ap, Time when, double esnr_db);
+
+  /// Drop readings older than the window.
+  void prune(Time now);
+
+  /// Median ESNR of an AP's in-window readings (paper's e_{L/2}), or
+  /// nullopt with fewer than min_readings readings.
+  std::optional<double> median(net::NodeId ap, Time now) const;
+
+  /// The argmax-median AP, or 0 if no AP is eligible.
+  net::NodeId select(Time now) const;
+
+  /// APs with at least one reading in the window — the controller's
+  /// downlink fan-out set (§3.1.2 footnote 1).
+  std::vector<net::NodeId> aps_in_range(Time now) const;
+
+  Time window() const { return window_; }
+
+ private:
+  struct Reading {
+    Time when;
+    double esnr_db;
+  };
+  Time window_;
+  std::size_t min_readings_;
+  bool use_latest_;
+  std::map<net::NodeId, std::deque<Reading>> windows_;
+};
+
+}  // namespace wgtt::core

@@ -1,0 +1,28 @@
+#include "core/association.h"
+
+namespace wgtt::core {
+
+bool AssociationTable::add(const StaInfo& info) {
+  auto [it, inserted] = table_.insert_or_assign(info.client, info);
+  (void)it;
+  return inserted;
+}
+
+bool AssociationTable::authorized(net::NodeId client) const {
+  auto it = table_.find(client);
+  return it != table_.end() && it->second.authorized;
+}
+
+const StaInfo* AssociationTable::find(net::NodeId client) const {
+  auto it = table_.find(client);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<net::NodeId> AssociationTable::clients() const {
+  std::vector<net::NodeId> out;
+  out.reserve(table_.size());
+  for (const auto& [id, info] : table_) out.push_back(id);
+  return out;
+}
+
+}  // namespace wgtt::core

@@ -1,0 +1,47 @@
+// Client association state, shared across APs (paper §4.3, Fig. 12).
+//
+// All WGTT APs advertise one BSSID, so a client associates once; the AP that
+// completes the handshake then replicates the client's sta_info (layer-2
+// address, authorization state, capabilities) to every other AP over the
+// Ethernet backhaul, exactly as the modified hostapd does.  This table is
+// each AP's local copy of that replicated state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace wgtt::core {
+
+/// The subset of hostapd's sta_info / hostapd_sta_add_params that matters
+/// for the data plane.
+struct StaInfo {
+  net::NodeId client = 0;
+  bool authorized = false;
+  Time associated_at;
+  net::NodeId associating_ap = 0;  // AP that ran the handshake
+  std::uint16_t aid = 0;           // association ID
+};
+
+class AssociationTable {
+ public:
+  /// Insert or refresh a client's state.  Returns true if this was a new
+  /// association (first time we learn about the client).
+  bool add(const StaInfo& info);
+
+  bool known(net::NodeId client) const { return table_.count(client) != 0; }
+  bool authorized(net::NodeId client) const;
+  const StaInfo* find(net::NodeId client) const;
+  void remove(net::NodeId client) { table_.erase(client); }
+
+  std::vector<net::NodeId> clients() const;
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::map<net::NodeId, StaInfo> table_;
+};
+
+}  // namespace wgtt::core

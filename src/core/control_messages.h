@@ -1,0 +1,95 @@
+// Control-plane message bodies exchanged between the WGTT controller and
+// APs over the Ethernet backhaul.  Each rides in a net::Packet's payload;
+// the PacketType identifies which struct to expect.
+//
+// Wire sizes below are what the real UDP encodings would occupy; they feed
+// the backhaul serialization model.
+#pragma once
+
+#include <cstdint>
+
+#include "core/association.h"
+#include "mac/block_ack.h"
+#include "net/packet.h"
+#include "phy/csi.h"
+
+namespace wgtt::core {
+
+/// Controller -> AP1: cease sending to `client`; hand over to `next_ap`
+/// (§3.1.2 step 1).  The stop packet carries the L2 addresses of both.
+struct StopMsg {
+  net::NodeId client = 0;
+  net::NodeId next_ap = 0;
+  std::uint32_t switch_id = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// AP1 -> AP2: begin transmitting to `client` from cyclic index `k`
+/// (§3.1.2 step 2).
+struct StartMsg {
+  net::NodeId client = 0;
+  std::uint32_t first_unsent_index = 0;  // k
+  std::uint32_t switch_id = 0;
+  net::NodeId from_ap = 0;
+  static constexpr std::size_t kWireBytes = 24;
+};
+
+/// AP2 -> controller: switch complete (§3.1.2 step 3).
+struct SwitchAckMsg {
+  net::NodeId client = 0;
+  net::NodeId new_ap = 0;
+  std::uint32_t switch_id = 0;
+  static constexpr std::size_t kWireBytes = 20;
+};
+
+/// AP -> controller: CSI of an overheard client uplink frame (§3.1.1).
+/// 56 subcarriers x (2 bytes each) + addressing.
+struct CsiReportMsg {
+  net::NodeId ap = 0;
+  net::NodeId client = 0;
+  phy::Csi csi;
+  static constexpr std::size_t kWireBytes = 20 + 2 * phy::kNumSubcarriers;
+};
+
+/// Monitor AP -> active AP: an overheard Block ACK (§3.2.1) — client
+/// address, starting sequence number, and the 64-bit bitmap.
+struct BaForwardMsg {
+  mac::BlockAckInfo ba;
+  net::NodeId from_ap = 0;
+  static constexpr std::size_t kWireBytes = 28;
+};
+
+/// Associating AP -> peers: replicated sta_info (§4.3).
+struct AssocSyncMsg {
+  StaInfo info;
+  static constexpr std::size_t kWireBytes = 64;
+};
+
+/// Associating AP -> controller: a client finished associating with us.
+struct ClientJoinedMsg {
+  StaInfo info;
+  static constexpr std::size_t kWireBytes = 64;
+};
+
+/// Controller -> all APs: who currently transmits to `client` (keeps the
+/// Block-ACK forwarding target and monitor filtering current).
+struct ActiveApMsg {
+  net::NodeId client = 0;
+  net::NodeId active_ap = 0;
+  /// First activation after association: the named AP must activate its
+  /// queue stack in place (no start(c, k) will arrive).
+  bool bootstrap = false;
+  static constexpr std::size_t kWireBytes = 16;
+};
+
+/// Over-the-air management bodies (client association handshake).
+struct AssocRequestMsg {
+  net::NodeId client = 0;
+};
+struct AssocResponseMsg {
+  net::NodeId ap = 0;
+  std::uint16_t aid = 0;
+  bool success = false;
+};
+
+}  // namespace wgtt::core

@@ -1,0 +1,68 @@
+#include "core/cyclic_queue.h"
+
+namespace wgtt::core {
+
+void CyclicQueue::insert(std::uint32_t index, net::PacketPtr pkt) {
+  const std::uint32_t i = wrap(index);
+  Slot& slot = slots_[i];
+  if (slot.occupied) {
+    // The 12-bit index space wrapped before this slot drained (we are not
+    // the active AP, or the consumer lagged a full ring) — overwrite, as
+    // the hardware ring does.
+    ++overruns_;
+  } else {
+    slot.occupied = true;
+    ++pending_;
+  }
+  slot.pkt = std::move(pkt);
+  if (fwd(head_, i) >= fwd(head_, tail_) || tail_ == head_) {
+    tail_ = wrap(i + 1);
+  }
+}
+
+std::optional<std::pair<std::uint32_t, net::PacketPtr>> CyclicQueue::pop() {
+  if (pending_ == 0) return std::nullopt;
+  while (!slots_[head_].occupied) head_ = wrap(head_ + 1);
+  Slot& slot = slots_[head_];
+  const std::uint32_t index = head_;
+  net::PacketPtr pkt = std::move(slot.pkt);
+  slot.occupied = false;
+  --pending_;
+  head_ = wrap(head_ + 1);
+  return std::make_pair(index, std::move(pkt));
+}
+
+void CyclicQueue::set_head(std::uint32_t index) {
+  const std::uint32_t target = wrap(index);
+  // Discard everything from the current head up to (not including) the new
+  // head: those packets were already delivered by the previously-active AP.
+  // A "backwards" target (more than half the ring away) means our head was
+  // stale, and the walk degenerates into a cheap reposition.
+  std::uint32_t steps = fwd(head_, target);
+  if (steps >= kSlots / 2) {
+    head_ = target;
+    return;
+  }
+  while (head_ != target) {
+    Slot& slot = slots_[head_];
+    if (slot.occupied) {
+      slot.occupied = false;
+      slot.pkt.reset();
+      --pending_;
+      ++discarded_;
+    }
+    head_ = wrap(head_ + 1);
+  }
+}
+
+void CyclicQueue::clear() {
+  for (Slot& s : slots_) {
+    s.occupied = false;
+    s.pkt.reset();
+  }
+  pending_ = 0;
+  head_ = tail_ = 0;
+  // overruns_/discarded_ are lifetime counters and survive clear().
+}
+
+}  // namespace wgtt::core

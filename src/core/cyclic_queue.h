@@ -1,0 +1,69 @@
+// Per-client cyclic packet queue (paper §3.1.2, Fig. 7).
+//
+// Every WGTT AP buffers every downlink packet for every nearby client in a
+// ring indexed by the controller-assigned m-bit packet index (m = 12, so
+// 4096 slots).  The ring is what makes millisecond AP switching possible:
+// when the controller moves a client from AP1 to AP2, AP2 already holds the
+// backlogged packets and only needs the index k of the first unsent one to
+// resume instantly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "net/packet.h"
+
+namespace wgtt::core {
+
+class CyclicQueue {
+ public:
+  /// Number of slots — the full 12-bit index space.
+  static constexpr std::uint32_t kSlots = net::kIndexSpace;
+
+  /// Place a packet at slot `index % 4096`.  Overwriting a still-pending
+  /// slot (the producer lapped the consumer) counts as an overrun and drops
+  /// the old packet.
+  void insert(std::uint32_t index, net::PacketPtr pkt);
+
+  /// Pop the packet at the head index and advance.  Empty slots between the
+  /// head and the most recent insertion are skipped (counted as gaps).
+  /// Returns (index, packet), or nullopt if nothing is pending.
+  std::optional<std::pair<std::uint32_t, net::PacketPtr>> pop();
+
+  /// Reposition the head to `index` (the start(c, k) handover step).
+  /// Slots logically before the new head are discarded — another AP
+  /// already delivered them.
+  void set_head(std::uint32_t index);
+
+  std::uint32_t head() const { return head_; }
+  /// Number of occupied slots still ahead of (or at) the head.
+  std::size_t pending() const { return pending_; }
+  bool empty() const { return pending_ == 0; }
+
+  std::uint64_t overruns() const { return overruns_; }
+  std::uint64_t discarded() const { return discarded_; }
+
+  void clear();
+
+ private:
+  static std::uint32_t wrap(std::uint32_t i) { return i & (kSlots - 1); }
+  /// Forward distance from a to b in index space.
+  static std::uint32_t fwd(std::uint32_t a, std::uint32_t b) {
+    return wrap(b - a);
+  }
+
+  struct Slot {
+    net::PacketPtr pkt;
+    bool occupied = false;
+  };
+  std::array<Slot, kSlots> slots_{};
+  std::uint32_t head_ = 0;
+  std::uint32_t tail_ = 0;  // one past the most recently inserted index
+  std::size_t pending_ = 0;
+  std::uint64_t overruns_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace wgtt::core

@@ -1,0 +1,27 @@
+#include "core/dedup.h"
+
+namespace wgtt::core {
+
+Deduplicator::Deduplicator(Time window) : window_(window) {}
+
+void Deduplicator::expire(Time now) {
+  while (!order_.empty() && now - order_.front().first > window_) {
+    keys_.erase(order_.front().second);
+    order_.pop_front();
+  }
+}
+
+bool Deduplicator::is_duplicate(const net::Packet& pkt, Time now) {
+  if (!needs_dedup(pkt)) return false;
+  expire(now);
+  const std::uint64_t key = net::dedup_key(pkt);
+  if (keys_.count(key) != 0) {
+    ++dropped_;
+    return true;
+  }
+  keys_.insert(key);
+  order_.emplace_back(now, key);
+  return false;
+}
+
+}  // namespace wgtt::core

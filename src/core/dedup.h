@@ -1,0 +1,49 @@
+// Uplink packet de-duplication (paper §3.2.3).
+//
+// Every AP that decodes a client's uplink frame tunnels it to the
+// controller, so the controller sees one copy per hearing AP.  Forwarding
+// duplicates upstream would trigger spurious TCP retransmissions, so the
+// controller drops all but the first copy, keyed by the paper's 48-bit
+// (source address ++ IP-ID) composition over a bounded time window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace wgtt::core {
+
+class Deduplicator {
+ public:
+  /// `window`: how long a key stays hot.  IP-ID wraps at 65536 packets per
+  /// client, so the window must be much shorter than the wrap period at
+  /// line rate (~8 s at 90 Mbit/s of 1500-byte packets).
+  explicit Deduplicator(Time window = Time::sec(2));
+
+  /// Returns true (and swallows the key) if this packet was seen within the
+  /// window; false if it is new.
+  bool is_duplicate(const net::Packet& pkt, Time now);
+
+  /// ARP and other non-IP packets are forwarded unconditionally (§3.2.2
+  /// footnote: they carry no IP-ID and need no de-duplication).
+  static bool needs_dedup(const net::Packet& pkt) {
+    return pkt.type == net::PacketType::kData ||
+           pkt.type == net::PacketType::kTcpAck;
+  }
+
+  std::size_t size() const { return keys_.size(); }
+  std::uint64_t duplicates_dropped() const { return dropped_; }
+
+ private:
+  void expire(Time now);
+
+  Time window_;
+  std::unordered_set<std::uint64_t> keys_;
+  std::deque<std::pair<Time, std::uint64_t>> order_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace wgtt::core

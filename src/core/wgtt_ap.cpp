@@ -1,0 +1,298 @@
+#include "core/wgtt_ap.h"
+
+#include <cassert>
+
+#include "phy/esnr.h"
+#include "util/logging.h"
+
+namespace wgtt::core {
+
+WgttAp::WgttAp(sim::Scheduler& sched, net::Backhaul& backhaul,
+               mac::WifiDevice& device, WgttApConfig cfg)
+    : sched_(sched),
+      backhaul_(backhaul),
+      device_(device),
+      cfg_(std::move(cfg)),
+      rng_(0xA9000ull + cfg_.id) {
+  backhaul_.attach(cfg_.id, [this](const net::TunneledPacket& frame) {
+    on_backhaul_frame(frame);
+  });
+  device_.on_frame_heard = [this](const mac::RxMeta& meta) {
+    on_frame_heard(meta);
+  };
+  device_.on_deliver = [this](net::PacketPtr pkt, const mac::RxMeta& meta) {
+    on_uplink_deliver(std::move(pkt), meta);
+  };
+  device_.on_overheard_block_ack = [this](const mac::BlockAckInfo& ba,
+                                          const mac::RxMeta& meta) {
+    on_overheard_block_ack(ba, meta);
+  };
+  device_.on_management = [this](net::PacketPtr pkt, const mac::RxMeta& meta) {
+    on_management(std::move(pkt), meta);
+  };
+}
+
+Time WgttAp::control_delay() {
+  Time d = cfg_.control_processing;
+  if (cfg_.control_jitter > Time::zero()) {
+    d += Time::ns(rng_.uniform_int(0, cfg_.control_jitter.to_ns()));
+  }
+  return d;
+}
+
+bool WgttAp::active_for(net::NodeId client) const {
+  auto it = active_ap_.find(client);
+  return it != active_ap_.end() && it->second == cfg_.id;
+}
+
+const ApQueueStack* WgttAp::stack_for(net::NodeId client) const {
+  auto it = stacks_.find(client);
+  return it == stacks_.end() ? nullptr : it->second.get();
+}
+
+ApQueueStack& WgttAp::stack(net::NodeId client) {
+  auto it = stacks_.find(client);
+  if (it == stacks_.end()) {
+    it = stacks_
+             .emplace(client, std::make_unique<ApQueueStack>(
+                                  sched_, device_, client, cfg_.stack))
+             .first;
+  }
+  return *it->second;
+}
+
+void WgttAp::send_to(net::NodeId dst, net::Packet fields) {
+  fields.src = cfg_.id;
+  fields.dst = dst;
+  fields.created = sched_.now();
+  backhaul_.send(net::encapsulate(net::make_packet(std::move(fields)),
+                                  cfg_.id, dst));
+}
+
+// ---------------------------------------------------------------------------
+// Backhaul reception
+// ---------------------------------------------------------------------------
+
+void WgttAp::on_backhaul_frame(const net::TunneledPacket& frame) {
+  net::PacketPtr inner = net::decapsulate(frame);
+  switch (inner->type) {
+    case net::PacketType::kData:
+      handle_downlink_data(std::move(inner));
+      return;
+    case net::PacketType::kStop:
+      // Control packets are prioritized: they bypass the cyclic queue and
+      // are handled after only the processing latency (§3.1.2).
+      if (const auto* msg = net::payload_as<StopMsg>(*inner)) {
+        StopMsg m = *msg;
+        sched_.schedule(control_delay(), [this, m]() { handle_stop(m); });
+      }
+      return;
+    case net::PacketType::kStart:
+      if (const auto* msg = net::payload_as<StartMsg>(*inner)) {
+        StartMsg m = *msg;
+        sched_.schedule(control_delay(), [this, m]() { handle_start(m); });
+      }
+      return;
+    case net::PacketType::kBlockAckFwd:
+      if (const auto* msg = net::payload_as<BaForwardMsg>(*inner)) {
+        handle_ba_forward(*msg);
+      }
+      return;
+    case net::PacketType::kAssocSync:
+      if (const auto* msg = net::payload_as<AssocSyncMsg>(*inner)) {
+        handle_assoc_sync(*msg);
+      }
+      return;
+    case net::PacketType::kActiveAp:
+      if (const auto* msg = net::payload_as<ActiveApMsg>(*inner)) {
+        handle_active_ap(*msg);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void WgttAp::handle_downlink_data(net::PacketPtr pkt) {
+  const net::NodeId client = pkt->dst;
+  if (!assoc_.known(client)) {
+    // Shouldn't normally happen: the controller only forwards for
+    // associated clients.  Drop rather than queue for a stranger.
+    return;
+  }
+  ++stats_.downlink_packets_buffered;
+  const std::uint32_t index = pkt->index;
+  stack(client).on_downlink(index, std::move(pkt));
+}
+
+void WgttAp::handle_stop(const StopMsg& msg) {
+  ++stats_.stops_handled;
+  // Query the kernel for the first unsent index (the ioctl), then flush and
+  // hand over.  A repeated stop (the controller's ack timeout fired) takes
+  // the same path: the stack is already inactive, so next_nic_index()
+  // re-derives the same k and start(c, k) is simply re-sent.
+  sched_.schedule(cfg_.ioctl_delay, [this, msg]() {
+    ApQueueStack& st = stack(msg.client);
+    const std::uint32_t k = st.active() ? st.deactivate() : st.next_nic_index();
+    stats_.kernel_packets_flushed = st.kernel_flushed();
+    active_ap_[msg.client] = msg.next_ap;
+
+    // Let the NIC queue drain over the air (§3.1.2: "these packets take
+    // 6 ms to deliver"), then flush the remainder — the next AP already
+    // owns those indices, and lingering retries would interfere with it.
+    sched_.schedule(cfg_.nic_drain_window, [this, client = msg.client]() {
+      if (!active_for(client)) device_.flush_queue(client);
+    });
+
+    net::Packet p;
+    p.type = net::PacketType::kStart;
+    p.size_bytes = StartMsg::kWireBytes;
+    StartMsg start;
+    start.client = msg.client;
+    start.first_unsent_index = k;
+    start.switch_id = msg.switch_id;
+    start.from_ap = cfg_.id;
+    p.payload = start;
+    send_to(msg.next_ap, std::move(p));
+  });
+}
+
+void WgttAp::handle_start(const StartMsg& msg) {
+  ++stats_.starts_handled;
+  active_ap_[msg.client] = cfg_.id;
+  stack(msg.client).activate(msg.first_unsent_index);
+
+  net::Packet p;
+  p.type = net::PacketType::kSwitchAck;
+  p.size_bytes = SwitchAckMsg::kWireBytes;
+  SwitchAckMsg ack;
+  ack.client = msg.client;
+  ack.new_ap = cfg_.id;
+  ack.switch_id = msg.switch_id;
+  p.payload = ack;
+  send_to(cfg_.controller, std::move(p));
+}
+
+void WgttAp::handle_active_ap(const ActiveApMsg& msg) {
+  active_ap_[msg.client] = msg.active_ap;
+  if (msg.bootstrap && msg.active_ap == cfg_.id) {
+    ApQueueStack& st = stack(msg.client);
+    if (!st.active()) st.activate(st.cyclic().head());
+  }
+}
+
+void WgttAp::handle_assoc_sync(const AssocSyncMsg& msg) {
+  assoc_.add(msg.info);
+}
+
+void WgttAp::handle_ba_forward(const BaForwardMsg& msg) {
+  // Duplicate check: same BA may arrive from several monitor APs (§3.2.1:
+  // "AP1 first checks whether this Block ACK has been received before").
+  auto it = seen_ba_.find(msg.ba.client);
+  const Time now = sched_.now();
+  if (it != seen_ba_.end() && it->second.start_seq == msg.ba.start_seq &&
+      it->second.bitmap == msg.ba.bitmap.to_ullong() &&
+      now - it->second.when <= cfg_.ba_dedup_window) {
+    ++stats_.forwarded_bas_duplicate;
+    return;
+  }
+  seen_ba_[msg.ba.client] =
+      SeenBa{msg.ba.start_seq, msg.ba.bitmap.to_ullong(), now};
+  if (device_.apply_external_block_ack(msg.ba)) {
+    ++stats_.forwarded_bas_applied;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Radio-side events
+// ---------------------------------------------------------------------------
+
+void WgttAp::on_frame_heard(const mac::RxMeta& meta) {
+  if (cfg_.feed_esnr_to_rate_control) {
+    device_.update_peer_esnr(meta.transmitter,
+                             phy::selection_esnr_db(meta.csi), sched_.now());
+  }
+  // Every decoded client frame yields a CSI report to the controller.
+  ++stats_.csi_reports_sent;
+  net::Packet p;
+  p.type = net::PacketType::kCsiReport;
+  p.size_bytes = CsiReportMsg::kWireBytes;
+  CsiReportMsg msg;
+  msg.ap = cfg_.id;
+  msg.client = meta.transmitter;
+  msg.csi = meta.csi;
+  p.payload = msg;
+  send_to(cfg_.controller, std::move(p));
+}
+
+void WgttAp::on_uplink_deliver(net::PacketPtr pkt, const mac::RxMeta& meta) {
+  (void)meta;
+  // §3.2.2: encapsulate with this AP as outer source, controller as outer
+  // destination, and let the controller de-duplicate.
+  ++stats_.uplink_packets_tunneled;
+  backhaul_.send(net::encapsulate(std::move(pkt), cfg_.id, cfg_.controller));
+}
+
+void WgttAp::on_overheard_block_ack(const mac::BlockAckInfo& ba,
+                                    const mac::RxMeta& meta) {
+  (void)meta;
+  if (!cfg_.enable_ba_forwarding) return;
+  // Forward to the client's active AP — unless that is us (our AP-mode
+  // interface already saw or missed it; forwarding to ourselves is useless).
+  auto it = active_ap_.find(ba.client);
+  if (it == active_ap_.end() || it->second == cfg_.id) return;
+  ++stats_.block_acks_forwarded;
+  net::Packet p;
+  p.type = net::PacketType::kBlockAckFwd;
+  p.size_bytes = BaForwardMsg::kWireBytes;
+  BaForwardMsg msg;
+  msg.ba = ba;
+  msg.from_ap = cfg_.id;
+  p.payload = msg;
+  send_to(it->second, std::move(p));
+}
+
+void WgttAp::on_management(net::PacketPtr pkt, const mac::RxMeta& meta) {
+  const auto* req = net::payload_as<AssocRequestMsg>(*pkt);
+  if (!req) return;  // null keepalives etc. only matter as CSI sources
+  (void)meta;
+  StaInfo info;
+  info.client = req->client;
+  info.authorized = true;
+  info.associated_at = sched_.now();
+  info.associating_ap = cfg_.id;
+  info.aid = next_aid_++;
+  const bool is_new = assoc_.add(info);
+
+  // Respond over the air.
+  net::Packet resp;
+  resp.type = net::PacketType::kMgmt;
+  resp.src = cfg_.id;
+  resp.dst = req->client;
+  resp.size_bytes = 64;
+  resp.created = sched_.now();
+  AssocResponseMsg body;
+  body.ap = cfg_.id;
+  body.aid = info.aid;
+  body.success = true;
+  resp.payload = body;
+  device_.send_management(req->client, net::make_packet(std::move(resp)));
+
+  if (is_new) {
+    // Replicate sta_info to peers (§4.3) and tell the controller.
+    for (net::NodeId peer : cfg_.peer_aps) {
+      net::Packet p;
+      p.type = net::PacketType::kAssocSync;
+      p.size_bytes = AssocSyncMsg::kWireBytes;
+      p.payload = AssocSyncMsg{info};
+      send_to(peer, std::move(p));
+    }
+    net::Packet p;
+    p.type = net::PacketType::kAssocSync;
+    p.size_bytes = ClientJoinedMsg::kWireBytes;
+    p.payload = ClientJoinedMsg{info};
+    send_to(cfg_.controller, std::move(p));
+  }
+}
+
+}  // namespace wgtt::core

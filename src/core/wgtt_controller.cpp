@@ -1,0 +1,250 @@
+#include "core/wgtt_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "phy/esnr.h"
+#include "util/logging.h"
+
+namespace wgtt::core {
+
+WgttController::WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
+                               std::vector<net::NodeId> ap_ids,
+                               ControllerConfig cfg)
+    : sched_(sched),
+      backhaul_(backhaul),
+      ap_ids_(std::move(ap_ids)),
+      cfg_(cfg) {
+  backhaul_.attach(net::kControllerId, [this](const net::TunneledPacket& f) {
+    on_backhaul_frame(f);
+  });
+  // Periodic AP-selection pass.
+  sched_.schedule(cfg_.selection_period, [this]() { run_selection(); });
+}
+
+void WgttController::send_to(net::NodeId dst, net::Packet fields) {
+  fields.src = net::kControllerId;
+  fields.dst = dst;
+  fields.created = sched_.now();
+  backhaul_.send(net::encapsulate(net::make_packet(std::move(fields)),
+                                  net::kControllerId, dst));
+}
+
+net::NodeId WgttController::active_ap(net::NodeId client) const {
+  auto it = clients_.find(client);
+  return it == clients_.end() ? 0 : it->second.active_ap;
+}
+
+std::optional<double> WgttController::median_esnr(net::NodeId client,
+                                                  net::NodeId ap) const {
+  auto it = clients_.find(client);
+  if (it == clients_.end() || !it->second.selector) return std::nullopt;
+  return it->second.selector->median(ap, sched_.now());
+}
+
+WgttController::ClientState& WgttController::client_state(
+    net::NodeId client) {
+  ClientState& st = clients_[client];
+  if (!st.selector) {
+    st.selector = std::make_unique<MedianEsnrSelector>(
+        cfg_.selection_window, cfg_.min_readings, cfg_.use_latest_reading);
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Backhaul ingress
+// ---------------------------------------------------------------------------
+
+void WgttController::on_backhaul_frame(const net::TunneledPacket& frame) {
+  net::PacketPtr inner = net::decapsulate(frame);
+  switch (inner->type) {
+    case net::PacketType::kCsiReport:
+      if (const auto* msg = net::payload_as<CsiReportMsg>(*inner)) {
+        handle_csi_report(*msg);
+      }
+      return;
+    case net::PacketType::kSwitchAck:
+      if (const auto* msg = net::payload_as<SwitchAckMsg>(*inner)) {
+        handle_switch_ack(*msg);
+      }
+      return;
+    case net::PacketType::kAssocSync:
+      if (const auto* msg = net::payload_as<ClientJoinedMsg>(*inner)) {
+        handle_client_joined(*msg);
+      }
+      return;
+    case net::PacketType::kData:
+    case net::PacketType::kTcpAck:
+      handle_uplink_data(std::move(inner));
+      return;
+    default:
+      return;
+  }
+}
+
+void WgttController::inject_csi(net::NodeId ap, net::NodeId client,
+                                const phy::Csi& csi) {
+  CsiReportMsg msg;
+  msg.ap = ap;
+  msg.client = client;
+  msg.csi = csi;
+  handle_csi_report(msg);
+}
+
+void WgttController::handle_csi_report(const CsiReportMsg& msg) {
+  ++stats_.csi_reports;
+  ClientState& st = client_state(msg.client);
+  const double esnr = phy::selection_esnr_db(msg.csi);
+  st.selector->add_reading(msg.ap, sched_.now(), esnr);
+  st.selector->prune(sched_.now());
+}
+
+void WgttController::handle_client_joined(const ClientJoinedMsg& msg) {
+  ClientState& st = client_state(msg.info.client);
+  if (st.active_ap != 0) return;  // already bootstrapped
+  st.active_ap = msg.info.associating_ap;
+  st.last_switch = sched_.now();
+  broadcast_active(msg.info.client, st.active_ap, /*bootstrap=*/true);
+}
+
+void WgttController::handle_uplink_data(net::PacketPtr pkt) {
+  if (dedup_.is_duplicate(*pkt, sched_.now())) {
+    ++stats_.uplink_duplicates;
+    return;
+  }
+  ++stats_.uplink_packets;
+  if (on_uplink) on_uplink(std::move(pkt));
+}
+
+// ---------------------------------------------------------------------------
+// Downlink fan-out (§3.1.2: every AP in communication range buffers a copy)
+// ---------------------------------------------------------------------------
+
+void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
+  auto it = clients_.find(client);
+  if (it == clients_.end() || it->second.active_ap == 0) return;  // not joined
+  ClientState& st = it->second;
+  ++stats_.downlink_packets;
+
+  // Assign the 12-bit cyclic index.  The Packet is shared across APs, so
+  // stamp a copy once here.
+  net::Packet stamped = *pkt;
+  stamped.index = st.next_index & (net::kIndexSpace - 1);
+  st.next_index = (st.next_index + 1) & (net::kIndexSpace - 1);
+  net::PacketPtr shared = net::make_packet(std::move(stamped));
+
+  // Range set: APs with a CSI reading inside the window; always include the
+  // active AP.
+  st.selector->prune(sched_.now());
+  bool active_covered = false;
+  if (!cfg_.fanout_active_only) {
+    for (net::NodeId ap : st.selector->aps_in_range(sched_.now())) {
+      backhaul_.send(net::encapsulate(shared, net::kControllerId, ap));
+      ++stats_.downlink_copies;
+      if (ap == st.active_ap) active_covered = true;
+    }
+  }
+  if (!active_covered) {
+    backhaul_.send(net::encapsulate(shared, net::kControllerId, st.active_ap));
+    ++stats_.downlink_copies;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AP selection + switching protocol
+// ---------------------------------------------------------------------------
+
+void WgttController::run_selection() {
+  const Time now = sched_.now();
+  for (auto& [client, st] : clients_) {
+    if (st.active_ap == 0 || st.switch_in_flight || !st.selector) continue;
+    if (now - st.last_switch < cfg_.switch_hysteresis) continue;
+    st.selector->prune(now);
+
+    const net::NodeId best = st.selector->select(now);
+    if (best == 0 || best == st.active_ap) continue;
+    const auto best_median = st.selector->median(best, now);
+    const auto active_median = st.selector->median(st.active_ap, now);
+    if (active_median &&
+        *best_median < *active_median + cfg_.switch_margin_db) {
+      continue;
+    }
+    initiate_switch(client, st, best);
+  }
+  sched_.schedule(cfg_.selection_period, [this]() { run_selection(); });
+}
+
+void WgttController::initiate_switch(net::NodeId client, ClientState& st,
+                                     net::NodeId target) {
+  ++stats_.switches_initiated;
+  st.switch_in_flight = true;
+  st.switch_id = next_switch_id_++;
+  st.switch_target = target;
+  st.switch_started = sched_.now();
+  st.stop_retx = 0;
+  send_stop(client, st);
+}
+
+void WgttController::send_stop(net::NodeId client, ClientState& st) {
+  net::Packet p;
+  p.type = net::PacketType::kStop;
+  p.size_bytes = StopMsg::kWireBytes;
+  StopMsg msg;
+  msg.client = client;
+  msg.next_ap = st.switch_target;
+  msg.switch_id = st.switch_id;
+  p.payload = msg;
+  send_to(st.active_ap, std::move(p));
+
+  // Retransmit the stop if the ack does not arrive in time (§3.1.2).
+  st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {
+    auto it = clients_.find(client);
+    if (it == clients_.end() || !it->second.switch_in_flight) return;
+    ++stats_.stop_retransmissions;
+    ++it->second.stop_retx;
+    send_stop(client, it->second);
+  });
+}
+
+void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
+  auto it = clients_.find(msg.client);
+  if (it == clients_.end()) return;
+  ClientState& st = it->second;
+  if (!st.switch_in_flight || msg.switch_id != st.switch_id) return;
+
+  sched_.cancel(st.retx_event);
+  ++stats_.switches_completed;
+  SwitchRecord rec;
+  rec.initiated = st.switch_started;
+  rec.completed = sched_.now();
+  rec.client = msg.client;
+  rec.from_ap = st.active_ap;
+  rec.to_ap = msg.new_ap;
+  rec.stop_retransmissions = st.stop_retx;
+  stats_.switch_latency_ms.add((rec.completed - rec.initiated).to_ms());
+  switch_log_.push_back(rec);
+
+  st.active_ap = msg.new_ap;
+  st.switch_in_flight = false;
+  st.last_switch = sched_.now();
+  broadcast_active(msg.client, msg.new_ap, /*bootstrap=*/false);
+  if (on_switch) on_switch(rec);
+}
+
+void WgttController::broadcast_active(net::NodeId client, net::NodeId ap,
+                                      bool bootstrap) {
+  for (net::NodeId dest : ap_ids_) {
+    net::Packet p;
+    p.type = net::PacketType::kActiveAp;
+    p.size_bytes = ActiveApMsg::kWireBytes;
+    ActiveApMsg msg;
+    msg.client = client;
+    msg.active_ap = ap;
+    msg.bootstrap = bootstrap;
+    p.payload = msg;
+    send_to(dest, std::move(p));
+  }
+}
+
+}  // namespace wgtt::core

@@ -1,0 +1,141 @@
+// The WGTT controller (paper §3, Fig. 5 control plane).
+//
+// A single wired host that:
+//  * receives CSI reports from every AP for every overheard client frame
+//    and maintains a sliding window W of ESNR readings per (client, AP);
+//  * selects, per client, the AP with the maximal median ESNR in the window
+//    (§3.1.1, Fig. 6) and drives the stop/start/ack switching protocol with
+//    a 30 ms ack timeout (§3.1.2) and a configurable time hysteresis
+//    between switches (§5.3.3);
+//  * fans every downlink packet out to all APs within communication range
+//    of the client (the APs that reported CSI within the window), tagging
+//    it with the client's 12-bit cyclic index;
+//  * de-duplicates uplink packets tunneled by multiple APs before handing
+//    them to the wired network (§3.2.3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/ap_selector.h"
+#include "core/control_messages.h"
+#include "core/dedup.h"
+#include "net/backhaul.h"
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "util/stats.h"
+
+namespace wgtt::core {
+
+struct ControllerConfig {
+  Time selection_window = Time::ms(10);   // W (Fig. 21: 10 ms is optimal)
+  Time switch_hysteresis = Time::ms(40);  // T (Fig. 22 sweeps 40-120 ms)
+  Time ack_timeout = Time::ms(30);        // stop retransmission timer
+  Time selection_period = Time::ms(2);    // how often selection runs
+  /// Require the challenger's median ESNR to beat the incumbent's by this
+  /// much (dB) — 0 reproduces the paper's plain argmax.
+  double switch_margin_db = 0.0;
+  /// Minimum CSI readings from an AP before it is eligible for selection.
+  std::size_t min_readings = 2;
+  /// Ablation: select on the newest reading instead of the window median.
+  bool use_latest_reading = false;
+  /// Ablation: send each downlink packet only to the active AP instead of
+  /// fanning out to every in-range AP — removes the pre-placed backlog the
+  /// start(c, k) handover depends on.
+  bool fanout_active_only = false;
+};
+
+struct SwitchRecord {
+  Time initiated;
+  Time completed;
+  net::NodeId client = 0;
+  net::NodeId from_ap = 0;
+  net::NodeId to_ap = 0;
+  unsigned stop_retransmissions = 0;
+};
+
+struct ControllerStats {
+  std::uint64_t csi_reports = 0;
+  std::uint64_t downlink_packets = 0;
+  std::uint64_t downlink_copies = 0;     // fan-out multiplicity total
+  std::uint64_t uplink_packets = 0;      // after de-duplication
+  std::uint64_t uplink_duplicates = 0;
+  std::uint64_t switches_initiated = 0;
+  std::uint64_t switches_completed = 0;
+  std::uint64_t stop_retransmissions = 0;
+  SampleSet switch_latency_ms;           // stop sent -> ack received
+};
+
+class WgttController {
+ public:
+  WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
+                 std::vector<net::NodeId> ap_ids, ControllerConfig cfg = {});
+
+  /// Wired-side egress: de-duplicated uplink packets (to the server stack).
+  std::function<void(net::PacketPtr)> on_uplink;
+  /// Fired on every completed switch (metrics hooks).
+  std::function<void(const SwitchRecord&)> on_switch;
+
+  /// Wired-side ingress: a downlink packet for `client` from the servers.
+  void send_downlink(net::NodeId client, net::PacketPtr pkt);
+
+  /// AP currently serving the client (0 if none yet).
+  net::NodeId active_ap(net::NodeId client) const;
+
+  /// Out-of-band CSI injection: the 802.11k-style scan-report path used by
+  /// the multi-channel extension, where APs on other channels cannot hear
+  /// the client directly.  Equivalent to receiving a CsiReportMsg.
+  void inject_csi(net::NodeId ap, net::NodeId client, const phy::Csi& csi);
+  /// Median-ESNR table for a client (diagnostics / AP-selection tests).
+  std::optional<double> median_esnr(net::NodeId client, net::NodeId ap) const;
+
+  const ControllerStats& stats() const { return stats_; }
+  const std::vector<SwitchRecord>& switch_log() const { return switch_log_; }
+  const ControllerConfig& config() const { return cfg_; }
+
+ private:
+  struct ClientState {
+    net::NodeId active_ap = 0;
+    std::unique_ptr<MedianEsnrSelector> selector;  // per-client windows
+    std::uint32_t next_index = 0;     // cyclic downlink index counter
+    Time last_switch = Time::zero();  // hysteresis anchor
+    // Switch FSM: at most one outstanding switch per client (§3.1.2 fn. 2).
+    bool switch_in_flight = false;
+    std::uint32_t switch_id = 0;
+    net::NodeId switch_target = 0;
+    Time switch_started;
+    unsigned stop_retx = 0;
+    sim::EventId retx_event;
+  };
+
+  void on_backhaul_frame(const net::TunneledPacket& frame);
+  void handle_csi_report(const CsiReportMsg& msg);
+  void handle_switch_ack(const SwitchAckMsg& msg);
+  void handle_client_joined(const ClientJoinedMsg& msg);
+  void handle_uplink_data(net::PacketPtr pkt);
+
+  void run_selection();
+  void initiate_switch(net::NodeId client, ClientState& st,
+                       net::NodeId target);
+  void send_stop(net::NodeId client, ClientState& st);
+  void broadcast_active(net::NodeId client, net::NodeId ap, bool bootstrap);
+  ClientState& client_state(net::NodeId client);
+  void send_to(net::NodeId dst, net::Packet fields);
+
+  sim::Scheduler& sched_;
+  net::Backhaul& backhaul_;
+  std::vector<net::NodeId> ap_ids_;
+  ControllerConfig cfg_;
+  std::map<net::NodeId, ClientState> clients_;
+  Deduplicator dedup_;
+  std::uint32_t next_switch_id_ = 1;
+  ControllerStats stats_;
+  std::vector<SwitchRecord> switch_log_;
+};
+
+}  // namespace wgtt::core

@@ -1,0 +1,65 @@
+#include "mac/airtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wgtt::mac {
+
+AirtimeCalculator::AirtimeCalculator(AirtimeConfig cfg) : cfg_(cfg) {}
+
+Time AirtimeCalculator::bits_duration(const phy::McsInfo& mcs,
+                                      std::size_t bits) const {
+  const double rate_bps = mcs.rate_bps(cfg_.short_gi);
+  // Round up to whole OFDM symbols (4 us long GI / 3.6 us short GI).
+  const double symbol_us = cfg_.short_gi ? 3.6 : 4.0;
+  const double bits_per_symbol = rate_bps * symbol_us * 1e-6;
+  const double symbols = std::ceil(static_cast<double>(bits) / bits_per_symbol);
+  return Time::us(symbols * symbol_us);
+}
+
+Time AirtimeCalculator::mpdu_duration(const phy::McsInfo& mcs,
+                                      std::size_t msdu_bytes) const {
+  std::size_t bytes = cfg_.ampdu_delimiter_bytes + cfg_.mac_header_bytes +
+                      msdu_bytes + cfg_.fcs_bytes;
+  bytes = (bytes + 3) & ~std::size_t{3};  // pad to 4-byte boundary
+  return bits_duration(mcs, bytes * 8);
+}
+
+Time AirtimeCalculator::exchange_duration(const phy::McsInfo& mcs,
+                                          std::size_t mpdu_count,
+                                          std::size_t total_msdu_bytes) const {
+  const std::size_t per_mpdu_overhead = cfg_.ampdu_delimiter_bytes +
+                                        cfg_.mac_header_bytes + cfg_.fcs_bytes;
+  std::size_t bytes = total_msdu_bytes + mpdu_count * per_mpdu_overhead;
+  bytes = (bytes + 3) & ~std::size_t{3};
+  return cfg_.ht_preamble + bits_duration(mcs, bytes * 8) + cfg_.sifs +
+         block_ack_duration();
+}
+
+Time AirtimeCalculator::single_frame_duration(const phy::McsInfo& mcs,
+                                              std::size_t body_bytes) const {
+  const std::size_t bytes = cfg_.mac_header_bytes + body_bytes + cfg_.fcs_bytes;
+  // Frame + SIFS + ACK (14-byte ACK at the basic rate).
+  return cfg_.ht_preamble + bits_duration(mcs, bytes * 8) + cfg_.sifs +
+         cfg_.ht_preamble + bits_duration(phy::basic_mcs(), 14 * 8);
+}
+
+Time AirtimeCalculator::block_ack_duration() const {
+  return cfg_.ht_preamble +
+         bits_duration(phy::basic_mcs(), cfg_.block_ack_bytes * 8);
+}
+
+std::size_t AirtimeCalculator::max_mpdus_in_ampdu(
+    const phy::McsInfo& mcs, std::size_t msdu_bytes) const {
+  const Time one = mpdu_duration(mcs, msdu_bytes);
+  if (one <= Time::zero()) return cfg_.max_ampdu_frames;
+  auto by_duration = static_cast<std::size_t>(
+      cfg_.max_ampdu_duration.to_ns() / std::max<std::int64_t>(one.to_ns(), 1));
+  return std::clamp<std::size_t>(by_duration, 1, cfg_.max_ampdu_frames);
+}
+
+Time AirtimeCalculator::backoff_duration(unsigned cw, unsigned draw) const {
+  return Time::ns(cfg_.slot.to_ns() * static_cast<std::int64_t>(draw % (cw + 1)));
+}
+
+}  // namespace wgtt::mac

@@ -1,0 +1,66 @@
+// 802.11n airtime accounting.
+//
+// Frame aggregation exists because per-frame overhead (preamble, DIFS,
+// backoff, block ACK) is fixed while data rates climb (paper §1); the
+// numbers here make that trade-off concrete, and every microsecond of
+// simulated medium occupancy comes from these functions.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/mcs.h"
+#include "util/time.h"
+
+namespace wgtt::mac {
+
+struct AirtimeConfig {
+  Time slot = Time::us(9);
+  Time sifs = Time::us(16);
+  Time difs = Time::us(34);          // SIFS + 2 slots
+  Time ht_preamble = Time::us(36);   // L-preamble + HT-SIG + HT-preamble
+  std::size_t mac_header_bytes = 26; // QoS data header
+  std::size_t fcs_bytes = 4;
+  std::size_t ampdu_delimiter_bytes = 4;
+  std::size_t block_ack_bytes = 32;  // compressed BA frame body
+  unsigned cw_min = 15;
+  unsigned cw_max = 1023;
+  Time max_ampdu_duration = Time::ms(4);
+  std::size_t max_ampdu_frames = 64;
+  bool short_gi = false;
+};
+
+class AirtimeCalculator {
+ public:
+  explicit AirtimeCalculator(AirtimeConfig cfg = {});
+
+  const AirtimeConfig& config() const { return cfg_; }
+
+  /// On-air duration of the payload bits of one MPDU inside an A-MPDU
+  /// (delimiter + MAC header + MSDU + FCS, padded to 4 bytes).
+  Time mpdu_duration(const phy::McsInfo& mcs, std::size_t msdu_bytes) const;
+
+  /// Total duration of a data exchange: preamble + A-MPDU + SIFS + BA.
+  Time exchange_duration(const phy::McsInfo& mcs, std::size_t mpdu_count,
+                         std::size_t total_msdu_bytes) const;
+
+  /// Duration of a single unaggregated frame (mgmt, beacon) + its ACK.
+  Time single_frame_duration(const phy::McsInfo& mcs,
+                             std::size_t body_bytes) const;
+
+  /// Block ACK frame duration at the basic rate.
+  Time block_ack_duration() const;
+
+  /// How many MPDUs of `msdu_bytes` fit under the A-MPDU duration and
+  /// frame-count caps at this MCS (always at least 1).
+  std::size_t max_mpdus_in_ampdu(const phy::McsInfo& mcs,
+                                 std::size_t msdu_bytes) const;
+
+  /// Random-backoff duration for the given contention-window value.
+  Time backoff_duration(unsigned cw, unsigned draw) const;
+
+ private:
+  Time bits_duration(const phy::McsInfo& mcs, std::size_t bits) const;
+  AirtimeConfig cfg_;
+};
+
+}  // namespace wgtt::mac

@@ -1,0 +1,34 @@
+#include "mac/ampdu.h"
+
+namespace wgtt::mac {
+
+std::vector<Mpdu> AmpduAggregator::build(std::deque<Mpdu>& queue,
+                                         const phy::McsInfo& mcs,
+                                         std::size_t max_frames) const {
+  std::vector<Mpdu> agg;
+  if (queue.empty()) return agg;
+
+  const AirtimeConfig& cfg = airtime_.config();
+  const std::uint16_t first_seq = queue.front().seq;
+  Time used = Time::zero();
+
+  while (!queue.empty() && agg.size() < cfg.max_ampdu_frames &&
+         agg.size() < max_frames) {
+    const Mpdu& head = queue.front();
+    if (seq_distance(first_seq, head.seq) >= kBaWindow) break;
+    const Time d = airtime_.mpdu_duration(mcs, head.pkt->size_bytes);
+    if (!agg.empty() && used + d > cfg.max_ampdu_duration) break;
+    used += d;
+    agg.push_back(queue.front());
+    queue.pop_front();
+  }
+  return agg;
+}
+
+std::size_t AmpduAggregator::total_bytes(const std::vector<Mpdu>& agg) {
+  std::size_t total = 0;
+  for (const Mpdu& m : agg) total += m.pkt->size_bytes;
+  return total;
+}
+
+}  // namespace wgtt::mac

@@ -1,0 +1,45 @@
+// A-MPDU construction.
+//
+// Pulls MPDUs off a per-peer FIFO into one aggregate bounded by (a) the
+// 64-frame cap, (b) the 4 ms duration cap at the chosen MCS, and (c) the
+// block-ACK window: every subframe must sit within 64 sequence numbers of
+// the first, or the receiver's scoreboard could not represent it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mac/airtime.h"
+#include "mac/block_ack.h"
+#include "net/packet.h"
+#include "phy/mcs.h"
+
+namespace wgtt::mac {
+
+struct Mpdu {
+  net::PacketPtr pkt;
+  std::uint16_t seq = 0;
+  unsigned retries = 0;
+};
+
+class AmpduAggregator {
+ public:
+  explicit AmpduAggregator(const AirtimeCalculator& airtime)
+      : airtime_(airtime) {}
+
+  /// Move up to the allowed number of MPDUs from the head of `queue` into
+  /// the returned aggregate.  Returns at least one MPDU if the queue is
+  /// non-empty.  `max_frames` further caps the aggregate (rate-sampling
+  /// probes are kept short so a failed probe wastes little airtime).
+  std::vector<Mpdu> build(std::deque<Mpdu>& queue, const phy::McsInfo& mcs,
+                          std::size_t max_frames = SIZE_MAX) const;
+
+  /// Total MSDU payload bytes across an aggregate.
+  static std::size_t total_bytes(const std::vector<Mpdu>& agg);
+
+ private:
+  const AirtimeCalculator& airtime_;
+};
+
+}  // namespace wgtt::mac

@@ -1,0 +1,97 @@
+#include "mac/block_ack.h"
+
+#include <algorithm>
+
+namespace wgtt::mac {
+
+ReorderBuffer::ReorderBuffer(DeliverFn deliver, Time gap_timeout)
+    : deliver_(std::move(deliver)), gap_timeout_(gap_timeout) {}
+
+void ReorderBuffer::on_mpdu(std::uint16_t seq, net::PacketPtr pkt, Time now) {
+  seq = static_cast<std::uint16_t>(seq & (kSeqModulo - 1));
+  if (!started_) {
+    started_ = true;
+    window_start_ = seq;
+  }
+  const std::uint16_t d = seq_distance(window_start_, seq);
+  if (d >= kSeqModulo / 2) {
+    // Behind the window: an old retransmission we already delivered.
+    ++duplicates_;
+    return;
+  }
+  if (d >= kBaWindow) {
+    // The transmitter has moved on; slide the window so `seq` is its last
+    // slot, releasing everything that falls out (802.11 window jump).
+    const std::uint16_t new_start = static_cast<std::uint16_t>(
+        (seq - (kBaWindow - 1)) & (kSeqModulo - 1));
+    while (window_start_ != new_start) {
+      auto it = buffered_.find(window_start_);
+      if (it != buffered_.end()) {
+        deliver_(it->second);
+        ++delivered_;
+        buffered_.erase(it);
+      }
+      window_start_ = static_cast<std::uint16_t>((window_start_ + 1) &
+                                                 (kSeqModulo - 1));
+    }
+  }
+  if (buffered_.count(seq) != 0) {
+    ++duplicates_;
+    return;
+  }
+  const bool had_buffered = !buffered_.empty();
+  buffered_.emplace(seq, std::move(pkt));
+  release_in_order();
+  // A gap exists iff frames remain buffered; (re)arm the hole timer when the
+  // buffer transitions from empty to non-empty.
+  if (!buffered_.empty() && !had_buffered) oldest_hole_since_ = now;
+}
+
+void ReorderBuffer::release_in_order() {
+  for (auto it = buffered_.find(window_start_); it != buffered_.end();
+       it = buffered_.find(window_start_)) {
+    deliver_(it->second);
+    ++delivered_;
+    buffered_.erase(it);
+    window_start_ =
+        static_cast<std::uint16_t>((window_start_ + 1) & (kSeqModulo - 1));
+  }
+}
+
+std::size_t ReorderBuffer::flush_expired(Time now) {
+  if (buffered_.empty()) return 0;
+  if (now - oldest_hole_since_ < gap_timeout_) return 0;
+  // Skip the hole: advance the window to the earliest buffered frame.
+  auto earliest = buffered_.begin();
+  std::uint16_t best_d = seq_distance(window_start_, earliest->first);
+  for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+    const std::uint16_t d = seq_distance(window_start_, it->first);
+    if (d < best_d) {
+      best_d = d;
+      earliest = it;
+    }
+  }
+  const std::uint64_t before = delivered_;
+  window_start_ = earliest->first;
+  release_in_order();
+  if (!buffered_.empty()) oldest_hole_since_ = now;
+  return delivered_ - before;
+}
+
+void ReorderBuffer::flush_all() {
+  while (!buffered_.empty()) {
+    auto earliest = buffered_.begin();
+    std::uint16_t best_d = seq_distance(window_start_, earliest->first);
+    for (auto it = buffered_.begin(); it != buffered_.end(); ++it) {
+      const std::uint16_t d = seq_distance(window_start_, it->first);
+      if (d < best_d) {
+        best_d = d;
+        earliest = it;
+      }
+    }
+    window_start_ = earliest->first;
+    release_in_order();
+  }
+}
+
+}  // namespace wgtt::mac

@@ -1,0 +1,120 @@
+#include "mac/medium.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/units.h"
+
+namespace wgtt::mac {
+
+Medium::Medium(sim::Scheduler& sched, const channel::ChannelModel& channel,
+               MediumConfig cfg)
+    : sched_(sched), channel_(channel), cfg_(cfg) {}
+
+void Medium::attach(net::NodeId dev, double tx_power_dbm, unsigned channel) {
+  tx_power_[dev] = tx_power_dbm;
+  channels_[dev] = channel;
+}
+
+void Medium::set_channel(net::NodeId dev, unsigned channel) {
+  channels_[dev] = channel;
+}
+
+unsigned Medium::channel_of(net::NodeId dev) const {
+  auto it = channels_.find(dev);
+  return it == channels_.end() ? 11 : it->second;
+}
+
+double Medium::tx_power_dbm(net::NodeId dev) const {
+  auto it = tx_power_.find(dev);
+  assert(it != tx_power_.end());
+  return it->second;
+}
+
+void Medium::prune_expired() {
+  const Time now = sched_.now();
+  std::erase_if(active_, [now](const ActiveTx& tx) { return tx.end <= now; });
+}
+
+Time Medium::audible_busy_until(net::NodeId dev) const {
+  const Time now = sched_.now();
+  Time until = Time::zero();
+  const unsigned ch = channel_of(dev);
+  for (const ActiveTx& tx : active_) {
+    if (tx.end <= now || tx.dev == dev) continue;
+    if (channel_of(tx.dev) != ch) continue;  // orthogonal channel
+    const double rx_dbm = tx_power_dbm(tx.dev) +
+                          channel_.path_gain_db(tx.dev, dev, now);
+    if (rx_dbm >= cfg_.cs_threshold_dbm) until = std::max(until, tx.end);
+  }
+  return until;
+}
+
+bool Medium::busy_at(net::NodeId dev) const {
+  return audible_busy_until(dev) > sched_.now();
+}
+
+void Medium::request(net::NodeId dev, Time duration, unsigned backoff_slots,
+                     std::function<void()> on_grant) {
+  attempt(dev, duration, backoff_slots, std::move(on_grant));
+}
+
+void Medium::attempt(net::NodeId dev, Time duration, unsigned backoff_slots,
+                     std::function<void()> on_grant) {
+  prune_expired();
+  const Time busy_until = audible_busy_until(dev);
+  const Time now = sched_.now();
+  const Time contention =
+      cfg_.difs + Time::ns(cfg_.slot.to_ns() *
+                           static_cast<std::int64_t>(backoff_slots));
+  if (busy_until > now) {
+    // Defer: re-attempt once the audible transmission ends, then re-contend.
+    sched_.schedule_at(busy_until + contention,
+                       [this, dev, duration, backoff_slots,
+                        on_grant = std::move(on_grant)]() mutable {
+                         attempt(dev, duration, backoff_slots,
+                                 std::move(on_grant));
+                       });
+    return;
+  }
+  // Idle now: wait out DIFS + backoff, then check again (someone may have
+  // started in the meantime — if so we defer; if two devices fire in the
+  // same instant they collide, as in reality).
+  sched_.schedule(contention, [this, dev, duration,
+                               on_grant = std::move(on_grant)]() mutable {
+    prune_expired();
+    const Time busy2 = audible_busy_until(dev);
+    if (busy2 > sched_.now()) {
+      // Lost the race; re-contend with a fresh single-slot draw folded in.
+      attempt(dev, duration, 1, std::move(on_grant));
+      return;
+    }
+    active_.push_back(ActiveTx{dev, sched_.now() + duration});
+    ++grants_;
+    occupied_total_ += duration;
+    on_grant();
+  });
+}
+
+double Medium::interference_mw_at(net::NodeId receiver,
+                                  net::NodeId exclude_tx) const {
+  const Time now = sched_.now();
+  double mw = 0.0;
+  const unsigned ch = channel_of(receiver);
+  for (const ActiveTx& tx : active_) {
+    if (tx.end <= now || tx.dev == exclude_tx || tx.dev == receiver) continue;
+    if (channel_of(tx.dev) != ch) continue;  // orthogonal channel
+    const double rx_dbm = tx_power_dbm(tx.dev) +
+                          channel_.path_gain_db(tx.dev, receiver, now);
+    mw += dbm_to_mw(rx_dbm);
+  }
+  return mw;
+}
+
+double Medium::utilization() const {
+  const Time now = sched_.now();
+  if (now <= Time::zero()) return 0.0;
+  return std::min(1.0, occupied_total_ / now);
+}
+
+}  // namespace wgtt::mac

@@ -1,0 +1,87 @@
+// The shared wireless medium (single channel — paper §4: channel 11).
+//
+// Event-driven CSMA/CA abstraction at A-MPDU-exchange granularity: a device
+// requests the medium for the full duration of its exchange; the medium
+// defers the grant while any transmission audible at the requester (above
+// the carrier-sense threshold) is active, then applies DIFS + the caller's
+// backoff.  Devices that cannot hear each other transmit concurrently, and
+// their mutual interference raises the effective noise floor at receivers —
+// this is how hidden-terminal loss and spatial reuse both emerge.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "channel/channel_model.h"
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace wgtt::mac {
+
+struct MediumConfig {
+  double cs_threshold_dbm = -82.0;  // preamble-detect / energy-detect floor
+  Time difs = Time::us(34);
+  Time slot = Time::us(9);
+};
+
+class Medium {
+ public:
+  Medium(sim::Scheduler& sched, const channel::ChannelModel& channel,
+         MediumConfig cfg = {});
+
+  /// Register a transmitter with its output power on a Wi-Fi channel.
+  /// Devices on different channels neither carrier-sense nor interfere
+  /// with one another (adjacent-channel leakage is ignored).
+  void attach(net::NodeId dev, double tx_power_dbm, unsigned channel = 11);
+
+  /// Retune a device (e.g. a client following its AP across channels).
+  void set_channel(net::NodeId dev, unsigned channel);
+  unsigned channel_of(net::NodeId dev) const;
+
+  /// Request an exchange of `duration` with `backoff_slots` of random
+  /// backoff.  `on_grant` runs when the device acquires the medium; the
+  /// occupancy is recorded for `duration` starting at that instant.
+  void request(net::NodeId dev, Time duration, unsigned backoff_slots,
+               std::function<void()> on_grant);
+
+  /// Interference power (mW) at `receiver` summed over transmissions active
+  /// at the current instant, excluding `exclude_tx`.
+  double interference_mw_at(net::NodeId receiver, net::NodeId exclude_tx) const;
+
+  /// True if any transmission audible at `dev` is currently active.
+  bool busy_at(net::NodeId dev) const;
+
+  double tx_power_dbm(net::NodeId dev) const;
+
+  /// Fraction of elapsed simulation time the medium carried at least one
+  /// transmission (diagnostics; union not double-counted only approximately
+  /// since concurrent spatial reuse is rare in the picocell deployment).
+  double utilization() const;
+  std::uint64_t grants() const { return grants_; }
+
+ private:
+  struct ActiveTx {
+    net::NodeId dev;
+    Time end;
+  };
+
+  void attempt(net::NodeId dev, Time duration, unsigned backoff_slots,
+               std::function<void()> on_grant);
+  /// Latest end time of transmissions audible at `dev` (zero if idle).
+  Time audible_busy_until(net::NodeId dev) const;
+  void prune_expired();
+
+  sim::Scheduler& sched_;
+  const channel::ChannelModel& channel_;
+  MediumConfig cfg_;
+  std::map<net::NodeId, double> tx_power_;
+  std::map<net::NodeId, unsigned> channels_;
+  std::vector<ActiveTx> active_;
+  std::uint64_t grants_ = 0;
+  Time occupied_total_ = Time::zero();
+};
+
+}  // namespace wgtt::mac

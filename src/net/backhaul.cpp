@@ -1,0 +1,48 @@
+#include "net/backhaul.h"
+
+#include <algorithm>
+
+namespace wgtt::net {
+
+Backhaul::Backhaul(sim::Scheduler& sched, BackhaulConfig cfg, Rng rng)
+    : sched_(sched), cfg_(cfg), rng_(rng) {}
+
+void Backhaul::attach(NodeId node, DeliverFn on_receive) {
+  nodes_[node] = std::move(on_receive);
+}
+
+Time Backhaul::delivery_delay(std::size_t bytes) {
+  const double serialization_s =
+      static_cast<double>(bytes) * 8.0 / cfg_.link_rate_bps;
+  Time d = cfg_.base_latency + Time::sec(serialization_s);
+  if (cfg_.jitter > Time::zero()) {
+    d += Time::ns(rng_.uniform_int(0, cfg_.jitter.to_ns()));
+  }
+  return d;
+}
+
+void Backhaul::send(TunneledPacket frame) {
+  auto it = nodes_.find(frame.outer_dst);
+  if (it == nodes_.end() || (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate))) {
+    ++frames_dropped_;
+    return;
+  }
+  ++frames_sent_;
+  bytes_sent_ += frame.wire_bytes;
+
+  Time arrival = sched_.now() + delivery_delay(frame.wire_bytes);
+  // FIFO per (src, dst): never deliver earlier than a previously sent frame.
+  auto key = std::make_pair(frame.outer_src, frame.outer_dst);
+  auto [prev, inserted] = last_delivery_.try_emplace(key, arrival);
+  if (!inserted) {
+    arrival = std::max(arrival, prev->second);
+    prev->second = arrival;
+  }
+
+  DeliverFn& deliver = it->second;
+  sched_.schedule_at(arrival, [&deliver, frame = std::move(frame)]() {
+    deliver(frame);
+  });
+}
+
+}  // namespace wgtt::net

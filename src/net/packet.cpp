@@ -1,0 +1,50 @@
+#include "net/packet.h"
+
+#include <atomic>
+#include <sstream>
+
+namespace wgtt::net {
+
+const char* to_string(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kTcpAck: return "TCP_ACK";
+    case PacketType::kCsiReport: return "CSI_REPORT";
+    case PacketType::kStop: return "STOP";
+    case PacketType::kStart: return "START";
+    case PacketType::kSwitchAck: return "SWITCH_ACK";
+    case PacketType::kBlockAckFwd: return "BA_FWD";
+    case PacketType::kAssocSync: return "ASSOC_SYNC";
+    case PacketType::kActiveAp: return "ACTIVE_AP";
+    case PacketType::kBeacon: return "BEACON";
+    case PacketType::kMgmt: return "MGMT";
+  }
+  return "?";
+}
+
+PacketPtr make_packet(Packet fields) {
+  static std::atomic<std::uint64_t> next_uid{1};
+  fields.uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<const Packet>(fields);
+}
+
+TunneledPacket encapsulate(PacketPtr inner, NodeId from, NodeId to) {
+  TunneledPacket t;
+  t.wire_bytes = inner->size_bytes + kTunnelOverheadBytes;
+  t.inner = std::move(inner);
+  t.outer_src = from;
+  t.outer_dst = to;
+  return t;
+}
+
+PacketPtr decapsulate(const TunneledPacket& t) { return t.inner; }
+
+std::string describe(const Packet& p) {
+  std::ostringstream oss;
+  oss << to_string(p.type) << " uid=" << p.uid << " " << p.src << "->" << p.dst
+      << " flow=" << p.flow_id << " seq=" << p.seq << " idx=" << p.index
+      << " len=" << p.size_bytes;
+  return oss.str();
+}
+
+}  // namespace wgtt::net

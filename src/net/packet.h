@@ -1,0 +1,111 @@
+// Packet model and tunnel encapsulation.
+//
+// Packets are the unit passed between the transport layer, the WGTT
+// controller/AP data plane, the 802.11 MAC, and the Ethernet backhaul.
+// A packet is immutable after creation except for MAC-layer bookkeeping
+// (retry count); the controller duplicates packets to many APs by sharing
+// ownership, so per-AP state lives in the AP's queues, never in the packet.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/time.h"
+
+namespace wgtt::net {
+
+/// Logical node address.  The scenario layer assigns: 0 = controller,
+/// 1..N = APs, kClientBase.. = clients, kServerBase.. = wired servers.
+using NodeId = std::uint32_t;
+constexpr NodeId kControllerId = 0;
+constexpr NodeId kClientBase = 100;
+constexpr NodeId kServerBase = 1000;
+constexpr NodeId kBroadcast = 0xFFFFFFFFu;
+
+inline bool is_client(NodeId id) { return id >= kClientBase && id < kServerBase; }
+inline bool is_ap(NodeId id) { return id > kControllerId && id < kClientBase; }
+
+enum class PacketType : std::uint8_t {
+  kData,        // transport payload (UDP datagram or TCP segment)
+  kTcpAck,      // TCP acknowledgement travelling uplink
+  kCsiReport,   // AP -> controller: CSI of an overheard uplink frame (§3.1.1)
+  kStop,        // controller -> AP: cease sending to client c (§3.1.2)
+  kStart,       // AP -> AP: begin at cyclic index k (§3.1.2)
+  kSwitchAck,   // AP -> controller: switch complete (§3.1.2)
+  kBlockAckFwd, // AP -> AP: forwarded overheard Block ACK (§3.2.1)
+  kAssocSync,   // AP -> AP: client association state (sta_info) (§4.3)
+  kActiveAp,    // controller -> APs: who currently serves a client
+  kBeacon,      // AP -> air: 802.11 beacon (baseline discovery)
+  kMgmt,        // authentication / (re)association frames
+};
+
+const char* to_string(PacketType t);
+
+/// Number of cyclic-queue index bits (paper §3.1.2: m = 12).
+constexpr unsigned kIndexBits = 12;
+constexpr std::uint32_t kIndexSpace = 1u << kIndexBits;  // 4096
+
+struct Packet {
+  std::uint64_t uid = 0;        // globally unique, assigned by make_packet()
+  PacketType type = PacketType::kData;
+  NodeId src = 0;               // original layer-3 source
+  NodeId dst = 0;               // original layer-3 destination
+  std::uint32_t flow_id = 0;    // transport flow this packet belongs to
+  std::uint64_t seq = 0;        // transport sequence (TCP byte offset or UDP #)
+  std::uint16_t ip_id = 0;      // IP identification field (dedup key, §3.2.3)
+  std::uint32_t index = 0;      // WGTT per-client cyclic index (12-bit space)
+  std::size_t size_bytes = 0;   // layer-3 size including headers
+  Time created;                 // creation time (for latency accounting)
+  /// Structured control payload (stop/start/CSI/BA-forward messages) —
+  /// the simulation's stand-in for the wire encoding of control packets.
+  std::any payload;
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Typed accessor for the control payload; nullptr when absent/mismatched.
+template <typename T>
+const T* payload_as(const Packet& p) {
+  return std::any_cast<T>(&p.payload);
+}
+
+/// Create a packet with a fresh unique id.
+PacketPtr make_packet(Packet fields);
+
+/// 48-bit uplink de-duplication key: source address (32) ++ IP-ID (16),
+/// exactly the composition the paper describes in §3.2.2.
+inline std::uint64_t dedup_key(const Packet& p) {
+  return (static_cast<std::uint64_t>(p.src) << 16) | p.ip_id;
+}
+
+// ---------------------------------------------------------------------------
+// Tunneling (§3.1.3 downlink, §3.2.2 uplink).
+//
+// Downlink packets keep the client's L2/L3 destination so the AP knows which
+// client queue to place them in; the controller therefore wraps them in an
+// outer IP/UDP header addressed to the AP.  Uplink packets are wrapped by the
+// receiving AP with the AP as outer source and the controller as destination
+// so the controller can attribute receptions to APs.
+// ---------------------------------------------------------------------------
+
+/// Outer header cost: IP (20) + UDP (8) + inner Ethernet (14) + 4 (tag).
+constexpr std::size_t kTunnelOverheadBytes = 46;
+
+struct TunneledPacket {
+  PacketPtr inner;
+  NodeId outer_src = 0;
+  NodeId outer_dst = 0;
+  std::size_t wire_bytes = 0;  // inner size + kTunnelOverheadBytes
+};
+
+/// Encapsulate `inner` for backhaul transport from `from` to `to`.
+TunneledPacket encapsulate(PacketPtr inner, NodeId from, NodeId to);
+
+/// Strip the tunnel header; returns the inner packet.
+PacketPtr decapsulate(const TunneledPacket& t);
+
+std::string describe(const Packet& p);
+
+}  // namespace wgtt::net

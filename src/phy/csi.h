@@ -1,0 +1,30 @@
+// Channel State Information snapshot.
+//
+// The Atheros CSI Tool on each WGTT AP reports the complex channel response
+// of all 56 HT20 OFDM subcarriers for every overheard uplink frame (§3.1.1).
+// We carry the derived per-subcarrier SNRs — the input to the Effective SNR
+// computation — plus the aggregate RSSI used by the 802.11r baseline.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "util/time.h"
+
+namespace wgtt::phy {
+
+constexpr std::size_t kNumSubcarriers = 56;
+
+struct Csi {
+  std::array<double, kNumSubcarriers> subcarrier_snr_db{};
+  double rssi_dbm = -100.0;  // wideband received power
+  Time measured_at;
+
+  double mean_snr_db() const {
+    double s = 0.0;
+    for (double v : subcarrier_snr_db) s += v;
+    return s / static_cast<double>(kNumSubcarriers);
+  }
+};
+
+}  // namespace wgtt::phy

@@ -1,0 +1,33 @@
+// Effective SNR, after Halperin et al., "Predictable 802.11 Packet Delivery
+// from Wireless Channel Measurements" (SIGCOMM 2010).
+//
+// A frequency-selective channel delivers different SNRs on different OFDM
+// subcarriers; a flat average over-estimates link quality when a few deep
+// fades dominate the error rate.  ESNR instead (1) maps each subcarrier's
+// SNR to the bit-error rate of the target modulation, (2) averages the BERs,
+// and (3) inverts the BER curve to express the result as the SNR of an
+// equivalent *flat* channel.  WGTT uses ESNR as its AP-selection metric
+// (§3.1.1) because it accurately predicts delivery under strong multipath.
+#pragma once
+
+#include "phy/csi.h"
+#include "phy/mcs.h"
+
+namespace wgtt::phy {
+
+/// Uncoded bit-error rate of `mod` at the given symbol SNR (linear).
+double ber(Modulation mod, double snr_linear);
+
+/// Inverse of ber(): the linear SNR at which `mod` attains `target_ber`.
+/// Monotone bisection; exact to ~1e-4 dB.
+double ber_inverse(Modulation mod, double target_ber);
+
+/// Effective SNR in dB of the measured channel for the given modulation.
+double effective_snr_db(const Csi& csi, Modulation mod);
+
+/// The scalar selection metric used by the WGTT controller: ESNR for the
+/// mid-table modulation (16-QAM), a good discriminator across the whole
+/// operating range.
+double selection_esnr_db(const Csi& csi);
+
+}  // namespace wgtt::phy

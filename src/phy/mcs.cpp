@@ -1,0 +1,61 @@
+#include "phy/mcs.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace wgtt::phy {
+
+unsigned modulation_order(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 2;
+    case Modulation::kQpsk: return 4;
+    case Modulation::kQam16: return 16;
+    case Modulation::kQam64: return 64;
+  }
+  return 2;
+}
+
+const char* to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+namespace {
+// per50_esnr_db values follow the relative spacing of Halperin et al.'s
+// measured delivery-vs-ESNR curves for HT20 (SIGCOMM'10, Fig. 5) shifted to
+// typical Atheros sensitivity.
+constexpr std::array<McsInfo, kNumMcs> kTable{{
+    {0, Modulation::kBpsk, 1.0 / 2, 6.5, 7.2, 2.0},
+    {1, Modulation::kQpsk, 1.0 / 2, 13.0, 14.4, 5.0},
+    {2, Modulation::kQpsk, 3.0 / 4, 19.5, 21.7, 7.5},
+    {3, Modulation::kQam16, 1.0 / 2, 26.0, 28.9, 10.5},
+    {4, Modulation::kQam16, 3.0 / 4, 39.0, 43.3, 14.0},
+    {5, Modulation::kQam64, 2.0 / 3, 52.0, 57.8, 18.0},
+    {6, Modulation::kQam64, 3.0 / 4, 58.5, 65.0, 19.5},
+    {7, Modulation::kQam64, 5.0 / 6, 65.0, 72.2, 21.5},
+}};
+}  // namespace
+
+std::span<const McsInfo, kNumMcs> mcs_table() { return kTable; }
+
+const McsInfo& mcs(unsigned index) {
+  assert(index < kNumMcs);
+  return kTable[index];
+}
+
+const McsInfo& basic_mcs() { return kTable[0]; }
+
+std::string to_string(const McsInfo& m) {
+  std::ostringstream oss;
+  oss << "MCS" << m.index << " (" << to_string(m.modulation) << " r="
+      << m.code_rate << ", " << m.rate_mbps_lgi << "/" << m.rate_mbps_sgi
+      << " Mb/s)";
+  return oss.str();
+}
+
+}  // namespace wgtt::phy

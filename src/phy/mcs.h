@@ -1,0 +1,48 @@
+// 802.11n HT20 single-spatial-stream MCS table.
+//
+// The testbed AP (TP-Link N750 / Atheros AR9344) drives one spatial stream
+// through the splitter-combiner (paper §4.2 footnote), so MCS 0-7 apply.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace wgtt::phy {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Constellation size M.
+unsigned modulation_order(Modulation m);
+const char* to_string(Modulation m);
+
+struct McsInfo {
+  unsigned index = 0;
+  Modulation modulation = Modulation::kBpsk;
+  double code_rate = 0.5;
+  double rate_mbps_lgi = 6.5;  // 800 ns guard interval
+  double rate_mbps_sgi = 7.2;  // 400 ns guard interval
+  /// ESNR (dB) at which a 1460-byte MPDU has 50 % error probability;
+  /// anchor point of the logistic PER model (error_model.h).
+  double per50_esnr_db = 2.0;
+
+  double rate_mbps(bool short_gi) const {
+    return short_gi ? rate_mbps_sgi : rate_mbps_lgi;
+  }
+  double rate_bps(bool short_gi) const { return rate_mbps(short_gi) * 1e6; }
+};
+
+constexpr std::size_t kNumMcs = 8;
+
+/// The full HT20 1-stream table, MCS 0..7.
+std::span<const McsInfo, kNumMcs> mcs_table();
+
+const McsInfo& mcs(unsigned index);
+
+/// Robust rate used for management/control frames and Block ACKs.
+const McsInfo& basic_mcs();
+
+std::string to_string(const McsInfo& m);
+
+}  // namespace wgtt::phy

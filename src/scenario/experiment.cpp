@@ -1,0 +1,186 @@
+#include "scenario/experiment.h"
+
+#include <memory>
+
+#include "apps/bulk.h"
+
+namespace wgtt::scenario {
+
+namespace {
+
+std::shared_ptr<channel::MobilityModel> client_mobility(
+    const Testbed& bed, const DriveScenarioConfig& cfg, std::size_t i) {
+  switch (cfg.pattern) {
+    case MultiClientPattern::kFollowing:
+      return bed.drive_mobility(cfg.speed_mph, 15.0, 0.0, +1,
+                                cfg.following_gap_m * static_cast<double>(i));
+    case MultiClientPattern::kParallel:
+      return bed.drive_mobility(cfg.speed_mph, 15.0,
+                                cfg.lane_width_m * static_cast<double>(i), +1,
+                                0.0);
+    case MultiClientPattern::kOpposing:
+      if (i % 2 == 0) {
+        return bed.drive_mobility(cfg.speed_mph, 15.0, 0.0, +1, 0.0);
+      }
+      return bed.drive_mobility(cfg.speed_mph, 15.0, cfg.lane_width_m, -1,
+                                0.0);
+  }
+  return bed.drive_mobility(cfg.speed_mph);
+}
+
+}  // namespace
+
+DriveResult run_drive(const DriveScenarioConfig& cfg) {
+  TestbedConfig tb = cfg.testbed;
+  tb.seed = cfg.seed;
+  Testbed bed(tb);
+
+  const Time duration = cfg.duration > Time::zero()
+                            ? cfg.duration
+                            : bed.transit_duration(cfg.speed_mph) +
+                                  cfg.app_start;
+
+  // --- overlay the system under test --------------------------------------
+  std::unique_ptr<WgttNetwork> wgtt;
+  std::unique_ptr<BaselineNetwork> baseline;
+  if (cfg.system == SystemType::kWgtt) {
+    wgtt = std::make_unique<WgttNetwork>(bed, cfg.wgtt);
+  } else {
+    BaselineNetworkConfig bcfg = cfg.baseline;
+    if (cfg.system == SystemType::kStock80211r) {
+      bcfg.roaming.stock_history_requirement = Time::sec(5);
+    }
+    baseline = std::make_unique<BaselineNetwork>(bed, bcfg);
+  }
+
+  // --- clients -------------------------------------------------------------
+  std::vector<net::NodeId> clients;
+  for (std::size_t i = 0; i < cfg.num_clients; ++i) {
+    auto mob = client_mobility(bed, cfg, i);
+    clients.push_back(wgtt ? wgtt->add_client(std::move(mob))
+                           : baseline->add_client(std::move(mob)));
+  }
+
+  // --- workload ------------------------------------------------------------
+  transport::IpIdAllocator ip_ids;
+  std::vector<std::unique_ptr<apps::BulkTcpApp>> tcp_apps;
+  std::vector<std::unique_ptr<apps::BulkUdpApp>> udp_apps;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const net::NodeId client = clients[i];
+    const auto flow = static_cast<std::uint32_t>(100 + i);
+    switch (cfg.traffic) {
+      case TrafficType::kTcpDownlink: {
+        auto app = std::make_unique<apps::BulkTcpApp>(
+            bed.sched(), ip_ids, cfg.tcp, flow, kServerId, client);
+        if (wgtt) {
+          wgtt->wire_tcp_downlink(app->connection());
+        } else {
+          baseline->wire_tcp_downlink(app->connection());
+        }
+        bed.sched().schedule_at(cfg.app_start,
+                                [a = app.get()]() { a->start(); });
+        tcp_apps.push_back(std::move(app));
+        break;
+      }
+      case TrafficType::kUdpDownlink:
+      case TrafficType::kUdpUplink: {
+        const bool down = cfg.traffic == TrafficType::kUdpDownlink;
+        transport::UdpFlowConfig ucfg;
+        ucfg.flow_id = flow;
+        ucfg.src = down ? kServerId : client;
+        ucfg.dst = down ? client : kServerId;
+        ucfg.offered_load_bps = cfg.udp_offered_mbps * 1e6;
+        auto app = std::make_unique<apps::BulkUdpApp>(bed.sched(), ip_ids,
+                                                      ucfg);
+        if (cfg.record_seq_trace) app->receiver().enable_trace(true);
+        if (down) {
+          if (wgtt) {
+            wgtt->wire_udp_downlink(app->sender(), app->receiver(), client);
+          } else {
+            baseline->wire_udp_downlink(app->sender(), app->receiver(),
+                                        client);
+          }
+        } else {
+          if (wgtt) {
+            wgtt->wire_udp_uplink(app->sender(), app->receiver(), client);
+          } else {
+            baseline->wire_udp_uplink(app->sender(), app->receiver(), client);
+          }
+        }
+        bed.sched().schedule_at(cfg.app_start,
+                                [a = app.get()]() { a->start(); });
+        udp_apps.push_back(std::move(app));
+        break;
+      }
+    }
+  }
+
+  // --- instrumentation -----------------------------------------------------
+  auto active_lookup = [&](net::NodeId client) -> net::NodeId {
+    if (wgtt) return wgtt->controller().active_ap(client);
+    return baseline->roaming(client).associated_ap();
+  };
+  DriveMetrics metrics(bed, active_lookup);
+  for (net::NodeId c : clients) metrics.track_client(c);
+  for (net::NodeId ap : bed.ap_ids()) {
+    metrics.attach_bitrate_probe(bed.ap_device(ap));
+  }
+  bed.sched().schedule_at(cfg.app_start, [&metrics]() { metrics.start(); });
+
+  // --- run -----------------------------------------------------------------
+  bed.sched().run_until(duration);
+
+  // --- collect ---------------------------------------------------------
+  DriveResult result;
+  result.measured_duration = duration - cfg.app_start;
+  result.medium_utilization = bed.medium().utilization();
+  if (wgtt) {
+    result.switches = wgtt->controller().switch_log();
+    result.stop_retransmissions =
+        wgtt->controller().stats().stop_retransmissions;
+    result.uplink_duplicates_removed =
+        wgtt->controller().stats().uplink_duplicates;
+    result.switch_latencies_ms =
+        wgtt->controller().stats().switch_latency_ms.samples();
+  }
+  std::size_t tcp_i = 0;
+  std::size_t udp_i = 0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const net::NodeId client = clients[i];
+    ClientDriveResult cr;
+    cr.client = client;
+    cr.switching_accuracy = metrics.switching_accuracy(client);
+    cr.timeline = metrics.timeline(client);
+    cr.bitrate_samples = metrics.bitrate_samples(client).samples();
+    cr.bitrate_series = metrics.bitrate_series(client);
+    if (cfg.traffic == TrafficType::kTcpDownlink) {
+      auto& app = *tcp_apps[tcp_i++];
+      cr.goodput_mbps =
+          app.connection().goodput().average_mbps_over(result.measured_duration);
+      cr.throughput_bins = app.connection().goodput().bins();
+      cr.tcp_stats = app.connection().stats();
+    } else {
+      auto& app = *udp_apps[udp_i++];
+      cr.goodput_mbps =
+          app.receiver().throughput().average_mbps_over(result.measured_duration);
+      cr.throughput_bins = app.receiver().throughput().bins();
+      cr.udp_loss_rate = app.loss_rate();
+      cr.seq_trace = app.receiver().trace();
+    }
+    if (baseline) {
+      for (const auto& h : baseline->roaming(client).handovers()) {
+        if (h.from_ap != 0) {  // don't count the initial association
+          if (h.success) {
+            ++cr.handovers;
+          } else {
+            ++cr.failed_handovers;
+          }
+        }
+      }
+    }
+    result.clients.push_back(std::move(cr));
+  }
+  return result;
+}
+
+}  // namespace wgtt::scenario

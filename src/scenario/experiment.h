@@ -1,0 +1,96 @@
+// Turn-key drive-through experiments.
+//
+// run_drive() builds the full testbed, overlays WGTT or the Enhanced/stock
+// 802.11r baseline, attaches the requested traffic workload to one or more
+// mobile clients, runs the discrete-event simulation for a whole transit,
+// and returns every metric the paper's evaluation plots: per-client
+// throughput (total and binned), UDP loss, AP-association timelines,
+// ground-truth switching accuracy, link bit-rate samples, TCP stats, and
+// the controller's switch log.  All bench binaries are thin wrappers over
+// this entry point.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/wgtt_controller.h"
+#include "scenario/metrics.h"
+#include "scenario/testbed.h"
+
+namespace wgtt::scenario {
+
+enum class SystemType {
+  kWgtt,
+  kEnhanced80211r,  // the paper's §5.1 comparison scheme
+  kStock80211r,     // §2: 5-second RSSI history before any decision
+};
+
+enum class TrafficType {
+  kTcpDownlink,
+  kUdpDownlink,
+  kUdpUplink,
+};
+
+enum class MultiClientPattern {
+  kFollowing,  // same lane, 3 m gaps (Fig. 19a)
+  kParallel,   // adjacent lanes, abreast (Fig. 19b)
+  kOpposing,   // opposite directions (Fig. 19c)
+};
+
+struct DriveScenarioConfig {
+  SystemType system = SystemType::kWgtt;
+  TrafficType traffic = TrafficType::kTcpDownlink;
+  double speed_mph = 15.0;
+  std::size_t num_clients = 1;
+  MultiClientPattern pattern = MultiClientPattern::kFollowing;
+  double following_gap_m = 3.0;
+  double lane_width_m = 3.0;
+  double udp_offered_mbps = 15.0;
+  /// 0 = run for one full transit (plus setup time).
+  Time duration = Time::zero();
+  Time app_start = Time::ms(500);
+  bool record_seq_trace = false;  // per-packet (time, seq) points (Fig. 4)
+  std::uint64_t seed = 1;
+  TestbedConfig testbed{};
+  WgttNetworkConfig wgtt{};
+  BaselineNetworkConfig baseline{};
+  transport::TcpConfig tcp{};
+};
+
+struct ClientDriveResult {
+  net::NodeId client = 0;
+  double goodput_mbps = 0.0;
+  double udp_loss_rate = 0.0;
+  double switching_accuracy = 0.0;
+  std::vector<std::pair<Time, double>> throughput_bins;
+  std::vector<DriveMetrics::TimelinePoint> timeline;
+  std::vector<double> bitrate_samples;
+  std::vector<std::pair<Time, double>> bitrate_series;
+  std::vector<std::pair<Time, std::uint64_t>> seq_trace;
+  transport::TcpStats tcp_stats;
+  std::size_t handovers = 0;            // baseline reassociations
+  std::size_t failed_handovers = 0;
+};
+
+struct DriveResult {
+  std::vector<ClientDriveResult> clients;
+  Time measured_duration;               // app_start .. end
+  double medium_utilization = 0.0;
+  // WGTT-only:
+  std::vector<core::SwitchRecord> switches;
+  std::uint64_t stop_retransmissions = 0;
+  std::uint64_t uplink_duplicates_removed = 0;
+  std::vector<double> switch_latencies_ms;
+
+  double mean_goodput_mbps() const {
+    if (clients.empty()) return 0.0;
+    double s = 0.0;
+    for (const auto& c : clients) s += c.goodput_mbps;
+    return s / static_cast<double>(clients.size());
+  }
+};
+
+DriveResult run_drive(const DriveScenarioConfig& cfg);
+
+}  // namespace wgtt::scenario

@@ -1,0 +1,97 @@
+#include "scenario/metrics.h"
+
+#include <cassert>
+
+#include "phy/esnr.h"
+
+namespace wgtt::scenario {
+
+DriveMetrics::DriveMetrics(Testbed& bed,
+                           std::function<net::NodeId(net::NodeId)> lookup,
+                           Time sample_period,
+                           double coverage_esnr_threshold_db)
+    : bed_(bed),
+      active_lookup_(std::move(lookup)),
+      period_(sample_period),
+      coverage_threshold_db_(coverage_esnr_threshold_db) {}
+
+void DriveMetrics::track_client(net::NodeId client) { clients_[client]; }
+
+void DriveMetrics::attach_bitrate_probe(mac::WifiDevice& ap_device) {
+  ap_device.on_data_exchange = [this](net::NodeId peer,
+                                      const phy::McsInfo& mcs,
+                                      unsigned attempted, unsigned delivered,
+                                      Time when) {
+    (void)attempted;
+    (void)delivered;
+    auto it = clients_.find(peer);
+    if (it == clients_.end()) return;
+    it->second.bitrates.add(mcs.rate_mbps_lgi);
+    it->second.bitrate_series.emplace_back(when, mcs.rate_mbps_lgi);
+  };
+}
+
+void DriveMetrics::start() {
+  if (started_) return;
+  started_ = true;
+  sample();
+}
+
+void DriveMetrics::sample() {
+  const Time now = bed_.sched().now();
+  for (auto& [client, pc] : clients_) {
+    TimelinePoint pt;
+    pt.t = now;
+    pt.active = active_lookup_ ? active_lookup_(client) : 0;
+    // Ground truth: best instantaneous downlink ESNR across APs.
+    double best = -1e9;
+    for (net::NodeId ap : bed_.channel().ap_ids()) {
+      const phy::Csi csi = bed_.channel().downlink_csi(ap, client, now);
+      const double esnr = phy::selection_esnr_db(csi);
+      if (esnr > best) {
+        best = esnr;
+        pt.optimal = ap;
+      }
+    }
+    pt.optimal_esnr_db = best;
+    pt.in_coverage = best >= coverage_threshold_db_;
+    pc.timeline.push_back(pt);
+  }
+  bed_.sched().schedule(period_, [this]() { sample(); });
+}
+
+const std::vector<DriveMetrics::TimelinePoint>& DriveMetrics::timeline(
+    net::NodeId client) const {
+  auto it = clients_.find(client);
+  assert(it != clients_.end());
+  return it->second.timeline;
+}
+
+double DriveMetrics::switching_accuracy(net::NodeId client) const {
+  auto it = clients_.find(client);
+  assert(it != clients_.end());
+  std::size_t considered = 0;
+  std::size_t correct = 0;
+  for (const TimelinePoint& pt : it->second.timeline) {
+    if (!pt.in_coverage || pt.active == 0) continue;
+    ++considered;
+    if (pt.active == pt.optimal) ++correct;
+  }
+  if (considered == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(considered);
+}
+
+const SampleSet& DriveMetrics::bitrate_samples(net::NodeId client) const {
+  auto it = clients_.find(client);
+  assert(it != clients_.end());
+  return it->second.bitrates;
+}
+
+const std::vector<std::pair<Time, double>>& DriveMetrics::bitrate_series(
+    net::NodeId client) const {
+  auto it = clients_.find(client);
+  assert(it != clients_.end());
+  return it->second.bitrate_series;
+}
+
+}  // namespace wgtt::scenario

@@ -1,0 +1,69 @@
+// Experiment instrumentation.
+//
+// DriveMetrics samples, at a fixed cadence, which AP the system under test
+// is using for each client versus the ground-truth optimal AP (the argmax
+// of instantaneous downlink ESNR the simulator can compute but a real
+// testbed must estimate) — yielding the paper's switching-accuracy metric
+// (Table 2) and the AP-association timelines under the throughput plots of
+// Figs. 14/15/22.  It also taps AP radios' data-exchange telemetry to
+// collect the link bit-rate distribution of Fig. 16.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mac/wifi_device.h"
+#include "net/packet.h"
+#include "scenario/testbed.h"
+#include "util/stats.h"
+
+namespace wgtt::scenario {
+
+class DriveMetrics {
+ public:
+  struct TimelinePoint {
+    Time t;
+    net::NodeId active = 0;   // AP the system is using
+    net::NodeId optimal = 0;  // ground-truth best AP
+    double optimal_esnr_db = -30.0;
+    bool in_coverage = false;
+  };
+
+  /// `active_lookup(client)` reports the system's current AP for a client
+  /// (controller state for WGTT, association for the baseline).
+  DriveMetrics(Testbed& bed,
+               std::function<net::NodeId(net::NodeId)> active_lookup,
+               Time sample_period = Time::ms(10),
+               double coverage_esnr_threshold_db = 3.0);
+
+  void track_client(net::NodeId client);
+  /// Record link bit rates of data exchanges this AP radio performs.
+  void attach_bitrate_probe(mac::WifiDevice& ap_device);
+  void start();
+
+  const std::vector<TimelinePoint>& timeline(net::NodeId client) const;
+  /// Fraction of in-coverage samples where active == optimal (Table 2).
+  double switching_accuracy(net::NodeId client) const;
+  const SampleSet& bitrate_samples(net::NodeId client) const;
+  const std::vector<std::pair<Time, double>>& bitrate_series(
+      net::NodeId client) const;
+
+ private:
+  void sample();
+
+  Testbed& bed_;
+  std::function<net::NodeId(net::NodeId)> active_lookup_;
+  Time period_;
+  double coverage_threshold_db_;
+  struct PerClient {
+    std::vector<TimelinePoint> timeline;
+    SampleSet bitrates;
+    std::vector<std::pair<Time, double>> bitrate_series;
+  };
+  std::map<net::NodeId, PerClient> clients_;
+  bool started_ = false;
+};
+
+}  // namespace wgtt::scenario

@@ -1,0 +1,532 @@
+#include "scenario/testbed.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/units.h"
+
+namespace wgtt::scenario {
+
+// ---------------------------------------------------------------------------
+// Testbed
+// ---------------------------------------------------------------------------
+
+Testbed::Testbed(TestbedConfig cfg)
+    : cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      error_model_(cfg_.error_model) {
+  channel_ = std::make_unique<channel::ChannelModel>(
+      cfg_.radio, cfg_.pathloss, cfg_.shadowing, cfg_.fading,
+      rng_.fork("channel"));
+  medium_ = std::make_unique<mac::Medium>(sched_, *channel_, cfg_.medium);
+  mac_ = std::make_unique<mac::MacContext>(sched_, *medium_, *channel_,
+                                           error_model_, rng_.fork("mac"));
+  backhaul_ = std::make_unique<net::Backhaul>(sched_, cfg_.backhaul,
+                                              rng_.fork("backhaul"));
+}
+
+mac::WifiDevice& Testbed::create_ap_device(net::NodeId id,
+                                           mac::WifiDeviceConfig dev_cfg) {
+  assert(devices_.count(id) == 0);
+  const std::size_t ap_index = ap_ids_.size();
+  assert(ap_index < cfg_.ap_x.size() && "more APs than configured positions");
+
+  channel::ApSite site;
+  site.id = id;
+  site.position = {cfg_.ap_x[ap_index], cfg_.ap_y, cfg_.ap_z};
+  // Boresight: aimed at the road surface directly across from the window.
+  site.boresight = channel::Vec3{0.0, cfg_.lane_y - cfg_.ap_y,
+                                 cfg_.client_z - cfg_.ap_z}
+                       .normalized();
+  site.antenna = std::make_shared<channel::ParabolicAntenna>(
+      cfg_.antenna_peak_dbi, cfg_.antenna_hpbw_deg, cfg_.antenna_side_lobe_db);
+  channel_->add_ap(site);
+  ap_ids_.push_back(id);
+
+  dev_cfg.is_ap = true;
+  dev_cfg.airtime = cfg_.airtime;
+  auto dev = std::make_unique<mac::WifiDevice>(*mac_, id, std::move(dev_cfg));
+  mac::WifiDevice& ref = *dev;
+  devices_.emplace(id, std::move(dev));
+  return ref;
+}
+
+net::NodeId Testbed::add_client(
+    std::shared_ptr<const channel::MobilityModel> mob, net::NodeId bssid) {
+  const net::NodeId id = next_client_++;
+  channel_->add_client(id, std::move(mob), cfg_.client_antenna_dbi);
+  mac::WifiDeviceConfig dev_cfg;
+  dev_cfg.is_ap = false;
+  dev_cfg.bssid = bssid;
+  dev_cfg.monitor_mode = false;
+  dev_cfg.keepalive_interval = cfg_.client_keepalive;
+  dev_cfg.hw_queue_limit = 256;  // the client's socket + driver queues
+  dev_cfg.airtime = cfg_.airtime;
+  auto dev = std::make_unique<mac::WifiDevice>(*mac_, id, std::move(dev_cfg));
+  devices_.emplace(id, std::move(dev));
+  client_ids_.push_back(id);
+  return id;
+}
+
+mac::WifiDevice& Testbed::client_device(net::NodeId id) {
+  auto it = devices_.find(id);
+  assert(it != devices_.end());
+  return *it->second;
+}
+
+mac::WifiDevice& Testbed::ap_device(net::NodeId id) {
+  return client_device(id);  // same storage
+}
+
+double Testbed::road_length() const {
+  const auto [lo, hi] =
+      std::minmax_element(cfg_.ap_x.begin(), cfg_.ap_x.end());
+  return *hi - *lo;
+}
+
+std::shared_ptr<channel::MobilityModel> Testbed::drive_mobility(
+    double mph, double lead_in_m, double lane_y_offset, int direction,
+    double start_offset_m) const {
+  const double v = mph_to_mps(mph);
+  const auto [lo, hi] =
+      std::minmax_element(cfg_.ap_x.begin(), cfg_.ap_x.end());
+  const double y = cfg_.lane_y + lane_y_offset;
+  if (v <= 0.0) {
+    // Static client parked mid-deployment.
+    return std::make_shared<channel::StaticMobility>(
+        channel::Vec3{(*lo + *hi) / 2.0, y, cfg_.client_z});
+  }
+  double start_x;
+  channel::Vec3 vel;
+  if (direction >= 0) {
+    start_x = *lo - lead_in_m - start_offset_m;
+    vel = {v, 0.0, 0.0};
+  } else {
+    start_x = *hi + lead_in_m + start_offset_m;
+    vel = {-v, 0.0, 0.0};
+  }
+  return std::make_shared<channel::LinearMobility>(
+      channel::Vec3{start_x, y, cfg_.client_z}, vel);
+}
+
+Time Testbed::transit_duration(double mph, double lead_in_m) const {
+  const double v = mph_to_mps(mph);
+  if (v <= 0.0) return Time::sec(10);
+  return Time::sec((road_length() + 2.0 * lead_in_m) / v);
+}
+
+// ---------------------------------------------------------------------------
+// WgttNetwork
+// ---------------------------------------------------------------------------
+
+WgttNetwork::WgttNetwork(Testbed& bed, WgttNetworkConfig cfg)
+    : bed_(bed), cfg_(cfg) {
+  const std::size_t n_aps = bed_.config().ap_x.size();
+  std::vector<net::NodeId> ap_ids;
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    ap_ids.push_back(static_cast<net::NodeId>(i + 1));
+  }
+  controller_ = std::make_unique<core::WgttController>(
+      bed_.sched(), bed_.backhaul(), ap_ids, cfg_.controller);
+  controller_->on_uplink = [this](net::PacketPtr pkt) {
+    server_rx_.deliver(pkt);
+  };
+  if (multi_channel()) {
+    // Clients follow their serving AP across channels (a short retune
+    // pause), as the §7 multi-channel design requires.
+    controller_->on_switch = [this](const core::SwitchRecord& rec) {
+      bed_.client_device(rec.client)
+          .set_channel(ap_channel(rec.to_ap), cfg_.client_retune_pause);
+    };
+  }
+  for (net::NodeId id : ap_ids) {
+    mac::WifiDeviceConfig dev_cfg;
+    dev_cfg.bssid = kWgttBssid;
+    dev_cfg.monitor_mode = true;  // the second virtual interface (§3.2.1)
+    dev_cfg.ba_completion_grace = cfg_.ba_completion_grace;
+    dev_cfg.channel = ap_channel(id);
+    if (cfg_.rate_control == RateControlKind::kEsnr) {
+      const phy::ErrorModel& em = bed_.error_model();
+      dev_cfg.rate_control_factory = [&em] {
+        return std::make_unique<phy::EsnrRateControl>(em);
+      };
+    }
+    mac::WifiDevice& dev = bed_.create_ap_device(id, std::move(dev_cfg));
+
+    core::WgttApConfig ap_cfg;
+    ap_cfg.id = id;
+    ap_cfg.controller = net::kControllerId;
+    for (net::NodeId peer : ap_ids) {
+      if (peer != id) ap_cfg.peer_aps.push_back(peer);
+    }
+    ap_cfg.control_processing = cfg_.control_processing;
+    ap_cfg.control_jitter = cfg_.control_jitter;
+    ap_cfg.ioctl_delay = cfg_.ioctl_delay;
+    ap_cfg.stack = cfg_.stack;
+    ap_cfg.enable_ba_forwarding = cfg_.enable_ba_forwarding;
+    ap_cfg.nic_drain_window = cfg_.nic_drain_window;
+    ap_cfg.feed_esnr_to_rate_control =
+        cfg_.rate_control == RateControlKind::kEsnr;
+    aps_.emplace(id, std::make_unique<core::WgttAp>(bed_.sched(),
+                                                    bed_.backhaul(), dev,
+                                                    ap_cfg));
+  }
+}
+
+core::WgttAp& WgttNetwork::ap(net::NodeId id) {
+  auto it = aps_.find(id);
+  assert(it != aps_.end());
+  return *it->second;
+}
+
+unsigned WgttNetwork::ap_channel(net::NodeId ap) const {
+  if (cfg_.ap_channels.empty()) return 11;
+  return cfg_.ap_channels[(ap - 1) % cfg_.ap_channels.size()];
+}
+
+void WgttNetwork::scan_tick(net::NodeId client) {
+  mac::WifiDevice& dev = bed_.client_device(client);
+  const Time now = bed_.sched().now();
+  for (net::NodeId ap : bed_.ap_ids()) {
+    if (ap_channel(ap) == dev.channel()) continue;  // heard natively
+    const phy::Csi csi = bed_.channel().uplink_csi(ap, client, now);
+    // Only report APs that would actually hear a probe (in range).
+    if (csi.mean_snr_db() > 0.0) controller_->inject_csi(ap, client, csi);
+  }
+  bed_.sched().schedule(cfg_.scan_report_period,
+                        [this, client]() { scan_tick(client); });
+}
+
+net::NodeId WgttNetwork::add_client(
+    std::shared_ptr<const channel::MobilityModel> mob, Time associate_at) {
+  const net::NodeId id = bed_.add_client(std::move(mob), kWgttBssid);
+  mac::WifiDevice& dev = bed_.client_device(id);
+  dev.set_keepalive_peer(kWgttBssid);
+  if (multi_channel()) {
+    dev.set_channel(ap_channel(1), Time::zero());  // start on AP1's channel
+    bed_.sched().schedule(cfg_.scan_report_period,
+                          [this, id]() { scan_tick(id); });
+  }
+  dev.on_deliver = [this](net::PacketPtr pkt, const mac::RxMeta&) {
+    client_rx_.deliver(pkt);
+  };
+  // Schedule the association handshake; retry until it succeeds.
+  std::function<void()> try_associate = [this, id, &dev]() {
+    const net::NodeId target =
+        bed_.channel().best_ap(id, bed_.sched().now());
+    net::Packet req;
+    req.type = net::PacketType::kMgmt;
+    req.src = id;
+    req.dst = target;
+    req.size_bytes = 90;
+    req.created = bed_.sched().now();
+    req.payload = core::AssocRequestMsg{id};
+    dev.send_management(target, net::make_packet(std::move(req)),
+                        [this, id, &dev](bool ok) {
+                          if (!ok) {
+                            bed_.sched().schedule(Time::ms(200), [this, id]() {
+                              // Retry from scratch (the client may have
+                              // moved into range of a different AP).
+                              retry_associate(id);
+                            });
+                          }
+                        });
+  };
+  bed_.sched().schedule_at(std::max(associate_at, bed_.sched().now()),
+                           try_associate);
+  return id;
+}
+
+void WgttNetwork::retry_associate(net::NodeId client) {
+  mac::WifiDevice& dev = bed_.client_device(client);
+  const net::NodeId target =
+      bed_.channel().best_ap(client, bed_.sched().now());
+  net::Packet req;
+  req.type = net::PacketType::kMgmt;
+  req.src = client;
+  req.dst = target;
+  req.size_bytes = 90;
+  req.created = bed_.sched().now();
+  req.payload = core::AssocRequestMsg{client};
+  dev.send_management(target, net::make_packet(std::move(req)),
+                      [this, client](bool ok) {
+                        if (!ok) {
+                          bed_.sched().schedule(Time::ms(200), [this, client]() {
+                            retry_associate(client);
+                          });
+                        }
+                      });
+}
+
+void WgttNetwork::client_uplink(net::NodeId client, net::PacketPtr pkt) {
+  mac::WifiDevice& dev = bed_.client_device(client);
+  dev.enqueue(dev.bssid(), std::move(pkt));
+}
+
+void WgttNetwork::server_downlink(net::NodeId client, net::PacketPtr pkt) {
+  bed_.sched().schedule(bed_.config().wan_latency,
+                        [this, client, pkt = std::move(pkt)]() {
+                          controller_->send_downlink(client, pkt);
+                        });
+}
+
+void WgttNetwork::wire_tcp_downlink(transport::TcpConnection& conn) {
+  const net::NodeId client = conn.receiver();
+  conn.transmit_data = [this, client](net::PacketPtr pkt) {
+    server_downlink(client, std::move(pkt));
+  };
+  conn.transmit_ack = [this, client](net::PacketPtr pkt) {
+    client_uplink(client, std::move(pkt));
+  };
+  client_rx_.register_flow(conn.flow_id(), [&conn](const net::PacketPtr& p) {
+    conn.on_network_data(p);
+  });
+  server_rx_.register_flow(conn.flow_id(),
+                           [this, &conn](const net::PacketPtr& p) {
+                             bed_.sched().schedule(bed_.config().wan_latency,
+                                                   [&conn, p]() {
+                                                     conn.on_network_ack(p);
+                                                   });
+                           });
+}
+
+void WgttNetwork::wire_udp_downlink(transport::UdpSender& sender,
+                                    transport::UdpReceiver& receiver,
+                                    net::NodeId client) {
+  sender.transmit = [this, client](net::PacketPtr pkt) {
+    server_downlink(client, std::move(pkt));
+  };
+  client_rx_.register_flow(sender.config().flow_id,
+                           [&receiver](const net::PacketPtr& p) {
+                             receiver.on_packet(p);
+                           });
+}
+
+void WgttNetwork::wire_udp_uplink(transport::UdpSender& sender,
+                                  transport::UdpReceiver& receiver,
+                                  net::NodeId client) {
+  sender.transmit = [this, client](net::PacketPtr pkt) {
+    client_uplink(client, std::move(pkt));
+  };
+  server_rx_.register_flow(sender.config().flow_id,
+                           [&receiver](const net::PacketPtr& p) {
+                             receiver.on_packet(p);
+                           });
+}
+
+void WgttNetwork::wire_conference_downlink(apps::ConferenceApp& app,
+                                           net::NodeId client) {
+  app.transmit = [this, client](net::PacketPtr pkt) {
+    server_downlink(client, std::move(pkt));
+  };
+  client_rx_.register_flow(app.flow_id(),
+                           [&app](const net::PacketPtr& p) {
+                             app.on_packet(p);
+                           });
+}
+
+void WgttNetwork::wire_conference_uplink(apps::ConferenceApp& app,
+                                         net::NodeId client) {
+  app.transmit = [this, client](net::PacketPtr pkt) {
+    client_uplink(client, std::move(pkt));
+  };
+  server_rx_.register_flow(app.flow_id(),
+                           [&app](const net::PacketPtr& p) {
+                             app.on_packet(p);
+                           });
+}
+
+void WgttNetwork::wire_web_browse(apps::WebBrowseApp& app,
+                                  net::NodeId client) {
+  app.transmit_request = [this, client](net::PacketPtr pkt) {
+    client_uplink(client, std::move(pkt));
+  };
+  for (std::size_t i = 0; i < app.connections(); ++i) {
+    transport::TcpConnection& conn = app.connection(i);
+    conn.transmit_data = [this, client](net::PacketPtr pkt) {
+      server_downlink(client, std::move(pkt));
+    };
+    conn.transmit_ack = [this, client](net::PacketPtr pkt) {
+      client_uplink(client, std::move(pkt));
+    };
+    client_rx_.register_flow(conn.flow_id(),
+                             [&conn](const net::PacketPtr& p) {
+                               conn.on_network_data(p);
+                             });
+    server_rx_.register_flow(
+        conn.flow_id(), [this, &conn, &app](const net::PacketPtr& p) {
+          if (p->type == net::PacketType::kTcpAck) {
+            bed_.sched().schedule(bed_.config().wan_latency, [&conn, p]() {
+              conn.on_network_ack(p);
+            });
+          } else if (const auto* req =
+                         net::payload_as<apps::WebRequestMsg>(*p)) {
+            apps::WebRequestMsg r = *req;
+            bed_.sched().schedule(bed_.config().wan_latency, [&app, r]() {
+              app.on_request(r);
+            });
+          }
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BaselineNetwork
+// ---------------------------------------------------------------------------
+
+BaselineNetwork::BaselineNetwork(Testbed& bed, BaselineNetworkConfig cfg)
+    : bed_(bed), cfg_(cfg) {
+  distribution_ = std::make_unique<baseline::Distribution>(
+      bed_.sched(), bed_.backhaul(), cfg_.distribution_relearn);
+  distribution_->on_uplink = [this](net::PacketPtr pkt) {
+    server_rx_.deliver(pkt);
+  };
+  const std::size_t n_aps = bed_.config().ap_x.size();
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    const auto id = static_cast<net::NodeId>(i + 1);
+    mac::WifiDeviceConfig dev_cfg;
+    dev_cfg.bssid = id;  // every baseline AP is its own BSS
+    dev_cfg.monitor_mode = false;
+    mac::WifiDevice& dev = bed_.create_ap_device(id, std::move(dev_cfg));
+    baseline::BaselineApConfig ap_cfg = cfg_.ap_template;
+    ap_cfg.id = id;
+    ap_cfg.distribution = net::kControllerId;
+    aps_.push_back(std::make_unique<baseline::BaselineAp>(
+        bed_.sched(), bed_.backhaul(), dev, ap_cfg));
+  }
+}
+
+baseline::RoamingClient& BaselineNetwork::roaming(net::NodeId client) {
+  auto it = roaming_.find(client);
+  assert(it != roaming_.end());
+  return *it->second;
+}
+
+net::NodeId BaselineNetwork::add_client(
+    std::shared_ptr<const channel::MobilityModel> mob) {
+  const net::NodeId id = bed_.add_client(std::move(mob), /*bssid=*/0);
+  mac::WifiDevice& dev = bed_.client_device(id);
+  dev.on_deliver = [this](net::PacketPtr pkt, const mac::RxMeta&) {
+    client_rx_.deliver(pkt);
+  };
+  auto rc = std::make_unique<baseline::RoamingClient>(bed_.sched(), dev,
+                                                      cfg_.roaming);
+  rc->start();
+  roaming_.emplace(id, std::move(rc));
+  return id;
+}
+
+void BaselineNetwork::client_uplink(net::NodeId client, net::PacketPtr pkt) {
+  mac::WifiDevice& dev = bed_.client_device(client);
+  if (dev.bssid() == 0) return;  // not associated yet
+  dev.enqueue(dev.bssid(), std::move(pkt));
+}
+
+void BaselineNetwork::server_downlink(net::NodeId client, net::PacketPtr pkt) {
+  bed_.sched().schedule(bed_.config().wan_latency,
+                        [this, client, pkt = std::move(pkt)]() {
+                          distribution_->send_downlink(client, pkt);
+                        });
+}
+
+void BaselineNetwork::wire_tcp_downlink(transport::TcpConnection& conn) {
+  const net::NodeId client = conn.receiver();
+  conn.transmit_data = [this, client](net::PacketPtr pkt) {
+    server_downlink(client, std::move(pkt));
+  };
+  conn.transmit_ack = [this, client](net::PacketPtr pkt) {
+    client_uplink(client, std::move(pkt));
+  };
+  client_rx_.register_flow(conn.flow_id(), [&conn](const net::PacketPtr& p) {
+    conn.on_network_data(p);
+  });
+  server_rx_.register_flow(conn.flow_id(),
+                           [this, &conn](const net::PacketPtr& p) {
+                             bed_.sched().schedule(bed_.config().wan_latency,
+                                                   [&conn, p]() {
+                                                     conn.on_network_ack(p);
+                                                   });
+                           });
+}
+
+void BaselineNetwork::wire_udp_downlink(transport::UdpSender& sender,
+                                        transport::UdpReceiver& receiver,
+                                        net::NodeId client) {
+  sender.transmit = [this, client](net::PacketPtr pkt) {
+    server_downlink(client, std::move(pkt));
+  };
+  client_rx_.register_flow(sender.config().flow_id,
+                           [&receiver](const net::PacketPtr& p) {
+                             receiver.on_packet(p);
+                           });
+}
+
+void BaselineNetwork::wire_udp_uplink(transport::UdpSender& sender,
+                                      transport::UdpReceiver& receiver,
+                                      net::NodeId client) {
+  sender.transmit = [this, client](net::PacketPtr pkt) {
+    client_uplink(client, std::move(pkt));
+  };
+  server_rx_.register_flow(sender.config().flow_id,
+                           [&receiver](const net::PacketPtr& p) {
+                             receiver.on_packet(p);
+                           });
+}
+
+void BaselineNetwork::wire_conference_downlink(apps::ConferenceApp& app,
+                                               net::NodeId client) {
+  app.transmit = [this, client](net::PacketPtr pkt) {
+    server_downlink(client, std::move(pkt));
+  };
+  client_rx_.register_flow(app.flow_id(),
+                           [&app](const net::PacketPtr& p) {
+                             app.on_packet(p);
+                           });
+}
+
+void BaselineNetwork::wire_conference_uplink(apps::ConferenceApp& app,
+                                             net::NodeId client) {
+  app.transmit = [this, client](net::PacketPtr pkt) {
+    client_uplink(client, std::move(pkt));
+  };
+  server_rx_.register_flow(app.flow_id(),
+                           [&app](const net::PacketPtr& p) {
+                             app.on_packet(p);
+                           });
+}
+
+void BaselineNetwork::wire_web_browse(apps::WebBrowseApp& app,
+                                      net::NodeId client) {
+  app.transmit_request = [this, client](net::PacketPtr pkt) {
+    client_uplink(client, std::move(pkt));
+  };
+  for (std::size_t i = 0; i < app.connections(); ++i) {
+    transport::TcpConnection& conn = app.connection(i);
+    conn.transmit_data = [this, client](net::PacketPtr pkt) {
+      server_downlink(client, std::move(pkt));
+    };
+    conn.transmit_ack = [this, client](net::PacketPtr pkt) {
+      client_uplink(client, std::move(pkt));
+    };
+    client_rx_.register_flow(conn.flow_id(),
+                             [&conn](const net::PacketPtr& p) {
+                               conn.on_network_data(p);
+                             });
+    server_rx_.register_flow(
+        conn.flow_id(), [this, &conn, &app](const net::PacketPtr& p) {
+          if (p->type == net::PacketType::kTcpAck) {
+            bed_.sched().schedule(bed_.config().wan_latency, [&conn, p]() {
+              conn.on_network_ack(p);
+            });
+          } else if (const auto* req =
+                         net::payload_as<apps::WebRequestMsg>(*p)) {
+            apps::WebRequestMsg r = *req;
+            bed_.sched().schedule(bed_.config().wan_latency, [&app, r]() {
+              app.on_request(r);
+            });
+          }
+        });
+  }
+}
+
+}  // namespace wgtt::scenario

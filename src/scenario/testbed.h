@@ -1,0 +1,259 @@
+// Testbed construction: the eight-AP roadside deployment of paper §4
+// (Fig. 9), with a dense cluster (AP2-AP4 at 7.5 m spacing) and a sparse
+// stretch (AP5-AP7 at 12 m) so the Fig. 23 density experiment has both
+// regimes, plus the radio calibration that produces meter-scale picocells
+// with 6-10 m coverage overlap.
+//
+// `Testbed` owns the substrate (scheduler, channel, medium, backhaul, MAC
+// context, radios).  `WgttNetwork` / `BaselineNetwork` overlay the two
+// systems under test and provide flow-wiring helpers so experiments read
+// like the paper's methodology section.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "apps/conference.h"
+#include "apps/web_browse.h"
+#include "baseline/enhanced_80211r.h"
+#include "channel/channel_model.h"
+#include "core/wgtt_ap.h"
+#include "core/wgtt_controller.h"
+#include "mac/medium.h"
+#include "mac/wifi_device.h"
+#include "net/backhaul.h"
+#include "sim/scheduler.h"
+#include "transport/tcp_connection.h"
+#include "transport/udp_flow.h"
+
+namespace wgtt::scenario {
+
+/// The shared virtual BSSID all WGTT APs advertise (§4.3).
+constexpr net::NodeId kWgttBssid = 90;
+constexpr net::NodeId kServerId = net::kServerBase;
+
+struct TestbedConfig {
+  /// AP x positions along the road (m).  Default: the 8-AP layout with the
+  /// dense AP2-AP4 cluster and sparse AP5-AP7 stretch.
+  std::vector<double> ap_x = {0.0, 7.5, 15.0, 22.5, 34.0, 46.0, 58.0, 65.5};
+  double ap_y = 15.0;      // perpendicular distance building -> road (m)
+  double ap_z = 8.0;       // third floor
+  double client_z = 1.5;   // car-mounted antenna
+  double lane_y = 0.0;     // default driving lane
+  /// Radio calibration: TP-Link through a splitter-combiner into the Laird
+  /// antenna, chosen so each AP yields a meter-scale picocell — high MCS
+  /// inside the 21-degree main lobe (~±6 m on the road), marginal in the
+  /// side lobes, dead beyond ~25 m — with 6-10 m overlap between adjacent
+  /// cells, matching the paper's Figs. 9/10.
+  channel::RadioConfig radio{.ap_tx_power_dbm = 18.0,
+                             .client_tx_power_dbm = 20.0,
+                             .ap_system_loss_db = 35.0};
+  channel::PathLossConfig pathloss{.exponent = 2.9};
+  channel::ShadowingConfig shadowing{};
+  channel::FadingConfig fading{};
+  double antenna_peak_dbi = 14.0;
+  double antenna_hpbw_deg = 21.0;
+  double antenna_side_lobe_db = 32.0;
+  double client_antenna_dbi = 2.0;
+  mac::AirtimeConfig airtime{};
+  mac::MediumConfig medium{};
+  phy::ErrorModelConfig error_model{};
+  net::BackhaulConfig backhaul{};
+  Time wan_latency = Time::ms(2);  // content cached at the local server (§5.4)
+  Time client_keepalive = Time::ms(4);
+  std::uint64_t seed = 1;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg = {});
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Scheduler& sched() { return sched_; }
+  channel::ChannelModel& channel() { return *channel_; }
+  const phy::ErrorModel& error_model() const { return error_model_; }
+  mac::Medium& medium() { return *medium_; }
+  mac::MacContext& mac() { return *mac_; }
+  net::Backhaul& backhaul() { return *backhaul_; }
+  const TestbedConfig& config() const { return cfg_; }
+  const std::vector<net::NodeId>& ap_ids() const { return ap_ids_; }
+
+  /// Create an AP radio (called by the network overlays).
+  mac::WifiDevice& create_ap_device(net::NodeId id,
+                                    mac::WifiDeviceConfig dev_cfg);
+  /// Create a client radio bound to a mobility trace.
+  net::NodeId add_client(std::shared_ptr<const channel::MobilityModel> mob,
+                         net::NodeId bssid);
+  mac::WifiDevice& client_device(net::NodeId id);
+  mac::WifiDevice& ap_device(net::NodeId id);
+  const std::vector<net::NodeId>& client_ids() const { return client_ids_; }
+
+  /// Convenience: mobility for a straight drive down the road at `mph`,
+  /// entering `lead_in_m` before the first AP.  Direction +1 / -1.
+  std::shared_ptr<channel::MobilityModel> drive_mobility(
+      double mph, double lead_in_m = 15.0, double lane_y_offset = 0.0,
+      int direction = +1, double start_offset_m = 0.0) const;
+  /// Road x-extent of the AP deployment.
+  double road_length() const;
+  /// Time for a drive-through at `mph` incl. lead-in/out.
+  Time transit_duration(double mph, double lead_in_m = 15.0) const;
+
+ private:
+  TestbedConfig cfg_;
+  sim::Scheduler sched_;
+  Rng rng_;
+  phy::ErrorModel error_model_;
+  std::unique_ptr<channel::ChannelModel> channel_;
+  std::unique_ptr<mac::Medium> medium_;
+  std::unique_ptr<mac::MacContext> mac_;
+  std::unique_ptr<net::Backhaul> backhaul_;
+  std::vector<net::NodeId> ap_ids_;
+  std::vector<net::NodeId> client_ids_;
+  std::map<net::NodeId, std::unique_ptr<mac::WifiDevice>> devices_;
+  net::NodeId next_client_ = net::kClientBase;
+};
+
+// ---------------------------------------------------------------------------
+// Flow routing shared by both network overlays
+// ---------------------------------------------------------------------------
+
+class FlowRouter {
+ public:
+  using Handler = std::function<void(const net::PacketPtr&)>;
+  void register_flow(std::uint32_t flow_id, Handler h) {
+    handlers_[flow_id] = std::move(h);
+  }
+  void deliver(const net::PacketPtr& pkt) {
+    auto it = handlers_.find(pkt->flow_id);
+    if (it != handlers_.end()) it->second(pkt);
+  }
+
+ private:
+  std::map<std::uint32_t, Handler> handlers_;
+};
+
+// ---------------------------------------------------------------------------
+// WGTT overlay
+// ---------------------------------------------------------------------------
+
+enum class RateControlKind {
+  kMinstrel,  // the testbed default (stock Atheros rate control)
+  kEsnr,      // channel-aware: select from the freshest CSI-derived ESNR
+};
+
+struct WgttNetworkConfig {
+  core::ControllerConfig controller{};
+  Time control_processing = Time::ms(5.5);
+  Time control_jitter = Time::ms(6);
+  Time ioctl_delay = Time::ms(2.5);
+  Time ba_completion_grace = Time::ms(1);
+  core::QueueStackConfig stack{};
+  bool enable_ba_forwarding = true;              // ablation knob
+  Time nic_drain_window = Time::ms(8);           // old-AP quench deadline
+  RateControlKind rate_control = RateControlKind::kMinstrel;
+  /// Multi-channel extension (paper §7): channel plan applied round-robin
+  /// across APs (empty = the prototype's single channel 11).  Clients
+  /// retune to the new AP's channel when a switch completes (a short deaf
+  /// period), and an 802.11k-style scan report gives the controller coarse
+  /// 100 ms-cadence ESNR for APs on other channels.
+  std::vector<unsigned> ap_channels{};
+  Time client_retune_pause = Time::ms(3);
+  Time scan_report_period = Time::ms(100);
+};
+
+class WgttNetwork {
+ public:
+  WgttNetwork(Testbed& bed, WgttNetworkConfig cfg = {});
+
+  core::WgttController& controller() { return *controller_; }
+  core::WgttAp& ap(net::NodeId id);
+
+  /// Create a client driving on `mob` and schedule its association.
+  net::NodeId add_client(std::shared_ptr<const channel::MobilityModel> mob,
+                         Time associate_at = Time::ms(250));
+
+  /// Inject an uplink packet at the client radio.
+  void client_uplink(net::NodeId client, net::PacketPtr pkt);
+  /// Inject a downlink packet at the wired server (adds WAN latency).
+  void server_downlink(net::NodeId client, net::PacketPtr pkt);
+
+  // -- flow wiring -------------------------------------------------------
+  void wire_tcp_downlink(transport::TcpConnection& conn);
+  void wire_udp_downlink(transport::UdpSender& sender,
+                         transport::UdpReceiver& receiver,
+                         net::NodeId client);
+  void wire_udp_uplink(transport::UdpSender& sender,
+                       transport::UdpReceiver& receiver, net::NodeId client);
+  void wire_conference_downlink(apps::ConferenceApp& app, net::NodeId client);
+  void wire_conference_uplink(apps::ConferenceApp& app, net::NodeId client);
+  void wire_web_browse(apps::WebBrowseApp& app, net::NodeId client);
+
+  FlowRouter& client_rx() { return client_rx_; }
+  FlowRouter& server_rx() { return server_rx_; }
+  /// Channel the AP with this id operates on.
+  unsigned ap_channel(net::NodeId ap) const;
+  bool multi_channel() const { return !cfg_.ap_channels.empty(); }
+
+ private:
+  void retry_associate(net::NodeId client);
+  /// 802.11k-style background scan: inject coarse CSI for APs the client's
+  /// current channel cannot hear (multi-channel mode only).
+  void scan_tick(net::NodeId client);
+
+  Testbed& bed_;
+  WgttNetworkConfig cfg_;
+  std::unique_ptr<core::WgttController> controller_;
+  std::map<net::NodeId, std::unique_ptr<core::WgttAp>> aps_;
+  FlowRouter client_rx_;
+  FlowRouter server_rx_;
+};
+
+// ---------------------------------------------------------------------------
+// Enhanced 802.11r overlay
+// ---------------------------------------------------------------------------
+
+struct BaselineNetworkConfig {
+  baseline::RoamingConfig roaming{};
+  baseline::BaselineApConfig ap_template{};
+  Time distribution_relearn = Time::ms(15);
+};
+
+class BaselineNetwork {
+ public:
+  BaselineNetwork(Testbed& bed, BaselineNetworkConfig cfg = {});
+
+  baseline::Distribution& distribution() { return *distribution_; }
+  baseline::RoamingClient& roaming(net::NodeId client);
+
+  net::NodeId add_client(std::shared_ptr<const channel::MobilityModel> mob);
+
+  void client_uplink(net::NodeId client, net::PacketPtr pkt);
+  void server_downlink(net::NodeId client, net::PacketPtr pkt);
+
+  void wire_tcp_downlink(transport::TcpConnection& conn);
+  void wire_udp_downlink(transport::UdpSender& sender,
+                         transport::UdpReceiver& receiver,
+                         net::NodeId client);
+  void wire_udp_uplink(transport::UdpSender& sender,
+                       transport::UdpReceiver& receiver, net::NodeId client);
+  void wire_conference_downlink(apps::ConferenceApp& app, net::NodeId client);
+  void wire_conference_uplink(apps::ConferenceApp& app, net::NodeId client);
+  void wire_web_browse(apps::WebBrowseApp& app, net::NodeId client);
+
+  FlowRouter& client_rx() { return client_rx_; }
+  FlowRouter& server_rx() { return server_rx_; }
+
+ private:
+  Testbed& bed_;
+  BaselineNetworkConfig cfg_;
+  std::unique_ptr<baseline::Distribution> distribution_;
+  std::vector<std::unique_ptr<baseline::BaselineAp>> aps_;
+  std::map<net::NodeId, std::unique_ptr<baseline::RoamingClient>> roaming_;
+  FlowRouter client_rx_;
+  FlowRouter server_rx_;
+};
+
+}  // namespace wgtt::scenario

@@ -1,0 +1,53 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wgtt::sim {
+
+EventId Scheduler::schedule_at(Time when, Callback cb) {
+  assert(when >= now_ && "cannot schedule in the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(cb)});
+  return EventId{seq};
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid() || id.seq_ >= next_seq_) return false;
+  // Lazy cancellation: record the sequence number; the event is skipped when
+  // it reaches the head of the queue.
+  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.seq_);
+  if (it != cancelled_.end() && *it == id.seq_) return false;
+  cancelled_.insert(it, id.seq_);
+  return true;
+}
+
+bool Scheduler::is_cancelled(std::uint64_t seq) const {
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
+}
+
+void Scheduler::run_until(Time until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const Event& top = queue_.top();
+    if (top.when > until) break;
+    // Move the callback out before popping so re-entrant schedules are safe.
+    Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).cb)};
+    queue_.pop();
+    if (is_cancelled(ev.seq)) {
+      auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.seq);
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+  }
+  // On a bounded run, advance the clock to the bound so callers can chain
+  // run_until() calls; a stop() leaves the clock at the last executed event.
+  if (!stopped_ && until < Time::infinity() && now_ < until) now_ = until;
+}
+
+void Scheduler::run() { run_until(Time::infinity()); }
+
+}  // namespace wgtt::sim

@@ -1,0 +1,90 @@
+// Discrete-event simulation core.
+//
+// A single-threaded, deterministic event loop: events fire in (time, insertion
+// order) so two events at the same instant execute in the order they were
+// scheduled.  Every latency in the system — frame airtime, Ethernet backhaul
+// delay, driver processing, protocol timeouts — is an event on this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace wgtt::sim {
+
+/// Handle for cancelling a scheduled event.  Cancellation is lazy: the event
+/// stays in the queue but its callback is not invoked.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedule `cb` to run `delay` after the current time.
+  EventId schedule(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Schedule `cb` at an absolute time (must not be in the past).
+  EventId schedule_at(Time when, Callback cb);
+
+  /// Cancel a pending event.  Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the event queue is empty or `until` is reached, whichever
+  /// comes first.  The clock is left at the time of the last executed event
+  /// (or at `until` if it is reached).
+  void run_until(Time until);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  /// Stop the run loop after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for micro-benchmarks / diagnostics).
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool is_cancelled(std::uint64_t seq) const;
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted insert-order, searched rarely
+};
+
+}  // namespace wgtt::sim

@@ -1,0 +1,33 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace wgtt {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
+               message.c_str());
+}
+}  // namespace detail
+
+}  // namespace wgtt

@@ -1,0 +1,32 @@
+// Minimal leveled logging.  Off by default so benchmark runs stay quiet;
+// tests and examples can turn on per-component tracing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wgtt {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded cheaply.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message);
+}
+
+/// Usage: WGTT_LOG(kDebug, "mac", "retry " << n << " for seq " << s);
+#define WGTT_LOG(level, component, expr)                                \
+  do {                                                                  \
+    if (::wgtt::LogLevel::level >= ::wgtt::log_level()) {               \
+      std::ostringstream wgtt_log_oss;                                  \
+      wgtt_log_oss << expr;                                             \
+      ::wgtt::detail::log_emit(::wgtt::LogLevel::level, (component),    \
+                               wgtt_log_oss.str());                     \
+    }                                                                   \
+  } while (0)
+
+}  // namespace wgtt

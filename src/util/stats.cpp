@@ -1,0 +1,121 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wgtt {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::reset() {
+  n_ = 0;
+  mean_ = m2_ = min_ = max_ = 0.0;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(percentile(q), q);
+  }
+  return out;
+}
+
+ThroughputSeries::ThroughputSeries(Time bin_width) : bin_width_(bin_width) {}
+
+void ThroughputSeries::add(Time when, std::size_t bytes) {
+  const auto bin = static_cast<std::size_t>(when.to_ns() / bin_width_.to_ns());
+  if (bin >= bin_bytes_.size()) bin_bytes_.resize(bin + 1, 0);
+  bin_bytes_[bin] += bytes;
+  total_bytes_ += bytes;
+  first_ = std::min(first_, when);
+  last_ = std::max(last_, when);
+}
+
+double ThroughputSeries::average_mbps() const {
+  if (total_bytes_ == 0 || last_ <= first_) return 0.0;
+  return average_mbps_over(last_ - first_);
+}
+
+double ThroughputSeries::average_mbps_over(Time duration) const {
+  if (duration <= Time::zero()) return 0.0;
+  return static_cast<double>(total_bytes_) * 8.0 / duration.to_sec() / 1e6;
+}
+
+std::vector<std::pair<Time, double>> ThroughputSeries::bins() const {
+  std::vector<std::pair<Time, double>> out;
+  out.reserve(bin_bytes_.size());
+  for (std::size_t i = 0; i < bin_bytes_.size(); ++i) {
+    const Time start = Time::ns(static_cast<std::int64_t>(i) * bin_width_.to_ns());
+    const double mbps =
+        static_cast<double>(bin_bytes_[i]) * 8.0 / bin_width_.to_sec() / 1e6;
+    out.emplace_back(start, mbps);
+  }
+  return out;
+}
+
+std::vector<std::pair<double, double>> downsample_cdf(
+    const std::vector<std::pair<double, double>>& cdf, std::size_t points) {
+  std::vector<std::pair<double, double>> out;
+  if (cdf.empty() || points == 0) return out;
+  const std::size_t step = std::max<std::size_t>(1, cdf.size() / points);
+  for (std::size_t i = 0; i < cdf.size(); i += step) out.push_back(cdf[i]);
+  if (out.back() != cdf.back()) out.push_back(cdf.back());
+  return out;
+}
+
+}  // namespace wgtt

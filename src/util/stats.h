@@ -1,0 +1,87 @@
+// Online and batch statistics used by the experiment harness and metric
+// collectors: running mean/variance, percentiles, empirical CDFs, and
+// fixed-window timeseries accumulation.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace wgtt {
+
+/// Welford online mean / variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample set with exact percentiles and CDF export.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double stddev() const;
+  /// q in [0, 1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+  double median() const { return percentile(0.5); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(1.0); }
+  /// Empirical CDF sampled at `points` evenly spaced quantiles:
+  /// pairs of (value, cumulative probability).
+  std::vector<std::pair<double, double>> cdf(std::size_t points = 100) const;
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Accumulates (time, bytes) arrivals into fixed-width throughput bins,
+/// e.g. for "throughput vs time" figures.
+class ThroughputSeries {
+ public:
+  explicit ThroughputSeries(Time bin_width = Time::ms(500));
+  void add(Time when, std::size_t bytes);
+  /// Total bytes accumulated.
+  std::size_t total_bytes() const { return total_bytes_; }
+  /// Average throughput in Mbit/s between first and last arrival.
+  double average_mbps() const;
+  /// Average throughput in Mbit/s over an explicit duration.
+  double average_mbps_over(Time duration) const;
+  /// Per-bin throughput in Mbit/s: pairs of (bin start time, Mbit/s).
+  std::vector<std::pair<Time, double>> bins() const;
+
+ private:
+  Time bin_width_;
+  std::vector<std::size_t> bin_bytes_;
+  std::size_t total_bytes_ = 0;
+  Time first_ = Time::infinity();
+  Time last_ = Time::zero();
+};
+
+/// Text histogram / table rendering helpers for the bench binaries.
+std::vector<std::pair<double, double>> downsample_cdf(
+    const std::vector<std::pair<double, double>>& cdf, std::size_t points);
+
+}  // namespace wgtt

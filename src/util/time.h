@@ -1,0 +1,63 @@
+// Simulation time: a strong type over integer nanoseconds.
+//
+// All latencies in the system (airtime, backhaul delay, queue drain, protocol
+// timeouts) are expressed as Time values; the discrete-event scheduler
+// (sim/scheduler.h) advances a single global clock of this type.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace wgtt {
+
+/// A point in (or span of) simulated time, with nanosecond resolution.
+///
+/// Time is totally ordered and supports the usual affine arithmetic
+/// (point - point = span, point + span = point); we do not distinguish
+/// points from spans at the type level because simulation code mixes them
+/// freely (e.g. "now + airtime").
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors; prefer these over raw nanosecond counts.
+  static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  static constexpr Time us(double v) { return Time{static_cast<std::int64_t>(v * 1e3)}; }
+  static constexpr Time ms(double v) { return Time{static_cast<std::int64_t>(v * 1e6)}; }
+  static constexpr Time sec(double v) { return Time{static_cast<std::int64_t>(v * 1e9)}; }
+  static constexpr Time zero() { return Time{0}; }
+  /// A sentinel later than any event the simulator will ever schedule.
+  static constexpr Time infinity() { return Time{INT64_MAX}; }
+
+  constexpr std::int64_t to_ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time operator+(Time o) const { return Time{ns_ + o.ns_}; }
+  constexpr Time operator-(Time o) const { return Time{ns_ - o.ns_}; }
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+  constexpr Time operator*(double f) const {
+    return Time{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+  constexpr double operator/(Time o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+
+  std::string to_string() const {
+    if (ns_ >= 1'000'000'000) return std::to_string(to_sec()) + "s";
+    if (ns_ >= 1'000'000) return std::to_string(to_ms()) + "ms";
+    if (ns_ >= 1'000) return std::to_string(to_us()) + "us";
+    return std::to_string(ns_) + "ns";
+  }
+
+ private:
+  explicit constexpr Time(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace wgtt

@@ -1,0 +1,34 @@
+// Unit conversions used throughout the channel / PHY layers.
+#pragma once
+
+#include <cmath>
+
+namespace wgtt {
+
+/// Decibel <-> linear power-ratio conversions.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+/// dBm <-> milliwatt conversions (power levels rather than ratios).
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Vehicular speed: the paper quotes all speeds in mph.
+inline double mph_to_mps(double mph) { return mph * 0.44704; }
+inline double mps_to_mph(double mps) { return mps / 0.44704; }
+
+/// Thermal noise floor for bandwidth `bw_hz` at room temperature with the
+/// given receiver noise figure, in dBm. kT = -174 dBm/Hz.
+inline double noise_floor_dbm(double bw_hz, double noise_figure_db) {
+  return -174.0 + 10.0 * std::log10(bw_hz) + noise_figure_db;
+}
+
+/// Free-space wavelength in meters for carrier frequency in Hz.
+inline double wavelength_m(double freq_hz) { return 299792458.0 / freq_hz; }
+
+constexpr double kPi = 3.14159265358979323846;
+
+inline double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+inline double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+}  // namespace wgtt

@@ -1,0 +1,223 @@
+// Tests for the application workloads: video streaming (pre-buffer and
+// rebuffer accounting), conferencing (fps + adaptation), and web browsing
+// (object pipeline, load time, the "inf" case) — over ideal fake pipes so
+// the app logic is isolated from the radio.
+#include <gtest/gtest.h>
+
+#include "apps/conference.h"
+#include "apps/video_stream.h"
+#include "apps/web_browse.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace wgtt::apps {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Video streaming
+// ---------------------------------------------------------------------------
+
+struct VideoWorld {
+  explicit VideoWorld(double pipe_mbps) : pipe_mbps_(pipe_mbps),
+        app(sched, ids, transport::TcpConfig{}, VideoStreamConfig{}, 1,
+            net::kServerBase, net::kClientBase) {
+    // Model the pipe as a fixed-rate leaky bucket: data packets get a
+    // serialization + propagation delay proportional to backlog.
+    app.connection().transmit_data = [this](net::PacketPtr p) {
+      const Time ser = Time::sec(static_cast<double>(p->size_bytes) * 8.0 /
+                                 (pipe_mbps_ * 1e6));
+      busy_until_ = std::max(busy_until_, sched.now()) + ser;
+      sched.schedule_at(busy_until_, [this, p]() {
+        app.connection().on_network_data(p);
+      });
+    };
+    app.connection().transmit_ack = [this](net::PacketPtr p) {
+      sched.schedule(Time::ms(2), [this, p]() {
+        app.connection().on_network_ack(p);
+      });
+    };
+  }
+  sim::Scheduler sched;
+  transport::IpIdAllocator ids;
+  double pipe_mbps_;
+  Time busy_until_;
+  VideoStreamApp app;
+};
+
+TEST(VideoStreamTest, FastPipePlaysWithoutRebuffering) {
+  VideoWorld w(20.0);  // 20 Mb/s pipe for a 4 Mb/s video
+  w.app.start();
+  w.sched.run_until(Time::sec(10));
+  EXPECT_EQ(w.app.rebuffer_events(), 0u);
+  EXPECT_GT(w.app.playing_time().to_sec(), 7.0);
+  // Initial pre-buffering is the only stall.
+  EXPECT_LT(w.app.stalled_time().to_sec(), 2.0);
+}
+
+TEST(VideoStreamTest, SlowPipeRebuffers) {
+  VideoWorld w(2.0);  // pipe slower than the video bitrate
+  w.app.start();
+  w.sched.run_until(Time::sec(20));
+  EXPECT_GT(w.app.rebuffer_events(), 0u);
+  EXPECT_GT(w.app.rebuffer_ratio(Time::sec(20)), 0.3);
+}
+
+TEST(VideoStreamTest, PrebufferDelaysPlayback) {
+  VideoWorld w(20.0);
+  w.app.start();
+  w.sched.run_until(Time::ms(100));
+  EXPECT_FALSE(w.app.playing());  // still pre-buffering 1500 ms of video
+  w.sched.run_until(Time::sec(3));
+  EXPECT_TRUE(w.app.playing());
+}
+
+// ---------------------------------------------------------------------------
+// Conferencing
+// ---------------------------------------------------------------------------
+
+TEST(ConferenceTest, PerfectPipeRendersFullFps) {
+  sim::Scheduler sched;
+  transport::IpIdAllocator ids;
+  ConferenceConfig cfg;
+  cfg.frame_rate = 30.0;
+  ConferenceApp app(sched, ids, cfg);
+  app.transmit = [&](net::PacketPtr p) { app.on_packet(p); };
+  app.start();
+  sched.run_until(Time::sec(10));
+  EXPECT_NEAR(app.fps_samples().median(), 30.0, 1.5);
+  EXPECT_EQ(app.frames_rendered(), app.frames_sent());
+}
+
+TEST(ConferenceTest, FragmentLossKillsWholeFrame) {
+  sim::Scheduler sched;
+  transport::IpIdAllocator ids;
+  ConferenceConfig cfg;
+  cfg.frame_rate = 30.0;
+  cfg.nominal_bitrate_bps = 3e6;  // ~4 fragments per frame
+  ConferenceApp app(sched, ids, cfg);
+  int n = 0;
+  app.transmit = [&](net::PacketPtr p) {
+    if (++n % 4 != 0) app.on_packet(p);  // lose every 4th fragment
+  };
+  app.start();
+  sched.run_until(Time::sec(5));
+  // ~every frame loses one fragment: almost nothing renders.
+  EXPECT_LT(app.fps_samples().median(), 5.0);
+}
+
+TEST(ConferenceTest, AdaptiveSenderShrinksFrames) {
+  sim::Scheduler sched;
+  transport::IpIdAllocator ids;
+  ConferenceConfig cfg;
+  cfg.frame_rate = 30.0;
+  cfg.nominal_bitrate_bps = 3e6;
+  cfg.adaptive = true;
+  ConferenceApp app(sched, ids, cfg);
+  wgtt::Rng rng(5);
+  app.transmit = [&](net::PacketPtr p) {
+    if (!rng.bernoulli(0.15)) app.on_packet(p);  // 15% fragment loss
+  };
+  app.start();
+  sched.run_until(Time::sec(15));
+  // The Hangouts behaviour: resolution shrinks until frames fit in one
+  // fragment, fps partially recovers.
+  EXPECT_LT(app.current_scale(), 0.9);
+  EXPECT_GT(app.fps_samples().percentile(0.75), 10.0);
+}
+
+TEST(ConferenceTest, FpsSampledOncePerSecond) {
+  sim::Scheduler sched;
+  transport::IpIdAllocator ids;
+  ConferenceApp app(sched, ids, ConferenceConfig{});
+  app.transmit = [&](net::PacketPtr p) { app.on_packet(p); };
+  app.start();
+  sched.run_until(Time::sec(5) + Time::ms(500));
+  EXPECT_EQ(app.fps_samples().count(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Web browsing
+// ---------------------------------------------------------------------------
+
+struct WebWorld {
+  explicit WebWorld(double pipe_mbps) {
+    WebBrowseConfig cfg;
+    cfg.server = net::kServerBase;
+    cfg.client = net::kClientBase;
+    app = std::make_unique<WebBrowseApp>(sched, ids, transport::TcpConfig{},
+                                         cfg);
+    app->transmit_request = [this](net::PacketPtr p) {
+      // Request reaches the server after 5 ms.
+      sched.schedule(Time::ms(5), [this, p]() {
+        const auto* req = net::payload_as<WebRequestMsg>(*p);
+        ASSERT_NE(req, nullptr);
+        app->on_request(*req);
+      });
+    };
+    for (std::size_t i = 0; i < app->connections(); ++i) {
+      auto& conn = app->connection(i);
+      conn.transmit_data = [this, pipe_mbps, &conn](net::PacketPtr p) {
+        const Time ser = Time::sec(static_cast<double>(p->size_bytes) * 8.0 /
+                                   (pipe_mbps * 1e6));
+        busy_until_ = std::max(busy_until_, sched.now()) + ser;
+        sched.schedule_at(busy_until_ + Time::ms(2), [&conn, p]() {
+          conn.on_network_data(p);
+        });
+      };
+      conn.transmit_ack = [this, &conn](net::PacketPtr p) {
+        sched.schedule(Time::ms(2), [&conn, p]() { conn.on_network_ack(p); });
+      };
+    }
+  }
+  sim::Scheduler sched;
+  transport::IpIdAllocator ids;
+  Time busy_until_;
+  std::unique_ptr<WebBrowseApp> app;
+};
+
+TEST(WebBrowseTest, LoadsWholePage) {
+  WebWorld w(10.0);
+  w.app->start();
+  w.sched.run_until(Time::sec(60));
+  ASSERT_TRUE(w.app->loaded());
+  EXPECT_EQ(w.app->objects_completed(), WebBrowseConfig{}.num_objects);
+  // 2.1 MB over a 10 Mb/s pipe: somewhere in the 1.7 - 15 s range once
+  // request round trips and TCP ramp-up are accounted for.
+  EXPECT_GT(w.app->load_time()->to_sec(), 1.5);
+  EXPECT_LT(w.app->load_time()->to_sec(), 15.0);
+}
+
+TEST(WebBrowseTest, FasterPipeLoadsFaster) {
+  WebWorld slow(5.0);
+  WebWorld fast(40.0);
+  slow.app->start();
+  fast.app->start();
+  slow.sched.run_until(Time::sec(120));
+  fast.sched.run_until(Time::sec(120));
+  ASSERT_TRUE(slow.app->loaded());
+  ASSERT_TRUE(fast.app->loaded());
+  EXPECT_LT(fast.app->load_time()->to_sec(), slow.app->load_time()->to_sec());
+}
+
+TEST(WebBrowseTest, DeadPipeNeverLoads) {
+  WebWorld w(10.0);
+  // Sever the request path entirely.
+  w.app->transmit_request = [](net::PacketPtr) {};
+  w.app->start();
+  w.sched.run_until(Time::sec(30));
+  EXPECT_FALSE(w.app->loaded());
+  EXPECT_FALSE(w.app->load_time().has_value());  // the paper's "inf"
+}
+
+TEST(WebBrowseTest, ParallelConnectionsAllUsed) {
+  WebWorld w(20.0);
+  w.app->start();
+  w.sched.run_until(Time::sec(60));
+  ASSERT_TRUE(w.app->loaded());
+  for (std::size_t i = 0; i < w.app->connections(); ++i) {
+    EXPECT_GT(w.app->connection(i).delivered_bytes(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace wgtt::apps

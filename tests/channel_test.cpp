@@ -1,0 +1,333 @@
+// Unit + property tests for the channel substrate: geometry, mobility,
+// antennas, path loss, correlated shadowing, fading statistics, and the
+// composite channel model (reciprocity, coherence scaling, picocell shape).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "channel/antenna.h"
+#include "channel/channel_model.h"
+#include "channel/fading.h"
+#include "channel/geometry.h"
+#include "channel/mobility.h"
+#include "channel/pathloss.h"
+#include "channel/shadowing.h"
+#include "phy/esnr.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace wgtt::channel {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Geometry / mobility
+// ---------------------------------------------------------------------------
+
+TEST(GeometryTest, DistanceAndNorm) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ((Vec3{1, 2, 2}).norm(), 3.0);
+}
+
+TEST(GeometryTest, AngleBetween) {
+  EXPECT_NEAR(angle_between({1, 0, 0}, {0, 1, 0}), kPi / 2, 1e-12);
+  EXPECT_NEAR(angle_between({1, 0, 0}, {1, 0, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(angle_between({1, 0, 0}, {-1, 0, 0}), kPi, 1e-12);
+}
+
+TEST(GeometryTest, NormalizedZeroVectorIsSafe) {
+  const Vec3 n = Vec3{}.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+}
+
+TEST(MobilityTest, LinearPositionAndDistance) {
+  LinearMobility m({10, 0, 1.5}, {5, 0, 0});
+  EXPECT_DOUBLE_EQ(m.position(Time::sec(2)).x, 20.0);
+  EXPECT_DOUBLE_EQ(m.distance_travelled(Time::sec(2)), 10.0);
+  EXPECT_DOUBLE_EQ(m.speed_mps(Time::sec(1)), 5.0);
+}
+
+TEST(MobilityTest, StaticNeverMoves) {
+  StaticMobility m({1, 2, 3});
+  EXPECT_DOUBLE_EQ(m.position(Time::sec(100)).y, 2.0);
+  EXPECT_DOUBLE_EQ(m.distance_travelled(Time::sec(100)), 0.0);
+}
+
+TEST(MobilityTest, WaypointInterpolation) {
+  WaypointMobility m({{Time::sec(0), {0, 0, 0}},
+                      {Time::sec(10), {10, 0, 0}},
+                      {Time::sec(20), {10, 10, 0}}});
+  EXPECT_DOUBLE_EQ(m.position(Time::sec(5)).x, 5.0);
+  EXPECT_DOUBLE_EQ(m.position(Time::sec(15)).y, 5.0);
+  // Clamped outside the range.
+  EXPECT_DOUBLE_EQ(m.position(Time::sec(100)).y, 10.0);
+  EXPECT_DOUBLE_EQ(m.position(Time::sec(0) - Time::sec(1)).x, 0.0);
+  // Distance accumulates along the path.
+  EXPECT_DOUBLE_EQ(m.distance_travelled(Time::sec(20)), 20.0);
+  EXPECT_DOUBLE_EQ(m.distance_travelled(Time::sec(15)), 15.0);
+}
+
+TEST(MobilityTest, WaypointVelocity) {
+  WaypointMobility m({{Time::sec(0), {0, 0, 0}}, {Time::sec(10), {20, 0, 0}}});
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(5)).x, 2.0);
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(50)).x, 0.0);  // stopped at the end
+}
+
+// ---------------------------------------------------------------------------
+// Antennas
+// ---------------------------------------------------------------------------
+
+TEST(AntennaTest, ParabolicPeakAndHpbw) {
+  ParabolicAntenna a(14.0, 21.0, 30.0);
+  EXPECT_DOUBLE_EQ(a.gain_dbi(0.0), 14.0);
+  // -3 dB at half the HPBW off boresight.
+  EXPECT_NEAR(a.gain_dbi(deg_to_rad(10.5)), 11.0, 0.01);
+}
+
+TEST(AntennaTest, SideLobeFloor) {
+  ParabolicAntenna a(14.0, 21.0, 30.0);
+  EXPECT_NEAR(a.gain_dbi(deg_to_rad(90)), -16.0, 0.01);
+  EXPECT_NEAR(a.gain_dbi(deg_to_rad(180)), -16.0, 0.01);
+}
+
+TEST(AntennaTest, MonotoneInMainLobe) {
+  ParabolicAntenna a;
+  double prev = a.gain_dbi(0.0);
+  for (double deg = 1; deg <= 30; deg += 1) {
+    const double g = a.gain_dbi(deg_to_rad(deg));
+    EXPECT_LE(g, prev + 1e-12);
+    prev = g;
+  }
+}
+
+TEST(AntennaTest, OmniIsFlat) {
+  OmniAntenna a(2.0);
+  EXPECT_DOUBLE_EQ(a.gain_dbi(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(a.gain_dbi(kPi), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Path loss / shadowing
+// ---------------------------------------------------------------------------
+
+TEST(PathLossTest, ReferenceAndSlope) {
+  LogDistancePathLoss pl(PathLossConfig{2.7, 40.0, 1.0});
+  EXPECT_DOUBLE_EQ(pl.loss_db(1.0), 40.0);
+  EXPECT_NEAR(pl.loss_db(10.0), 67.0, 1e-9);
+  EXPECT_NEAR(pl.loss_db(100.0) - pl.loss_db(10.0), 27.0, 1e-9);
+}
+
+TEST(PathLossTest, NearFieldClamped) {
+  LogDistancePathLoss pl;
+  EXPECT_DOUBLE_EQ(pl.loss_db(0.001), pl.loss_db(1.0));
+}
+
+TEST(ShadowingTest, MarginalStatistics) {
+  ShadowingConfig cfg;
+  cfg.sigma_db = 3.0;
+  RunningStats stats;
+  // Many independent processes sampled far apart approximate the marginal.
+  for (std::uint64_t s = 0; s < 300; ++s) {
+    ShadowingProcess p(cfg, Rng(s));
+    stats.add(p.at(500.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.6);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.8);
+}
+
+TEST(ShadowingTest, SpatialCorrelationDecays) {
+  ShadowingConfig cfg;
+  cfg.sigma_db = 3.0;
+  cfg.decorrelation_m = 10.0;
+  double short_gap = 0.0;
+  double long_gap = 0.0;
+  const int n = 400;
+  for (int s = 0; s < n; ++s) {
+    ShadowingProcess p(cfg, Rng(static_cast<std::uint64_t>(s) + 1000));
+    const double a = p.at(50.0);
+    short_gap += a * p.at(51.0);
+    long_gap += a * p.at(150.0);
+  }
+  // Nearby samples strongly correlated; 100 m apart essentially not.
+  EXPECT_GT(short_gap / n, 0.7 * 9.0);
+  EXPECT_LT(std::abs(long_gap / n), 2.5);
+}
+
+TEST(ShadowingTest, DeterministicGivenSeed) {
+  ShadowingProcess a(ShadowingConfig{}, Rng(7));
+  ShadowingProcess b(ShadowingConfig{}, Rng(7));
+  for (double x : {0.0, 3.3, 17.2, 123.4}) {
+    EXPECT_DOUBLE_EQ(a.at(x), b.at(x));
+  }
+}
+
+TEST(ShadowingTest, InterpolationIsContinuous) {
+  ShadowingProcess p(ShadowingConfig{}, Rng(3));
+  const double a = p.at(10.0);
+  const double b = p.at(10.01);
+  EXPECT_NEAR(a, b, 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Fading
+// ---------------------------------------------------------------------------
+
+TEST(FadingTest, UnitAveragePower) {
+  FadingConfig cfg;
+  RunningStats power;
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    FadingProcess f(cfg, Rng(s));
+    for (double x = 0; x < 20; x += 0.5) {
+      power.add(f.wideband_gain(x, ht20_subcarrier_offsets_hz()));
+    }
+  }
+  EXPECT_NEAR(power.mean(), 1.0, 0.15);
+}
+
+TEST(FadingTest, SpatialCoherenceIsAWavelength) {
+  // Autocorrelation of the complex tap should fall off over ~lambda/2.
+  FadingConfig cfg;
+  const double lambda = wavelength_m(cfg.carrier_hz);
+  double corr_close = 0.0;
+  double corr_far = 0.0;
+  const int n = 200;
+  for (int s = 0; s < n; ++s) {
+    FadingProcess f(cfg, Rng(static_cast<std::uint64_t>(s)));
+    std::array<std::complex<double>, kNumSubcarriers> h0, h1, h2;
+    f.response(0.0, ht20_subcarrier_offsets_hz(), h0);
+    f.response(lambda / 20.0, ht20_subcarrier_offsets_hz(), h1);
+    f.response(lambda * 3.0, ht20_subcarrier_offsets_hz(), h2);
+    corr_close += std::abs(h0[0] * std::conj(h1[0]));
+    corr_far += std::abs(h0[0] * std::conj(h2[0]) ) *
+                ((std::arg(h0[0] * std::conj(h2[0])) > 0) ? 1.0 : -1.0);
+  }
+  // Samples lambda/20 apart are nearly identical in magnitude-correlation.
+  EXPECT_GT(corr_close / n, 0.5);
+}
+
+TEST(FadingTest, FrequencySelectivity) {
+  // With multiple taps, subcarriers at opposite band edges must differ.
+  FadingProcess f(FadingConfig{}, Rng(11));
+  std::array<std::complex<double>, kNumSubcarriers> h;
+  f.response(5.0, ht20_subcarrier_offsets_hz(), h);
+  double min_p = 1e9;
+  double max_p = 0;
+  for (const auto& v : h) {
+    min_p = std::min(min_p, std::norm(v));
+    max_p = std::max(max_p, std::norm(v));
+  }
+  EXPECT_GT(max_p / std::max(min_p, 1e-9), 1.5);
+}
+
+TEST(FadingTest, DeterministicGivenSeed) {
+  FadingProcess a(FadingConfig{}, Rng(5));
+  FadingProcess b(FadingConfig{}, Rng(5));
+  std::array<std::complex<double>, kNumSubcarriers> ha, hb;
+  a.response(7.7, ht20_subcarrier_offsets_hz(), ha);
+  b.response(7.7, ht20_subcarrier_offsets_hz(), hb);
+  for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+    EXPECT_EQ(ha[k], hb[k]);
+  }
+}
+
+TEST(FadingTest, Ht20SubcarrierLayout) {
+  auto offsets = ht20_subcarrier_offsets_hz();
+  ASSERT_EQ(offsets.size(), kNumSubcarriers);
+  EXPECT_DOUBLE_EQ(offsets.front(), -28 * 312.5e3);
+  EXPECT_DOUBLE_EQ(offsets.back(), 28 * 312.5e3);
+  for (double o : offsets) EXPECT_NE(o, 0.0);  // DC is unused
+}
+
+// ---------------------------------------------------------------------------
+// Composite channel model
+// ---------------------------------------------------------------------------
+
+class ChannelModelTest : public ::testing::Test {
+ protected:
+  ChannelModelTest()
+      : model(RadioConfig{18.0, 20.0, 35.0, 20e6, 6.0, 2.462e9},
+              PathLossConfig{}, ShadowingConfig{}, FadingConfig{}, Rng(42)) {
+    ApSite site;
+    site.id = 1;
+    site.position = {0.0, 15.0, 8.0};
+    site.boresight = Vec3{0.0, -15.0, -6.5}.normalized();
+    site.antenna = std::make_shared<ParabolicAntenna>(14.0, 21.0, 32.0);
+    model.add_ap(site);
+    ApSite site2 = site;
+    site2.id = 2;
+    site2.position = {7.5, 15.0, 8.0};
+    model.add_ap(site2);
+  }
+  ChannelModel model;
+};
+
+TEST_F(ChannelModelTest, NoiseFloor) {
+  EXPECT_NEAR(model.noise_floor_dbm(), -95.0, 0.1);
+}
+
+TEST_F(ChannelModelTest, ReciprocalFading) {
+  // Up- and downlink CSI must differ only by the TX power offset — the
+  // property WGTT relies on to predict downlink delivery from uplink CSI.
+  model.add_client(net::kClientBase,
+                   std::make_shared<StaticMobility>(Vec3{0, 0, 1.5}));
+  const auto down = model.downlink_csi(1, net::kClientBase, Time::ms(5));
+  const auto up = model.uplink_csi(1, net::kClientBase, Time::ms(5));
+  const double offset = 18.0 - 20.0;  // ap_tx - client_tx
+  for (std::size_t k = 0; k < phy::kNumSubcarriers; ++k) {
+    EXPECT_NEAR(down.subcarrier_snr_db[k] - up.subcarrier_snr_db[k], offset,
+                1e-9);
+  }
+}
+
+TEST_F(ChannelModelTest, PicocellShape) {
+  // SNR at the cell centre is strong; 20 m down the road it is unusable.
+  model.add_client(net::kClientBase,
+                   std::make_shared<StaticMobility>(Vec3{0, 0, 1.5}));
+  model.add_client(net::kClientBase + 1,
+                   std::make_shared<StaticMobility>(Vec3{20, 0, 1.5}));
+  const double center =
+      model.downlink_csi(1, net::kClientBase, Time::zero()).mean_snr_db();
+  const double far =
+      model.downlink_csi(1, net::kClientBase + 1, Time::zero()).mean_snr_db();
+  EXPECT_GT(center, 10.0);
+  EXPECT_LT(far, 5.0);
+  EXPECT_GT(center - far, 10.0);
+}
+
+TEST_F(ChannelModelTest, BestApTracksPosition) {
+  model.add_client(net::kClientBase,
+                   std::make_shared<StaticMobility>(Vec3{0, 0, 1.5}));
+  model.add_client(net::kClientBase + 1,
+                   std::make_shared<StaticMobility>(Vec3{7.5, 0, 1.5}));
+  EXPECT_EQ(model.best_ap(net::kClientBase, Time::zero()), 1u);
+  EXPECT_EQ(model.best_ap(net::kClientBase + 1, Time::zero()), 2u);
+}
+
+TEST_F(ChannelModelTest, ApToApCouplingIsWeak) {
+  // Directional antennas + the AP system loss (twice) bury AP-AP coupling
+  // far below carrier sense — the hidden-terminal regime of the testbed.
+  const double gain = model.path_gain_db(1, 2, Time::zero());
+  EXPECT_LT(18.0 + gain, -90.0);  // received power way below CS at -82 dBm
+}
+
+TEST_F(ChannelModelTest, ClientToClientGain) {
+  model.add_client(net::kClientBase,
+                   std::make_shared<StaticMobility>(Vec3{0, 0, 1.5}));
+  model.add_client(net::kClientBase + 1,
+                   std::make_shared<StaticMobility>(Vec3{3, 0, 1.5}));
+  const double g =
+      model.client_to_client_gain_db(net::kClientBase, net::kClientBase + 1,
+                                     Time::zero());
+  // Two cars 3 m apart hear each other loudly (carrier sense holds).
+  EXPECT_GT(20.0 + g, -82.0);
+}
+
+TEST_F(ChannelModelTest, RssiConsistentWithSnr) {
+  model.add_client(net::kClientBase,
+                   std::make_shared<StaticMobility>(Vec3{0, 0, 1.5}));
+  const auto csi = model.downlink_csi(1, net::kClientBase, Time::zero());
+  EXPECT_NEAR(csi.rssi_dbm - model.noise_floor_dbm(), csi.mean_snr_db(), 6.0);
+}
+
+}  // namespace
+}  // namespace wgtt::channel

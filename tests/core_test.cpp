@@ -1,0 +1,525 @@
+// Unit tests for the WGTT core: cyclic queue, de-duplication, association
+// table, AP selector, queue stack, and the switching protocol wired over a
+// real backhaul (stop/start/ack, retransmission, bootstrap).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ap_queue_stack.h"
+#include "core/ap_selector.h"
+#include "core/association.h"
+#include "core/control_messages.h"
+#include "core/cyclic_queue.h"
+#include "core/dedup.h"
+#include "core/wgtt_controller.h"
+#include "net/backhaul.h"
+#include "sim/scheduler.h"
+
+namespace wgtt::core {
+namespace {
+
+net::PacketPtr mk(std::uint32_t index, Time created = Time::zero()) {
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.index = index;
+  p.size_bytes = 1500;
+  p.created = created;
+  return net::make_packet(p);
+}
+
+// ---------------------------------------------------------------------------
+// CyclicQueue
+// ---------------------------------------------------------------------------
+
+TEST(CyclicQueueTest, FifoByIndex) {
+  CyclicQueue q;
+  for (std::uint32_t i = 0; i < 10; ++i) q.insert(i, mk(i));
+  EXPECT_EQ(q.pending(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    auto item = q.pop();
+    ASSERT_TRUE(item);
+    EXPECT_EQ(item->first, i);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CyclicQueueTest, PopSkipsGaps) {
+  CyclicQueue q;
+  q.insert(0, mk(0));
+  q.insert(5, mk(5));
+  EXPECT_EQ(q.pop()->first, 0u);
+  EXPECT_EQ(q.pop()->first, 5u);
+  EXPECT_FALSE(q.pop());
+}
+
+TEST(CyclicQueueTest, SetHeadDiscardsDelivered) {
+  CyclicQueue q;
+  for (std::uint32_t i = 0; i < 20; ++i) q.insert(i, mk(i));
+  q.set_head(10);  // start(c, k = 10)
+  EXPECT_EQ(q.discarded(), 10u);
+  EXPECT_EQ(q.pending(), 10u);
+  EXPECT_EQ(q.pop()->first, 10u);
+}
+
+TEST(CyclicQueueTest, IndexWraparound) {
+  CyclicQueue q;
+  // Fill across the 4096 boundary.
+  for (std::uint32_t i = 4090; i < 4096 + 6; ++i) {
+    q.insert(i & (CyclicQueue::kSlots - 1), mk(i));
+  }
+  q.set_head(4090);
+  std::uint32_t expect = 4090;
+  while (auto item = q.pop()) {
+    EXPECT_EQ(item->first, expect & (CyclicQueue::kSlots - 1));
+    ++expect;
+  }
+  EXPECT_EQ(expect, 4096u + 6u);
+}
+
+TEST(CyclicQueueTest, OverwriteCountsOverrun) {
+  CyclicQueue q;
+  q.insert(7, mk(7));
+  q.insert(7, mk(7));  // producer lapped the ring
+  EXPECT_EQ(q.overruns(), 1u);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(CyclicQueueTest, BackwardSetHeadIsReposition) {
+  CyclicQueue q;
+  q.insert(100, mk(100));
+  q.set_head(101);
+  EXPECT_TRUE(q.empty());
+  q.set_head(50);  // "backwards": authoritative reset, nothing discarded
+  q.insert(50, mk(50));
+  EXPECT_EQ(q.pop()->first, 50u);
+}
+
+TEST(CyclicQueueTest, ClearResets) {
+  CyclicQueue q;
+  for (std::uint32_t i = 0; i < 5; ++i) q.insert(i, mk(i));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.head(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ApQueueStack (the Fig. 7 buffering stack)
+// ---------------------------------------------------------------------------
+
+class QueueStackWorld {
+ public:
+  QueueStackWorld()
+      : channel(channel::RadioConfig{18.0, 20.0, 0.0, 20e6, 6.0, 2.462e9},
+                channel::PathLossConfig{}, channel::ShadowingConfig{},
+                channel::FadingConfig{}, Rng(3)),
+        medium(sched, channel),
+        ctx(sched, medium, channel, error_model, Rng(4)) {
+    channel::ApSite site;
+    site.id = 1;
+    site.position = {0.0, 10.0, 5.0};
+    site.boresight = channel::Vec3{0, -10, -3.5}.normalized();
+    site.antenna = std::make_shared<channel::ParabolicAntenna>();
+    channel.add_ap(site);
+    channel.add_client(net::kClientBase,
+                       std::make_shared<channel::StaticMobility>(
+                           channel::Vec3{0, 0, 1.5}));
+    mac::WifiDeviceConfig ap_cfg;
+    ap_cfg.is_ap = true;
+    ap_cfg.bssid = 1;
+    ap = std::make_unique<mac::WifiDevice>(ctx, 1, ap_cfg);
+    mac::WifiDeviceConfig cl_cfg;
+    cl_cfg.bssid = 1;
+    client = std::make_unique<mac::WifiDevice>(ctx, net::kClientBase, cl_cfg);
+  }
+  net::PacketPtr pkt(std::uint32_t index) {
+    net::Packet p;
+    p.type = net::PacketType::kData;
+    p.dst = net::kClientBase;
+    p.index = index;
+    p.size_bytes = 1500;
+    p.created = sched.now();
+    return net::make_packet(p);
+  }
+  sim::Scheduler sched;
+  phy::ErrorModel error_model;
+  channel::ChannelModel channel;
+  mac::Medium medium;
+  mac::MacContext ctx;
+  std::unique_ptr<mac::WifiDevice> ap;
+  std::unique_ptr<mac::WifiDevice> client;
+};
+
+TEST(ApQueueStackTest, InactiveStackOnlyBuffers) {
+  QueueStackWorld w;
+  ApQueueStack stack(w.sched, *w.ap, net::kClientBase);
+  for (std::uint32_t i = 0; i < 50; ++i) stack.on_downlink(i, w.pkt(i));
+  EXPECT_EQ(stack.cyclic_pending(), 50u);
+  EXPECT_EQ(stack.nic_pending(), 0u);  // nothing reaches the NIC until active
+  EXPECT_EQ(stack.next_nic_index(), 0u);
+}
+
+TEST(ApQueueStackTest, ActivationFeedsNicAndTransmits) {
+  QueueStackWorld w;
+  ApQueueStack stack(w.sched, *w.ap, net::kClientBase);
+  int delivered = 0;
+  w.client->on_deliver = [&](net::PacketPtr, const mac::RxMeta&) {
+    ++delivered;
+  };
+  for (std::uint32_t i = 0; i < 50; ++i) stack.on_downlink(i, w.pkt(i));
+  stack.activate(0);
+  w.sched.run_until(Time::ms(300));
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(stack.total_backlog(), 0u);
+}
+
+TEST(ApQueueStackTest, DeactivateReturnsFirstUnsentIndex) {
+  QueueStackWorld w;
+  ApQueueStack stack(w.sched, *w.ap, net::kClientBase);
+  for (std::uint32_t i = 0; i < 600; ++i) stack.on_downlink(i, w.pkt(i));
+  stack.activate(0);
+  w.sched.run_until(Time::ms(50));  // deliver some, backlog remains
+  const std::size_t nic_before = stack.nic_pending();
+  const std::uint32_t k = stack.deactivate();
+  // k = everything already handed to the NIC (sent or in its queue).
+  std::uint64_t acked = w.ap->stats().mpdus_delivered;
+  EXPECT_GE(k, acked);
+  EXPECT_GT(k, 0u);
+  // Kernel stage flushed; NIC keeps its frames (paper: the 6 ms drain).
+  EXPECT_EQ(stack.kernel_pending(), 0u);
+  EXPECT_GT(stack.kernel_flushed(), 0u);
+  EXPECT_EQ(stack.nic_pending(), nic_before);
+  EXPECT_FALSE(stack.active());
+}
+
+TEST(ApQueueStackTest, HandoverResumesExactlyAtK) {
+  QueueStackWorld w;
+  // AP1's stack runs for a while; AP2's stack buffered everything too.
+  ApQueueStack stack1(w.sched, *w.ap, net::kClientBase);
+  for (std::uint32_t i = 0; i < 400; ++i) stack1.on_downlink(i, w.pkt(i));
+  stack1.activate(0);
+  w.sched.run_until(Time::ms(60));
+  const std::uint32_t k = stack1.deactivate();
+  // A fresh stack (the next AP) with the same packets picks up at k.
+  ApQueueStack stack2(w.sched, *w.ap, net::kClientBase + 50);  // other peer
+  for (std::uint32_t i = 0; i < 400; ++i) stack2.on_downlink(i, w.pkt(i));
+  stack2.activate(k);
+  EXPECT_EQ(stack2.cyclic().discarded(), k);  // 0..k-1 already delivered
+  // Activation immediately feeds the NIC, so the next kernel->NIC index sits
+  // exactly nic_pending() past k: no packet skipped, none duplicated.
+  EXPECT_EQ(stack2.next_nic_index(),
+            (k + stack2.nic_pending()) & (net::kIndexSpace - 1));
+}
+
+TEST(ApQueueStackTest, StalePacketsDroppedOnDequeue) {
+  QueueStackWorld w;
+  QueueStackConfig cfg;
+  cfg.max_packet_age = Time::ms(100);
+  ApQueueStack stack(w.sched, *w.ap, net::kClientBase, cfg);
+  for (std::uint32_t i = 0; i < 20; ++i) stack.on_downlink(i, w.pkt(i));
+  // Let the packets age out while inactive, then activate.
+  w.sched.run_until(Time::ms(500));
+  stack.activate(0);
+  w.sched.run_until(Time::ms(600));
+  EXPECT_EQ(stack.stale_dropped(), 20u);
+}
+
+// ---------------------------------------------------------------------------
+// Deduplicator
+// ---------------------------------------------------------------------------
+
+TEST(DedupTest, DropsSecondCopy) {
+  Deduplicator d;
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.src = net::kClientBase;
+  p.ip_id = 42;
+  EXPECT_FALSE(d.is_duplicate(p, Time::ms(1)));
+  EXPECT_TRUE(d.is_duplicate(p, Time::ms(2)));
+  EXPECT_TRUE(d.is_duplicate(p, Time::ms(3)));
+  EXPECT_EQ(d.duplicates_dropped(), 2u);
+}
+
+TEST(DedupTest, DistinctPacketsPass) {
+  Deduplicator d;
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.src = net::kClientBase;
+  for (std::uint16_t id = 0; id < 100; ++id) {
+    p.ip_id = id;
+    EXPECT_FALSE(d.is_duplicate(p, Time::ms(id)));
+  }
+}
+
+TEST(DedupTest, WindowExpiry) {
+  Deduplicator d(Time::sec(1));
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.src = net::kClientBase;
+  p.ip_id = 1;
+  EXPECT_FALSE(d.is_duplicate(p, Time::sec(0)));
+  EXPECT_FALSE(d.is_duplicate(p, Time::sec(5)));  // key aged out (IP-ID reuse)
+}
+
+TEST(DedupTest, NonIpExempt) {
+  // ARP-style packets carry no IP-ID and bypass de-duplication (§3.2.2).
+  Deduplicator d;
+  net::Packet p;
+  p.type = net::PacketType::kMgmt;
+  p.src = net::kClientBase;
+  p.ip_id = 9;
+  EXPECT_FALSE(d.is_duplicate(p, Time::ms(1)));
+  EXPECT_FALSE(d.is_duplicate(p, Time::ms(2)));
+}
+
+// ---------------------------------------------------------------------------
+// AssociationTable
+// ---------------------------------------------------------------------------
+
+TEST(AssociationTest, AddFindRemove) {
+  AssociationTable t;
+  StaInfo info;
+  info.client = net::kClientBase;
+  info.authorized = true;
+  info.associating_ap = 3;
+  EXPECT_TRUE(t.add(info));
+  EXPECT_FALSE(t.add(info));  // refresh, not new
+  EXPECT_TRUE(t.known(net::kClientBase));
+  EXPECT_TRUE(t.authorized(net::kClientBase));
+  ASSERT_NE(t.find(net::kClientBase), nullptr);
+  EXPECT_EQ(t.find(net::kClientBase)->associating_ap, 3u);
+  t.remove(net::kClientBase);
+  EXPECT_FALSE(t.known(net::kClientBase));
+}
+
+TEST(AssociationTest, ClientEnumeration) {
+  AssociationTable t;
+  for (net::NodeId c = net::kClientBase; c < net::kClientBase + 3; ++c) {
+    StaInfo info;
+    info.client = c;
+    t.add(info);
+  }
+  EXPECT_EQ(t.clients().size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// MedianEsnrSelector
+// ---------------------------------------------------------------------------
+
+TEST(SelectorTest, MedianOfWindow) {
+  MedianEsnrSelector sel(Time::ms(10), 2);
+  sel.add_reading(1, Time::ms(1), 10.0);
+  sel.add_reading(1, Time::ms(2), 30.0);
+  sel.add_reading(1, Time::ms(3), 20.0);
+  auto m = sel.median(1, Time::ms(5));
+  ASSERT_TRUE(m);
+  EXPECT_DOUBLE_EQ(*m, 20.0);
+}
+
+TEST(SelectorTest, MinReadingsGate) {
+  MedianEsnrSelector sel(Time::ms(10), 2);
+  sel.add_reading(1, Time::ms(1), 10.0);
+  EXPECT_FALSE(sel.median(1, Time::ms(2)));
+  EXPECT_EQ(sel.select(Time::ms(2)), 0u);
+}
+
+TEST(SelectorTest, WindowSlides) {
+  MedianEsnrSelector sel(Time::ms(10), 2);
+  sel.add_reading(1, Time::ms(1), 30.0);
+  sel.add_reading(1, Time::ms(2), 30.0);
+  sel.add_reading(1, Time::ms(14), 5.0);
+  sel.add_reading(1, Time::ms(15), 5.0);
+  sel.prune(Time::ms(16));
+  // The 30 dB readings fell out of the 10 ms window.
+  EXPECT_DOUBLE_EQ(*sel.median(1, Time::ms(16)), 5.0);
+}
+
+TEST(SelectorTest, PicksArgmaxMedian) {
+  MedianEsnrSelector sel(Time::ms(10), 2);
+  for (int i = 0; i < 4; ++i) {
+    sel.add_reading(1, Time::ms(i), 10.0 + i);        // median ~11.5
+    sel.add_reading(2, Time::ms(i), 18.0 - i);        // median ~16.5
+    sel.add_reading(3, Time::ms(i), 5.0);
+  }
+  EXPECT_EQ(sel.select(Time::ms(5)), 2u);
+}
+
+TEST(SelectorTest, MedianRobustToSpike) {
+  // One constructive-fade spike must not flip the selection — the reason
+  // WGTT uses the median rather than the latest reading (§3.1.1).
+  MedianEsnrSelector sel(Time::ms(10), 2);
+  for (int i = 0; i < 5; ++i) sel.add_reading(1, Time::ms(i), 15.0);
+  for (int i = 0; i < 4; ++i) sel.add_reading(2, Time::ms(i), 8.0);
+  sel.add_reading(2, Time::ms(4), 40.0);  // spike
+  EXPECT_EQ(sel.select(Time::ms(5)), 1u);
+}
+
+TEST(SelectorTest, ApsInRange) {
+  MedianEsnrSelector sel(Time::ms(10), 2);
+  sel.add_reading(1, Time::ms(1), 10.0);
+  sel.add_reading(2, Time::ms(8), 10.0);
+  auto in_range = sel.aps_in_range(Time::ms(13));
+  // AP1's reading is 12 ms old (outside W); AP2's is 5 ms old.
+  ASSERT_EQ(in_range.size(), 1u);
+  EXPECT_EQ(in_range[0], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Controller switch FSM over a real backhaul (without radios: we inject
+// CSI reports and emulate the AP side's stop/start handling).
+// ---------------------------------------------------------------------------
+
+class SwitchFsmTest : public ::testing::Test {
+ protected:
+  SwitchFsmTest()
+      : backhaul(sched, net::BackhaulConfig{}, Rng(1)),
+        controller(sched, backhaul, {1, 2}, ControllerConfig{}) {}
+
+  void attach_ap(net::NodeId id, bool respond_to_stop) {
+    backhaul.attach(id, [this, id, respond_to_stop](
+                            const net::TunneledPacket& f) {
+      auto inner = net::decapsulate(f);
+      if (inner->type == net::PacketType::kStop && respond_to_stop) {
+        const auto* stop = net::payload_as<StopMsg>(*inner);
+        ASSERT_NE(stop, nullptr);
+        ++stops_seen;
+        // Forward start to the next AP (we shortcut straight to the ack).
+        net::Packet ack;
+        ack.type = net::PacketType::kSwitchAck;
+        ack.size_bytes = SwitchAckMsg::kWireBytes;
+        ack.payload = SwitchAckMsg{stop->client, stop->next_ap,
+                                   stop->switch_id};
+        ack.src = stop->next_ap;
+        ack.dst = net::kControllerId;
+        backhaul.send(net::encapsulate(net::make_packet(std::move(ack)),
+                                       stop->next_ap, net::kControllerId));
+      } else if (inner->type == net::PacketType::kStop) {
+        ++stops_seen;  // swallow: ack never comes
+      }
+    });
+  }
+
+  void join_client(net::NodeId ap) {
+    StaInfo info;
+    info.client = net::kClientBase;
+    info.associating_ap = ap;
+    net::Packet p;
+    p.type = net::PacketType::kAssocSync;
+    p.size_bytes = ClientJoinedMsg::kWireBytes;
+    p.payload = ClientJoinedMsg{info};
+    backhaul.send(net::encapsulate(net::make_packet(std::move(p)), ap,
+                                   net::kControllerId));
+  }
+
+  void feed_csi(net::NodeId ap, double esnr_snr_db, int count) {
+    for (int i = 0; i < count; ++i) {
+      phy::Csi csi;
+      for (auto& s : csi.subcarrier_snr_db) s = esnr_snr_db;
+      net::Packet p;
+      p.type = net::PacketType::kCsiReport;
+      p.size_bytes = CsiReportMsg::kWireBytes;
+      p.payload = CsiReportMsg{ap, net::kClientBase, csi};
+      backhaul.send(net::encapsulate(net::make_packet(std::move(p)), ap,
+                                     net::kControllerId));
+    }
+  }
+
+  sim::Scheduler sched;
+  net::Backhaul backhaul;
+  WgttController controller;
+  int stops_seen = 0;
+};
+
+TEST_F(SwitchFsmTest, BootstrapSetsActiveAp) {
+  attach_ap(1, true);
+  attach_ap(2, true);
+  join_client(1);
+  sched.run_until(Time::ms(10));
+  EXPECT_EQ(controller.active_ap(net::kClientBase), 1u);
+}
+
+TEST_F(SwitchFsmTest, SwitchesToBetterAp) {
+  attach_ap(1, true);
+  attach_ap(2, true);
+  join_client(1);
+  sched.run_until(Time::ms(50));
+  // AP2 reports much better CSI repeatedly.
+  for (int burst = 0; burst < 10; ++burst) {
+    sched.schedule(Time::ms(burst * 2), [this]() {
+      feed_csi(1, 5.0, 2);
+      feed_csi(2, 18.0, 2);
+    });
+  }
+  sched.run_until(Time::ms(200));
+  EXPECT_EQ(controller.active_ap(net::kClientBase), 2u);
+  EXPECT_EQ(controller.stats().switches_completed, 1u);
+  EXPECT_EQ(stops_seen, 1);
+}
+
+TEST_F(SwitchFsmTest, StopRetransmittedOnAckTimeout) {
+  attach_ap(1, /*respond_to_stop=*/false);  // ack never arrives
+  attach_ap(2, true);
+  join_client(1);
+  sched.run_until(Time::ms(50));
+  for (int burst = 0; burst < 40; ++burst) {
+    sched.schedule(Time::ms(burst * 2), [this]() {
+      feed_csi(1, 5.0, 2);
+      feed_csi(2, 18.0, 2);
+    });
+  }
+  sched.run_until(Time::ms(200));
+  // 30 ms ack timeout -> multiple stop retransmissions, switch still open.
+  EXPECT_GT(controller.stats().stop_retransmissions, 1u);
+  EXPECT_GE(stops_seen, 3);
+  EXPECT_EQ(controller.stats().switches_completed, 0u);
+  EXPECT_EQ(controller.active_ap(net::kClientBase), 1u);
+}
+
+TEST_F(SwitchFsmTest, HysteresisBlocksRapidSwitches) {
+  ControllerConfig cfg;
+  cfg.switch_hysteresis = Time::ms(500);
+  WgttController slow(sched, backhaul, {1, 2}, cfg);
+  // (The fixture controller also attached to the backhaul as the
+  // controller id; detach by re-attaching ours last.)
+  attach_ap(1, true);
+  attach_ap(2, true);
+  StaInfo info;
+  info.client = net::kClientBase;
+  info.associating_ap = 1;
+  net::Packet p;
+  p.type = net::PacketType::kAssocSync;
+  p.size_bytes = ClientJoinedMsg::kWireBytes;
+  p.payload = ClientJoinedMsg{info};
+  backhaul.send(net::encapsulate(net::make_packet(std::move(p)), 1,
+                                 net::kControllerId));
+  for (int burst = 0; burst < 100; ++burst) {
+    sched.schedule(Time::ms(burst * 2), [this]() {
+      feed_csi(1, 5.0, 2);
+      feed_csi(2, 18.0, 2);
+    });
+  }
+  sched.run_until(Time::ms(400));
+  // The bootstrap counts as the hysteresis anchor: no switch before 500 ms.
+  EXPECT_EQ(slow.stats().switches_completed, 0u);
+}
+
+TEST_F(SwitchFsmTest, UplinkDedupAtController) {
+  attach_ap(1, true);
+  int delivered = 0;
+  controller.on_uplink = [&](net::PacketPtr) { ++delivered; };
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.src = net::kClientBase;
+  p.dst = net::kServerBase;
+  p.ip_id = 77;
+  p.size_bytes = 1500;
+  auto pkt = net::make_packet(std::move(p));
+  // Same packet tunneled by two APs (both heard it).
+  backhaul.send(net::encapsulate(pkt, 1, net::kControllerId));
+  backhaul.send(net::encapsulate(pkt, 2, net::kControllerId));
+  sched.run_until(Time::ms(10));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(controller.stats().uplink_duplicates, 1u);
+}
+
+}  // namespace
+}  // namespace wgtt::core

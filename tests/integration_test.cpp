@@ -1,0 +1,259 @@
+// End-to-end integration tests: the full WGTT system (channel, MAC,
+// controller, APs, transport) exercised through the scenario layer, plus
+// invariants the paper's design guarantees (no duplicate delivery, switch
+// protocol liveness, BA forwarding actually recovering losses).
+#include <gtest/gtest.h>
+
+#include "apps/bulk.h"
+#include "scenario/experiment.h"
+#include "scenario/testbed.h"
+
+namespace wgtt::scenario {
+namespace {
+
+TEST(IntegrationTest, WgttClientAssociatesAndReceives) {
+  TestbedConfig tb;
+  tb.seed = 1;
+  Testbed bed(tb);
+  WgttNetwork net(bed);
+  const net::NodeId client = net.add_client(bed.drive_mobility(15.0));
+
+  transport::IpIdAllocator ids;
+  transport::UdpFlowConfig ucfg;
+  ucfg.flow_id = 100;
+  ucfg.src = kServerId;
+  ucfg.dst = client;
+  ucfg.offered_load_bps = 5e6;
+  apps::BulkUdpApp app(bed.sched(), ids, ucfg);
+  net.wire_udp_downlink(app.sender(), app.receiver(), client);
+  bed.sched().schedule_at(Time::ms(500), [&]() { app.start(); });
+  bed.sched().run_until(Time::sec(5));
+
+  EXPECT_NE(net.controller().active_ap(client), 0u);
+  EXPECT_GT(app.receiver().received(), 100u);
+  // The receiver never sees the same UDP sequence twice: cyclic-queue
+  // handover plus controller de-dup guarantee no duplicate delivery.
+  EXPECT_EQ(app.receiver().duplicates(), 0u);
+}
+
+TEST(IntegrationTest, SwitchesFollowTheCar) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kUdpDownlink;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 7;
+  auto r = run_drive(cfg);
+  // Multiple switches, and the active-AP sequence trends forward along the
+  // road (AP ids increase over time, modulo fast-fading local flips).
+  EXPECT_GT(r.switches.size(), 10u);
+  const auto& tl = r.clients[0].timeline;
+  net::NodeId first_ap = 0;
+  net::NodeId last_ap = 0;
+  for (const auto& pt : tl) {
+    if (pt.active != 0 && pt.in_coverage) {
+      if (first_ap == 0) first_ap = pt.active;
+      last_ap = pt.active;
+    }
+  }
+  EXPECT_LT(first_ap, 3u);
+  EXPECT_GT(last_ap, 6u);
+}
+
+TEST(IntegrationTest, SwitchLatencyMatchesTable1) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kUdpDownlink;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 7;
+  auto r = run_drive(cfg);
+  ASSERT_GT(r.switch_latencies_ms.size(), 5u);
+  double mean = 0;
+  for (double v : r.switch_latencies_ms) mean += v;
+  mean /= static_cast<double>(r.switch_latencies_ms.size());
+  EXPECT_GT(mean, 12.0);
+  EXPECT_LT(mean, 25.0);
+}
+
+TEST(IntegrationTest, WgttSwitchingAccuracyHigh) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kUdpDownlink;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 42;
+  auto r = run_drive(cfg);
+  EXPECT_GT(r.clients[0].switching_accuracy, 0.8);
+}
+
+TEST(IntegrationTest, WgttBeatsBaselineAtDrivingSpeed) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kUdpDownlink;
+  cfg.speed_mph = 20.0;
+  cfg.seed = 42;
+  cfg.system = SystemType::kWgtt;
+  const double wgtt = run_drive(cfg).mean_goodput_mbps();
+  cfg.system = SystemType::kEnhanced80211r;
+  const double base = run_drive(cfg).mean_goodput_mbps();
+  EXPECT_GT(wgtt, base * 1.5);  // the paper's headline direction
+}
+
+TEST(IntegrationTest, TcpSurvivesWholeTransit) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kTcpDownlink;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 42;
+  auto r = run_drive(cfg);
+  const auto& c = r.clients[0];
+  EXPECT_GT(c.goodput_mbps, 2.0);
+  // Throughput present in the middle AND the late portion of the drive
+  // (the baseline's failure mode is dying halfway).
+  const auto& bins = c.throughput_bins;
+  ASSERT_GT(bins.size(), 10u);
+  double late = 0;
+  for (std::size_t i = bins.size() / 2; i + 2 < bins.size(); ++i) {
+    late += bins[i].second;
+  }
+  EXPECT_GT(late, 1.0);
+}
+
+TEST(IntegrationTest, BlockAckForwardingRecoversLosses) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kUdpDownlink;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 42;
+  TestbedConfig tb;
+  Testbed bed(tb);
+  WgttNetwork net(bed);
+  const net::NodeId client = net.add_client(bed.drive_mobility(15.0));
+  transport::IpIdAllocator ids;
+  transport::UdpFlowConfig ucfg;
+  ucfg.flow_id = 100;
+  ucfg.src = kServerId;
+  ucfg.dst = client;
+  ucfg.offered_load_bps = 15e6;
+  apps::BulkUdpApp app(bed.sched(), ids, ucfg);
+  net.wire_udp_downlink(app.sender(), app.receiver(), client);
+  bed.sched().schedule_at(Time::ms(500), [&]() { app.start(); });
+  bed.sched().run_until(bed.transit_duration(15.0));
+
+  std::uint64_t forwarded = 0;
+  std::uint64_t duplicates = 0;
+  for (net::NodeId ap : bed.ap_ids()) {
+    forwarded += net.ap(ap).stats().block_acks_forwarded;
+    duplicates += net.ap(ap).stats().forwarded_bas_duplicate;
+  }
+  // Monitor-mode APs overhear and forward BAs continuously, and the
+  // receiving AP's duplicate filter is exercised (several monitors forward
+  // the same BA).  Actual exchange recovery is rare end-to-end — the
+  // reciprocal channel means a delivered aggregate's BA usually survives,
+  // and WGTT switches away before cell-edge BA loss bites; the recovery
+  // path itself is covered by WifiDeviceTest.ExternalBlockAckRecovers.
+  EXPECT_GT(forwarded, 100u);
+  EXPECT_GT(duplicates, 0u);
+}
+
+TEST(IntegrationTest, MultiClientSharesAirtime) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kUdpDownlink;
+  cfg.num_clients = 2;
+  cfg.pattern = MultiClientPattern::kParallel;
+  cfg.udp_offered_mbps = 10.0;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 13;
+  auto r = run_drive(cfg);
+  ASSERT_EQ(r.clients.size(), 2u);
+  for (const auto& c : r.clients) {
+    EXPECT_GT(c.goodput_mbps, 1.0);  // both clients are served
+  }
+}
+
+TEST(IntegrationTest, OpposingClientsBeatParallel) {
+  auto run_pattern = [](MultiClientPattern p) {
+    DriveScenarioConfig cfg;
+    cfg.traffic = TrafficType::kUdpDownlink;
+    cfg.num_clients = 2;
+    cfg.pattern = p;
+    cfg.udp_offered_mbps = 15.0;
+    cfg.speed_mph = 15.0;
+    cfg.seed = 13;
+    return run_drive(cfg).mean_goodput_mbps();
+  };
+  // The paper's Fig. 20 ordering (allow a small tolerance: fading noise).
+  EXPECT_GT(run_pattern(MultiClientPattern::kOpposing) * 1.15,
+            run_pattern(MultiClientPattern::kParallel));
+}
+
+TEST(IntegrationTest, DeterministicGivenSeed) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kUdpDownlink;
+  cfg.speed_mph = 25.0;
+  cfg.seed = 99;
+  auto a = run_drive(cfg);
+  auto b = run_drive(cfg);
+  EXPECT_DOUBLE_EQ(a.mean_goodput_mbps(), b.mean_goodput_mbps());
+  EXPECT_EQ(a.switches.size(), b.switches.size());
+}
+
+TEST(IntegrationTest, UplinkDiversityRemovesDuplicates) {
+  DriveScenarioConfig cfg;
+  cfg.traffic = TrafficType::kUdpUplink;
+  cfg.udp_offered_mbps = 4.0;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 21;
+  auto r = run_drive(cfg);
+  // Several APs hear each uplink frame; the controller removed duplicates
+  // and the server-side receiver saw each sequence exactly once.
+  EXPECT_GT(r.uplink_duplicates_removed, 100u);
+  EXPECT_LT(r.clients[0].udp_loss_rate, 0.4);
+}
+
+TEST(IntegrationTest, SwitchProtocolWireLevel) {
+  // Drive the real stop/start/ack protocol between two genuine WgttAp
+  // instances and the controller, watching the AP-side state directly
+  // (the SwitchFsm tests in core_test emulate the AP side; this one does
+  // not).
+  TestbedConfig tb;
+  tb.ap_x = {0.0, 7.5};
+  Testbed bed(tb);
+  WgttNetwork net(bed);
+  // A static client parked between the two APs, slightly nearer AP1.
+  const net::NodeId client = net.add_client(
+      std::make_shared<channel::StaticMobility>(channel::Vec3{3.0, 0, 1.5}));
+  bed.sched().run_until(Time::sec(1));
+  const net::NodeId first = net.controller().active_ap(client);
+  ASSERT_NE(first, 0u);
+  EXPECT_TRUE(net.ap(first).active_for(client));
+  const net::NodeId other = first == 1 ? 2 : 1;
+  EXPECT_FALSE(net.ap(other).active_for(client));
+
+  // Force a switch by injecting superior scan-style CSI for the other AP,
+  // sustained so the genuine channel readings cannot flip it back.
+  for (int i = 0; i < 1000; ++i) {
+    bed.sched().schedule(Time::ms(i), [&net, &bed, other, client]() {
+      phy::Csi csi;
+      for (auto& snr : csi.subcarrier_snr_db) snr = 30.0;
+      csi.measured_at = bed.sched().now();
+      net.controller().inject_csi(other, client, csi);
+    });
+  }
+  bed.sched().run_until(Time::sec(2));
+  EXPECT_EQ(net.controller().active_ap(client), other);
+  EXPECT_TRUE(net.ap(other).active_for(client));
+  EXPECT_FALSE(net.ap(first).active_for(client));
+  EXPECT_GE(net.ap(first).stats().stops_handled, 1u);
+  EXPECT_GE(net.ap(other).stats().starts_handled, 1u);
+  // The handed-over stack is inactive; the new one is active.
+  const auto* old_stack = net.ap(first).stack_for(client);
+  ASSERT_NE(old_stack, nullptr);
+  EXPECT_FALSE(old_stack->active());
+}
+
+TEST(IntegrationTest, StockClientFailsAtSpeed) {
+  DriveScenarioConfig cfg;
+  cfg.system = SystemType::kStock80211r;
+  cfg.traffic = TrafficType::kUdpDownlink;
+  cfg.speed_mph = 20.0;
+  cfg.seed = 17;
+  cfg.testbed.ap_x = {0.0, 7.5};
+  auto r = run_drive(cfg);
+  EXPECT_EQ(r.clients[0].handovers, 0u);  // Fig. 4(a)
+}
+
+}  // namespace
+}  // namespace wgtt::scenario

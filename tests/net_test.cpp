@@ -1,0 +1,160 @@
+// Unit tests for net: packet construction, tunneling, dedup keys, and the
+// backhaul latency/ordering model.
+#include <gtest/gtest.h>
+
+#include "net/backhaul.h"
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace wgtt::net {
+namespace {
+
+Packet data_packet(NodeId src, NodeId dst, std::size_t size = 1500) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.src = src;
+  p.dst = dst;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(PacketTest, UniqueUids) {
+  auto a = make_packet(data_packet(1, 2));
+  auto b = make_packet(data_packet(1, 2));
+  EXPECT_NE(a->uid, b->uid);
+}
+
+TEST(PacketTest, NodeClassification) {
+  EXPECT_TRUE(is_ap(1));
+  EXPECT_TRUE(is_ap(8));
+  EXPECT_FALSE(is_ap(kControllerId));
+  EXPECT_TRUE(is_client(kClientBase));
+  EXPECT_FALSE(is_client(kServerBase));
+  EXPECT_FALSE(is_client(5));
+}
+
+TEST(PacketTest, DedupKeyCompositionMatchesPaper) {
+  // 48-bit key: source address ++ IP-ID (§3.2.2).
+  Packet p = data_packet(kClientBase, kServerBase);
+  p.ip_id = 0xBEEF;
+  const std::uint64_t key = dedup_key(p);
+  EXPECT_EQ(key & 0xFFFF, 0xBEEFu);
+  EXPECT_EQ(key >> 16, kClientBase);
+}
+
+TEST(PacketTest, DedupKeyDistinguishesSources) {
+  Packet a = data_packet(kClientBase, kServerBase);
+  Packet b = data_packet(kClientBase + 1, kServerBase);
+  a.ip_id = b.ip_id = 7;
+  EXPECT_NE(dedup_key(a), dedup_key(b));
+}
+
+TEST(PacketTest, PayloadRoundTrip) {
+  struct Custom {
+    int x;
+  };
+  Packet p = data_packet(1, 2);
+  p.payload = Custom{42};
+  auto pkt = make_packet(std::move(p));
+  const Custom* c = payload_as<Custom>(*pkt);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->x, 42);
+  EXPECT_EQ(payload_as<int>(*pkt), nullptr);  // type mismatch -> nullptr
+}
+
+TEST(TunnelTest, EncapAddsOverheadAndPreservesInner) {
+  auto inner = make_packet(data_packet(kClientBase, kServerBase, 1000));
+  TunneledPacket t = encapsulate(inner, 3, kControllerId);
+  EXPECT_EQ(t.outer_src, 3u);
+  EXPECT_EQ(t.outer_dst, kControllerId);
+  EXPECT_EQ(t.wire_bytes, 1000 + kTunnelOverheadBytes);
+  EXPECT_EQ(decapsulate(t)->uid, inner->uid);
+  // Inner addressing unchanged — the AP must still see the client's L2/L3
+  // destination (§3.1.3).
+  EXPECT_EQ(decapsulate(t)->dst, kServerBase);
+}
+
+// ---------------------------------------------------------------------------
+// Backhaul
+// ---------------------------------------------------------------------------
+
+class BackhaulTest : public ::testing::Test {
+ protected:
+  sim::Scheduler sched;
+  BackhaulConfig cfg;
+  Rng rng{99};
+};
+
+TEST_F(BackhaulTest, DeliversToAttachedNode) {
+  cfg.jitter = Time::zero();
+  Backhaul bh(sched, cfg, rng);
+  int got = 0;
+  bh.attach(2, [&](const TunneledPacket&) { ++got; });
+  bh.send(encapsulate(make_packet(data_packet(1, 2)), 1, 2));
+  sched.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(bh.frames_sent(), 1u);
+}
+
+TEST_F(BackhaulTest, DropsToUnattachedNode) {
+  Backhaul bh(sched, cfg, rng);
+  bh.send(encapsulate(make_packet(data_packet(1, 2)), 1, 7));
+  sched.run();
+  EXPECT_EQ(bh.frames_dropped(), 1u);
+  EXPECT_EQ(bh.frames_sent(), 0u);
+}
+
+TEST_F(BackhaulTest, LatencyIncludesSerialization) {
+  cfg.jitter = Time::zero();
+  cfg.base_latency = Time::us(100);
+  cfg.link_rate_bps = 1e9;
+  Backhaul bh(sched, cfg, rng);
+  Time arrival;
+  bh.attach(2, [&](const TunneledPacket&) { arrival = sched.now(); });
+  auto inner = make_packet(data_packet(1, 2, 1000 - kTunnelOverheadBytes));
+  bh.send(encapsulate(inner, 1, 2));  // 1000 bytes on the wire
+  sched.run();
+  // 100 us base + 8 us serialization of 1000 B at 1 Gb/s.
+  EXPECT_EQ(arrival, Time::us(108));
+}
+
+TEST_F(BackhaulTest, FifoPerPairDespiteJitter) {
+  cfg.jitter = Time::us(500);  // heavy jitter
+  Backhaul bh(sched, cfg, rng);
+  std::vector<std::uint64_t> order;
+  bh.attach(2, [&](const TunneledPacket& f) { order.push_back(f.inner->uid); });
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < 20; ++i) {
+    auto pkt = make_packet(data_packet(1, 2, 100));
+    sent.push_back(pkt->uid);
+    bh.send(encapsulate(pkt, 1, 2));
+  }
+  sched.run();
+  EXPECT_EQ(order, sent);
+}
+
+TEST_F(BackhaulTest, LossInjection) {
+  cfg.loss_rate = 1.0;
+  Backhaul bh(sched, cfg, rng);
+  int got = 0;
+  bh.attach(2, [&](const TunneledPacket&) { ++got; });
+  for (int i = 0; i < 10; ++i) {
+    bh.send(encapsulate(make_packet(data_packet(1, 2)), 1, 2));
+  }
+  sched.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(bh.frames_dropped(), 10u);
+}
+
+TEST_F(BackhaulTest, BytesAccounted) {
+  cfg.jitter = Time::zero();
+  Backhaul bh(sched, cfg, rng);
+  bh.attach(2, [](const TunneledPacket&) {});
+  bh.send(encapsulate(make_packet(data_packet(1, 2, 500)), 1, 2));
+  sched.run();
+  EXPECT_EQ(bh.bytes_sent(), 500 + kTunnelOverheadBytes);
+}
+
+}  // namespace
+}  // namespace wgtt::net

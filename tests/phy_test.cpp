@@ -1,0 +1,246 @@
+// Unit + property tests for the PHY: BER curves, ESNR (Halperin), the MCS
+// table, the logistic PER model, and both rate controllers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/csi.h"
+#include "phy/error_model.h"
+#include "phy/esnr.h"
+#include "phy/mcs.h"
+#include "phy/rate_control.h"
+#include "util/units.h"
+
+namespace wgtt::phy {
+namespace {
+
+Csi flat_csi(double snr_db) {
+  Csi csi;
+  for (auto& s : csi.subcarrier_snr_db) s = snr_db;
+  return csi;
+}
+
+// ---------------------------------------------------------------------------
+// BER / ESNR
+// ---------------------------------------------------------------------------
+
+TEST(BerTest, MonotoneDecreasingInSnr) {
+  for (Modulation m : {Modulation::kBpsk, Modulation::kQpsk,
+                       Modulation::kQam16, Modulation::kQam64}) {
+    double prev = 1.0;
+    for (double db = -10; db <= 40; db += 1) {
+      const double b = ber(m, db_to_linear(db));
+      EXPECT_LE(b, prev + 1e-15);
+      prev = b;
+    }
+  }
+}
+
+TEST(BerTest, HigherOrderModulationIsWorse) {
+  const double snr = db_to_linear(10.0);
+  EXPECT_LT(ber(Modulation::kBpsk, snr), ber(Modulation::kQpsk, snr));
+  EXPECT_LT(ber(Modulation::kQpsk, snr), ber(Modulation::kQam16, snr));
+  EXPECT_LT(ber(Modulation::kQam16, snr), ber(Modulation::kQam64, snr));
+}
+
+TEST(BerTest, KnownBpskValue) {
+  // BPSK at 9.6 dB -> BER ~1e-5 (textbook value).
+  EXPECT_NEAR(std::log10(ber(Modulation::kBpsk, db_to_linear(9.6))), -5.0,
+              0.35);
+}
+
+TEST(BerInverseTest, RoundTrip) {
+  for (Modulation m : {Modulation::kBpsk, Modulation::kQpsk,
+                       Modulation::kQam16, Modulation::kQam64}) {
+    for (double target : {1e-2, 1e-3, 1e-5}) {
+      const double snr = ber_inverse(m, target);
+      EXPECT_NEAR(std::log10(ber(m, snr)), std::log10(target), 0.1);
+    }
+  }
+}
+
+TEST(EsnrTest, FlatChannelIsIdentity) {
+  // On a flat channel ESNR equals the per-subcarrier SNR.
+  for (double snr : {5.0, 10.0, 15.0}) {
+    EXPECT_NEAR(effective_snr_db(flat_csi(snr), Modulation::kQam16), snr,
+                0.15);
+  }
+}
+
+TEST(EsnrTest, DeepFadesDominate) {
+  // Half the subcarriers at 20 dB, half at 0 dB: the mean SNR is 10 dB but
+  // the effective SNR must sit far below it — the whole point of ESNR.
+  Csi csi;
+  for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+    csi.subcarrier_snr_db[k] = (k % 2 == 0) ? 20.0 : 0.0;
+  }
+  const double esnr = effective_snr_db(csi, Modulation::kQam16);
+  EXPECT_NEAR(csi.mean_snr_db(), 10.0, 1e-9);
+  EXPECT_LT(esnr, csi.mean_snr_db() - 2.0);  // well below the flat average
+}
+
+TEST(EsnrTest, MonotoneInChannelQuality) {
+  double prev = -100;
+  for (double snr = 0; snr <= 20; snr += 2) {
+    const double e = selection_esnr_db(flat_csi(snr));
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MCS table
+// ---------------------------------------------------------------------------
+
+TEST(McsTest, TableShape) {
+  auto table = mcs_table();
+  ASSERT_EQ(table.size(), kNumMcs);
+  for (unsigned i = 0; i < kNumMcs; ++i) {
+    EXPECT_EQ(table[i].index, i);
+    if (i > 0) {
+      // Faster rates need more SNR.
+      EXPECT_GT(table[i].rate_mbps_lgi, table[i - 1].rate_mbps_lgi);
+      EXPECT_GT(table[i].per50_esnr_db, table[i - 1].per50_esnr_db);
+    }
+  }
+}
+
+TEST(McsTest, KnownRates) {
+  EXPECT_DOUBLE_EQ(mcs(0).rate_mbps_lgi, 6.5);
+  EXPECT_DOUBLE_EQ(mcs(7).rate_mbps_lgi, 65.0);
+  EXPECT_DOUBLE_EQ(mcs(7).rate_mbps_sgi, 72.2);
+  EXPECT_EQ(basic_mcs().index, 0u);
+}
+
+TEST(McsTest, ShortGiSelectable) {
+  EXPECT_DOUBLE_EQ(mcs(3).rate_mbps(false), 26.0);
+  EXPECT_DOUBLE_EQ(mcs(3).rate_mbps(true), 28.9);
+}
+
+// ---------------------------------------------------------------------------
+// Error model
+// ---------------------------------------------------------------------------
+
+TEST(ErrorModelTest, AnchoredAtFiftyPercent) {
+  ErrorModel em;
+  for (const McsInfo& m : mcs_table()) {
+    EXPECT_NEAR(em.per(m, m.per50_esnr_db, 1460), 0.5, 1e-9);
+  }
+}
+
+TEST(ErrorModelTest, SigmoidShape) {
+  ErrorModel em;
+  const McsInfo& m = mcs(4);
+  EXPECT_GT(em.per(m, m.per50_esnr_db - 3.0, 1460), 0.95);
+  EXPECT_LT(em.per(m, m.per50_esnr_db + 3.0, 1460), 0.05);
+}
+
+TEST(ErrorModelTest, MonotoneInEsnr) {
+  ErrorModel em;
+  double prev = 1.1;
+  for (double e = -5; e <= 30; e += 0.5) {
+    const double p = em.per(mcs(3), e, 1460);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+  }
+}
+
+TEST(ErrorModelTest, LongerFramesFailMore) {
+  ErrorModel em;
+  const double e = mcs(3).per50_esnr_db + 1.0;
+  EXPECT_GT(em.per(mcs(3), e, 1460), em.per(mcs(3), e, 100));
+}
+
+TEST(ErrorModelTest, BestMcsForThresholds) {
+  ErrorModel em;
+  // Far below everything: falls back to MCS 0.
+  EXPECT_EQ(em.best_mcs_for(-10.0, 1460).index, 0u);
+  // Comfortably above the whole table: MCS 7.
+  EXPECT_EQ(em.best_mcs_for(35.0, 1460).index, 7u);
+  // Monotone: higher ESNR never selects a slower MCS.
+  unsigned prev = 0;
+  for (double e = 0; e <= 30; e += 0.5) {
+    const unsigned idx = em.best_mcs_for(e, 1460).index;
+    EXPECT_GE(idx, prev);
+    prev = idx;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rate control
+// ---------------------------------------------------------------------------
+
+TEST(MinstrelTest, ConvergesDownOnFailure) {
+  MinstrelRateControl rc;
+  Time now = Time::zero();
+  // Everything above MCS 2 always fails; MCS <= 2 always succeeds.
+  for (int i = 0; i < 300; ++i) {
+    now += Time::ms(2);
+    const McsInfo& m = rc.select(now);
+    const unsigned delivered = m.index <= 2 ? 32 : 0;
+    rc.report(m, 32, delivered, now);
+  }
+  // The steady-state (non-probe) choice must be MCS 2.
+  int mcs2 = 0;
+  int total = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += Time::ms(2);
+    const McsInfo& m = rc.select(now);
+    if (!rc.last_was_probe()) {
+      ++total;
+      if (m.index == 2) ++mcs2;
+    }
+    rc.report(m, 32, m.index <= 2 ? 32 : 0, now);
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(mcs2, total);
+}
+
+TEST(MinstrelTest, ClimbsWhenChannelImproves) {
+  MinstrelRateControl rc;
+  Time now = Time::zero();
+  // Phase 1: only MCS 0 works.
+  for (int i = 0; i < 200; ++i) {
+    now += Time::ms(2);
+    const McsInfo& m = rc.select(now);
+    rc.report(m, 32, m.index == 0 ? 32 : 0, now);
+  }
+  // Phase 2: channel improves, everything up to MCS 5 works.
+  int high_rate_uses = 0;
+  for (int i = 0; i < 400; ++i) {
+    now += Time::ms(2);
+    const McsInfo& m = rc.select(now);
+    rc.report(m, 32, m.index <= 5 ? 32 : 0, now);
+    if (!rc.last_was_probe() && m.index >= 4) ++high_rate_uses;
+  }
+  // Lookaround probing must rediscover the higher rates quickly.
+  EXPECT_GT(high_rate_uses, 150);
+}
+
+TEST(MinstrelTest, ProbesAreFlagged) {
+  MinstrelRateControl rc(MinstrelConfig{0.25, 4});
+  Time now = Time::zero();
+  int probes = 0;
+  for (int i = 0; i < 100; ++i) {
+    now += Time::ms(1);
+    rc.select(now);
+    if (rc.last_was_probe()) ++probes;
+    rc.report(mcs(0), 1, 1, now);
+  }
+  EXPECT_GE(probes, 5);
+  EXPECT_LT(probes, 40);
+}
+
+TEST(EsnrRateControlTest, TracksEsnrAndAges) {
+  ErrorModel em;
+  EsnrRateControl rc(em, Time::ms(50));
+  // No estimate yet: robust rate.
+  EXPECT_EQ(rc.select(Time::ms(1)).index, 0u);
+  rc.update_esnr(25.0, Time::ms(10));
+  EXPECT_GE(rc.select(Time::ms(20)).index, 6u);
+  // Stale estimate: falls back to robust.
+  EXPECT_EQ(rc.select(Time::ms(100)).index, 0u);
+}
+
+}  // namespace
+}  // namespace wgtt::phy

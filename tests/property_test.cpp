@@ -1,0 +1,319 @@
+// Property-based tests (parameterized gtest): invariants that must hold
+// across whole parameter ranges — every MCS, every seed, every sequence
+// offset, every loss rate, every driving speed — rather than at single
+// hand-picked points.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "channel/fading.h"
+#include "core/ap_selector.h"
+#include "core/cyclic_queue.h"
+#include "mac/airtime.h"
+#include "mac/block_ack.h"
+#include "phy/error_model.h"
+#include "phy/esnr.h"
+#include "scenario/experiment.h"
+#include "transport/tcp_connection.h"
+#include "util/rng.h"
+
+namespace wgtt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-MCS invariants
+// ---------------------------------------------------------------------------
+
+class McsProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(McsProperty, PerIsMonotoneDecreasingInEsnr) {
+  phy::ErrorModel em;
+  const phy::McsInfo& m = phy::mcs(GetParam());
+  double prev = 1.0 + 1e-12;
+  for (double e = -10.0; e <= 40.0; e += 0.25) {
+    const double p = em.per(m, e, 1460);
+    EXPECT_LE(p, prev + 1e-12) << "at esnr " << e;
+    prev = p;
+  }
+}
+
+TEST_P(McsProperty, PerAnchoredAtHalf) {
+  phy::ErrorModel em;
+  const phy::McsInfo& m = phy::mcs(GetParam());
+  EXPECT_NEAR(em.per(m, m.per50_esnr_db, 1460), 0.5, 1e-9);
+}
+
+TEST_P(McsProperty, PerMonotoneInLength) {
+  phy::ErrorModel em;
+  const phy::McsInfo& m = phy::mcs(GetParam());
+  const double e = m.per50_esnr_db + 1.5;
+  double prev = 0.0;
+  for (std::size_t bytes : {40u, 100u, 500u, 1000u, 1460u, 4000u}) {
+    const double p = em.per(m, e, bytes);
+    EXPECT_GE(p, prev - 1e-12) << "at " << bytes << " bytes";
+    prev = p;
+  }
+}
+
+TEST_P(McsProperty, CleanWellAboveThreshold) {
+  phy::ErrorModel em;
+  const phy::McsInfo& m = phy::mcs(GetParam());
+  EXPECT_GT(em.delivery_probability(m, m.per50_esnr_db + 6.0, 1460), 0.995);
+}
+
+TEST_P(McsProperty, AirtimeScalesInverselyWithRate) {
+  mac::AirtimeCalculator at;
+  const unsigned idx = GetParam();
+  if (idx == 0) return;
+  // Strictly faster than the previous MCS for the same payload.
+  EXPECT_LT(at.mpdu_duration(phy::mcs(idx), 1500).to_ns(),
+            at.mpdu_duration(phy::mcs(idx - 1), 1500).to_ns());
+}
+
+TEST_P(McsProperty, EsnrOfFlatChannelIsUnbiased) {
+  // For each MCS's modulation, ESNR of a flat channel equals the SNR in the
+  // modulation's sensitive range.
+  const phy::McsInfo& m = phy::mcs(GetParam());
+  phy::Csi csi;
+  const double snr = m.per50_esnr_db;  // mid-sensitivity point
+  for (auto& s : csi.subcarrier_snr_db) s = snr;
+  EXPECT_NEAR(phy::effective_snr_db(csi, m.modulation), snr, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMcs, McsProperty, ::testing::Range(0u, 8u));
+
+// ---------------------------------------------------------------------------
+// Fading realisations across seeds
+// ---------------------------------------------------------------------------
+
+class FadingSeedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FadingSeedProperty, AveragePowerNearUnity) {
+  channel::FadingProcess f(channel::FadingConfig{}, Rng(GetParam()));
+  double p = 0.0;
+  int n = 0;
+  for (double x = 0.0; x < 60.0; x += 0.25) {
+    p += f.wideband_gain(x, channel::ht20_subcarrier_offsets_hz());
+    ++n;
+  }
+  // Single-realisation spatial average: generous tolerance.
+  EXPECT_NEAR(p / n, 1.0, 0.5);
+}
+
+TEST_P(FadingSeedProperty, ResponseIsReproducible) {
+  channel::FadingProcess a(channel::FadingConfig{}, Rng(GetParam()));
+  channel::FadingProcess b(channel::FadingConfig{}, Rng(GetParam()));
+  std::array<std::complex<double>, channel::kNumSubcarriers> ha, hb;
+  a.response(13.7, channel::ht20_subcarrier_offsets_hz(), ha);
+  b.response(13.7, channel::ht20_subcarrier_offsets_hz(), hb);
+  for (std::size_t k = 0; k < ha.size(); ++k) EXPECT_EQ(ha[k], hb[k]);
+}
+
+TEST_P(FadingSeedProperty, ExhibitsDeepFades) {
+  // Rayleigh-like fading must dip well below its mean somewhere: this is
+  // the millisecond structure the whole system exploits.
+  channel::FadingProcess f(channel::FadingConfig{}, Rng(GetParam()));
+  double min_gain = 1e9;
+  double max_gain = 0.0;
+  for (double x = 0.0; x < 30.0; x += 0.01) {
+    const double g = f.wideband_gain(x, channel::ht20_subcarrier_offsets_hz());
+    min_gain = std::min(min_gain, g);
+    max_gain = std::max(max_gain, g);
+  }
+  EXPECT_GT(max_gain / std::max(min_gain, 1e-9), 10.0);  // >10 dB swing
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FadingSeedProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// ---------------------------------------------------------------------------
+// Cyclic queue across start offsets (including the 4096 wrap)
+// ---------------------------------------------------------------------------
+
+class CyclicQueueOffsetProperty
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CyclicQueueOffsetProperty, FifoAcrossWrap) {
+  const std::uint32_t start = GetParam();
+  core::CyclicQueue q;
+  q.set_head(start);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    net::Packet p;
+    p.index = (start + i) & (core::CyclicQueue::kSlots - 1);
+    p.size_bytes = 100;
+    q.insert(p.index, net::make_packet(p));
+  }
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    auto item = q.pop();
+    ASSERT_TRUE(item) << "at offset " << i;
+    EXPECT_EQ(item->first, (start + i) & (core::CyclicQueue::kSlots - 1));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST_P(CyclicQueueOffsetProperty, HandoverMidStream) {
+  const std::uint32_t start = GetParam();
+  core::CyclicQueue q;
+  q.set_head(start);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    net::Packet p;
+    p.index = (start + i) & (core::CyclicQueue::kSlots - 1);
+    q.insert(p.index, net::make_packet(p));
+  }
+  // start(c, k) at k = start + 40.
+  const std::uint32_t k = (start + 40) & (core::CyclicQueue::kSlots - 1);
+  q.set_head(k);
+  EXPECT_EQ(q.pending(), 60u);
+  auto item = q.pop();
+  ASSERT_TRUE(item);
+  EXPECT_EQ(item->first, k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CyclicQueueOffsetProperty,
+                         ::testing::Values(0u, 1u, 1000u, 4000u, 4095u));
+
+// ---------------------------------------------------------------------------
+// Reorder buffer across sequence-space positions
+// ---------------------------------------------------------------------------
+
+class ReorderOffsetProperty : public ::testing::TestWithParam<std::uint16_t> {
+};
+
+TEST_P(ReorderOffsetProperty, ShuffledWindowDeliversInOrder) {
+  const std::uint16_t start = GetParam();
+  std::vector<std::uint16_t> delivered;
+  mac::ReorderBuffer rb([&](net::PacketPtr p) {
+    delivered.push_back(static_cast<std::uint16_t>(p->seq));
+  });
+  // Deliver a 32-frame window in a fixed shuffled order.
+  std::vector<std::uint16_t> order;
+  for (std::uint16_t i = 0; i < 32; ++i) order.push_back(i);
+  Rng rng(start + 5);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1],
+              order[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  // The first frame must establish the window start.
+  rb.on_mpdu(start, [&] {
+    net::Packet p;
+    p.seq = start;
+    return net::make_packet(p);
+  }(), Time::zero());
+  for (std::uint16_t off : order) {
+    const auto seq =
+        static_cast<std::uint16_t>((start + off) & (mac::kSeqModulo - 1));
+    net::Packet p;
+    p.seq = seq;
+    rb.on_mpdu(seq, net::make_packet(p), Time::zero());
+  }
+  ASSERT_EQ(delivered.size(), 32u);
+  for (std::uint16_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(delivered[i],
+              static_cast<std::uint16_t>((start + i) & (mac::kSeqModulo - 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeqPositions, ReorderOffsetProperty,
+                         ::testing::Values(0, 100, 2047, 4080, 4095));
+
+// ---------------------------------------------------------------------------
+// TCP under a sweep of loss rates
+// ---------------------------------------------------------------------------
+
+class TcpLossProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpLossProperty, CompletesAndThroughputDegradesGracefully) {
+  const double loss = GetParam();
+  sim::Scheduler sched;
+  transport::IpIdAllocator ids;
+  transport::TcpConnection conn(sched, ids, transport::TcpConfig{}, 1, 10,
+                                20);
+  Rng rng(static_cast<std::uint64_t>(loss * 1000) + 3);
+  std::uint64_t app_bytes = 0;
+  conn.on_app_receive = [&](std::size_t b, Time) { app_bytes += b; };
+  conn.transmit_data = [&](net::PacketPtr p) {
+    if (rng.bernoulli(loss)) return;
+    sched.schedule(Time::ms(10), [&conn, p]() { conn.on_network_data(p); });
+  };
+  conn.transmit_ack = [&](net::PacketPtr p) {
+    sched.schedule(Time::ms(10), [&conn, p]() { conn.on_network_ack(p); });
+  };
+  conn.app_send(300'000);
+  sched.run_until(Time::sec(120));
+  EXPECT_EQ(app_bytes, 300'000u) << "loss " << loss;
+  // At tiny loss rates a 208-segment transfer can get lucky;
+  // only demand visible recovery work once loss is material.
+  if (loss >= 0.02) {
+    EXPECT_GT(conn.stats().retransmissions, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, TcpLossProperty,
+                         ::testing::Values(0.0, 0.005, 0.02, 0.05, 0.10));
+
+// ---------------------------------------------------------------------------
+// Selector across window sizes
+// ---------------------------------------------------------------------------
+
+class SelectorWindowProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SelectorWindowProperty, MedianBoundedByWindowExtremes) {
+  const Time w = Time::ms(GetParam());
+  core::MedianEsnrSelector sel(w, 1);
+  Rng rng(11);
+  double lo = 1e9;
+  double hi = -1e9;
+  const Time now = Time::ms(1000);
+  for (int i = 0; i < 50; ++i) {
+    const double v = rng.uniform(0.0, 30.0);
+    const Time t = now - Time::ms(rng.uniform(0.0, GetParam() * 0.99));
+    sel.add_reading(1, t, v);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  auto m = sel.median(1, now);
+  ASSERT_TRUE(m);
+  EXPECT_GE(*m, lo);
+  EXPECT_LE(*m, hi);
+}
+
+TEST_P(SelectorWindowProperty, PruneDropsEverythingPastWindow) {
+  const Time w = Time::ms(GetParam());
+  core::MedianEsnrSelector sel(w, 1);
+  sel.add_reading(1, Time::ms(0), 10.0);
+  const Time later = Time::ms(GetParam()) + Time::ms(1);
+  sel.prune(later);
+  EXPECT_FALSE(sel.median(1, later));
+  EXPECT_TRUE(sel.aps_in_range(later).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, SelectorWindowProperty,
+                         ::testing::Values(2, 5, 10, 50, 200));
+
+// ---------------------------------------------------------------------------
+// End-to-end across driving speeds
+// ---------------------------------------------------------------------------
+
+class DriveSpeedProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriveSpeedProperty, WgttStaysAccurateAndServing) {
+  scenario::DriveScenarioConfig cfg;
+  cfg.traffic = scenario::TrafficType::kUdpDownlink;
+  cfg.speed_mph = GetParam();
+  cfg.seed = 42;
+  auto r = scenario::run_drive(cfg);
+  // The paper's central claim: accuracy and delivery hold across speeds.
+  EXPECT_GT(r.clients[0].switching_accuracy, 0.75) << GetParam() << " mph";
+  EXPECT_GT(r.clients[0].goodput_mbps, 4.0) << GetParam() << " mph";
+  // Every switch completed within a bounded protocol time.
+  for (double ms : r.switch_latencies_ms) {
+    EXPECT_LT(ms, 60.0);  // stop + (<=1 retransmission) + start + ack
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, DriveSpeedProperty,
+                         ::testing::Values(5.0, 15.0, 25.0, 35.0));
+
+}  // namespace
+}  // namespace wgtt

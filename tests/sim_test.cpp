@@ -1,0 +1,126 @@
+// Unit tests for the discrete-event scheduler: ordering, cancellation,
+// bounded runs, re-entrant scheduling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace wgtt::sim {
+namespace {
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(Time::ms(3), [&]() { order.push_back(3); });
+  s.schedule(Time::ms(1), [&]() { order.push_back(1); });
+  s.schedule(Time::ms(2), [&]() { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, SameTimeFifoOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(Time::ms(5), [&order, i]() { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, ClockAdvancesToEventTime) {
+  Scheduler s;
+  Time seen;
+  s.schedule(Time::ms(7), [&]() { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Time::ms(7));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBound) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule(Time::ms(1), [&]() { ++fired; });
+  s.schedule(Time::ms(10), [&]() { ++fired; });
+  s.run_until(Time::ms(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), Time::ms(5));
+  s.run_until(Time::ms(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule(Time::ms(1), [&]() { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SchedulerTest, DoubleCancelReturnsFalse) {
+  Scheduler s;
+  EventId id = s.schedule(Time::ms(1), []() {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(SchedulerTest, InvalidEventIdCancelFails) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(EventId{}));
+}
+
+TEST(SchedulerTest, ReentrantScheduling) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(Time::ms(1), [&]() {
+    order.push_back(1);
+    s.schedule(Time::ms(1), [&]() { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(s.now(), Time::ms(2));
+}
+
+TEST(SchedulerTest, StopHaltsLoop) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule(Time::ms(1), [&]() {
+    ++fired;
+    s.stop();
+  });
+  s.schedule(Time::ms(2), [&]() { ++fired; });
+  s.run_until(Time::ms(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), Time::ms(1));
+}
+
+TEST(SchedulerTest, EventCountTracked) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule(Time::ms(i), []() {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(SchedulerTest, SelfReschedulingChainHonoursBound) {
+  Scheduler s;
+  int ticks = 0;
+  std::function<void()> tick = [&]() {
+    ++ticks;
+    s.schedule(Time::ms(10), tick);
+  };
+  s.schedule(Time::ms(10), tick);
+  s.run_until(Time::ms(105));
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(SchedulerTest, ScheduleAtAbsoluteTime) {
+  Scheduler s;
+  Time seen;
+  s.schedule_at(Time::ms(42), [&]() { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Time::ms(42));
+}
+
+}  // namespace
+}  // namespace wgtt::sim

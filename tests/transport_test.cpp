@@ -1,0 +1,242 @@
+// Unit tests for the transport layer: UDP flows and TCP Reno dynamics over
+// a controllable fake network (delay + programmable loss).
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "transport/tcp_connection.h"
+#include "transport/udp_flow.h"
+
+namespace wgtt::transport {
+namespace {
+
+// A programmable pipe: fixed one-way delay, per-packet loss decided by a
+// callback.
+class FakePipe {
+ public:
+  FakePipe(sim::Scheduler& sched, Time delay) : sched_(sched), delay_(delay) {}
+  std::function<bool(const net::PacketPtr&)> drop;  // true = lose the packet
+  std::function<void(const net::PacketPtr&)> deliver;
+
+  void send(net::PacketPtr pkt) {
+    if (drop && drop(pkt)) return;
+    sched_.schedule(delay_, [this, pkt = std::move(pkt)]() { deliver(pkt); });
+  }
+
+ private:
+  sim::Scheduler& sched_;
+  Time delay_;
+};
+
+// ---------------------------------------------------------------------------
+// UDP
+// ---------------------------------------------------------------------------
+
+TEST(UdpFlowTest, OfferedLoadRespected) {
+  sim::Scheduler sched;
+  IpIdAllocator ids;
+  UdpFlowConfig cfg;
+  cfg.flow_id = 1;
+  cfg.src = net::kServerBase;
+  cfg.dst = net::kClientBase;
+  cfg.offered_load_bps = 8e6;
+  UdpSender sender(sched, ids, cfg);
+  UdpReceiver receiver(sched);
+  sender.transmit = [&](net::PacketPtr p) { receiver.on_packet(p); };
+  sender.start();
+  sched.run_until(Time::sec(2));
+  EXPECT_NEAR(receiver.throughput().average_mbps_over(Time::sec(2)), 8.0,
+              0.5);
+  EXPECT_EQ(receiver.loss_rate(), 0.0);
+}
+
+TEST(UdpFlowTest, LossAndDuplicatesCounted) {
+  sim::Scheduler sched;
+  IpIdAllocator ids;
+  UdpFlowConfig cfg;
+  cfg.offered_load_bps = 8e6;
+  UdpSender sender(sched, ids, cfg);
+  UdpReceiver receiver(sched);
+  int n = 0;
+  sender.transmit = [&](net::PacketPtr p) {
+    if (++n % 4 == 0) return;  // drop every 4th
+    receiver.on_packet(p);
+    if (n % 5 == 0) receiver.on_packet(p);  // duplicate every 5th
+  };
+  sender.start();
+  sched.run_until(Time::sec(1));
+  EXPECT_NEAR(receiver.loss_rate(), 0.25, 0.02);
+  EXPECT_GT(receiver.duplicates(), 0u);
+}
+
+TEST(UdpFlowTest, IpIdsIncrementPerSource) {
+  IpIdAllocator ids;
+  EXPECT_EQ(ids.next(5), 0);
+  EXPECT_EQ(ids.next(5), 1);
+  EXPECT_EQ(ids.next(9), 0);  // independent counter per source
+}
+
+TEST(UdpFlowTest, StopHaltsEmission) {
+  sim::Scheduler sched;
+  IpIdAllocator ids;
+  UdpFlowConfig cfg;
+  UdpSender sender(sched, ids, cfg);
+  int sent = 0;
+  sender.transmit = [&](net::PacketPtr) { ++sent; };
+  sender.start();
+  sched.schedule(Time::ms(100), [&]() { sender.stop(); });
+  sched.run_until(Time::sec(1));
+  const int at_stop = sent;
+  sched.run_until(Time::sec(2));
+  EXPECT_EQ(sent, at_stop);
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------------
+
+struct TcpWorld {
+  explicit TcpWorld(Time rtt = Time::ms(20))
+      : data_pipe(sched, rtt * 0.5),
+        ack_pipe(sched, rtt * 0.5),
+        conn(sched, ids, TcpConfig{}, 1, net::kServerBase, net::kClientBase) {
+    conn.transmit_data = [this](net::PacketPtr p) { data_pipe.send(p); };
+    conn.transmit_ack = [this](net::PacketPtr p) { ack_pipe.send(p); };
+    data_pipe.deliver = [this](const net::PacketPtr& p) {
+      conn.on_network_data(p);
+    };
+    ack_pipe.deliver = [this](const net::PacketPtr& p) {
+      conn.on_network_ack(p);
+    };
+  }
+  sim::Scheduler sched;
+  IpIdAllocator ids;
+  FakePipe data_pipe;
+  FakePipe ack_pipe;
+  TcpConnection conn;
+};
+
+TEST(TcpTest, TransfersExactByteCount) {
+  TcpWorld w;
+  std::uint64_t app_bytes = 0;
+  w.conn.on_app_receive = [&](std::size_t b, Time) { app_bytes += b; };
+  w.conn.app_send(100'000);
+  w.sched.run_until(Time::sec(5));
+  EXPECT_EQ(app_bytes, 100'000u);
+  EXPECT_EQ(w.conn.acked_bytes(), 100'000u);
+  EXPECT_EQ(w.conn.stats().retransmissions, 0u);
+}
+
+TEST(TcpTest, SlowStartGrowsCwnd) {
+  TcpWorld w;
+  const double before = w.conn.cwnd_segments();
+  w.conn.app_send(1'000'000);
+  w.sched.run_until(Time::ms(200));
+  EXPECT_GT(w.conn.cwnd_segments(), before);
+}
+
+TEST(TcpTest, RecoversFromSingleLoss) {
+  TcpWorld w;
+  int n = 0;
+  w.data_pipe.drop = [&](const net::PacketPtr&) { return ++n == 30; };
+  std::uint64_t app_bytes = 0;
+  w.conn.on_app_receive = [&](std::size_t b, Time) { app_bytes += b; };
+  w.conn.app_send(200'000);
+  w.sched.run_until(Time::sec(10));
+  EXPECT_EQ(app_bytes, 200'000u);
+  EXPECT_GE(w.conn.stats().retransmissions, 1u);
+  // Recovered by fast retransmit, not timeout.
+  EXPECT_EQ(w.conn.stats().timeouts, 0u);
+  EXPECT_GE(w.conn.stats().fast_retransmits, 1u);
+}
+
+TEST(TcpTest, RecoversFromBurstLossViaTimeout) {
+  TcpWorld w;
+  int n = 0;
+  // Kill a 40-packet burst mid-flow: dupacks can't recover everything.
+  w.data_pipe.drop = [&](const net::PacketPtr&) {
+    ++n;
+    return n >= 50 && n < 90;
+  };
+  std::uint64_t app_bytes = 0;
+  w.conn.on_app_receive = [&](std::size_t b, Time) { app_bytes += b; };
+  w.conn.app_send(400'000);
+  w.sched.run_until(Time::sec(30));
+  EXPECT_EQ(app_bytes, 400'000u);
+}
+
+TEST(TcpTest, SteadyLossLimitsThroughputButCompletes) {
+  TcpWorld w;
+  wgtt::Rng rng(7);
+  w.data_pipe.drop = [&](const net::PacketPtr&) { return rng.bernoulli(0.02); };
+  std::uint64_t app_bytes = 0;
+  w.conn.on_app_receive = [&](std::size_t b, Time) { app_bytes += b; };
+  w.conn.app_send(500'000);
+  w.sched.run_until(Time::sec(60));
+  EXPECT_EQ(app_bytes, 500'000u);
+}
+
+TEST(TcpTest, RttEstimateTracksPathDelay) {
+  TcpWorld w(Time::ms(50));
+  w.conn.app_send(200'000);
+  w.sched.run_until(Time::sec(3));
+  EXPECT_NEAR(w.conn.srtt().to_ms(), 50.0, 10.0);
+}
+
+TEST(TcpTest, ReceiverReordersOutOfOrderSegments) {
+  // Deliver even segments with extra delay: receiver must reassemble.
+  sim::Scheduler sched;
+  IpIdAllocator ids;
+  TcpConnection conn(sched, ids, TcpConfig{}, 1, 10, 20);
+  std::uint64_t app_bytes = 0;
+  std::uint64_t last_end = 0;
+  bool monotone = true;
+  conn.on_app_receive = [&](std::size_t b, Time) {
+    app_bytes += b;
+    if (app_bytes < last_end) monotone = false;
+    last_end = app_bytes;
+  };
+  int n = 0;
+  conn.transmit_data = [&](net::PacketPtr p) {
+    const Time delay = (++n % 2 == 0) ? Time::ms(30) : Time::ms(10);
+    sched.schedule(delay, [&conn, p]() { conn.on_network_data(p); });
+  };
+  conn.transmit_ack = [&](net::PacketPtr p) {
+    sched.schedule(Time::ms(5), [&conn, p]() { conn.on_network_ack(p); });
+  };
+  conn.app_send(100'000);
+  sched.run_until(Time::sec(10));
+  EXPECT_EQ(app_bytes, 100'000u);
+  EXPECT_TRUE(monotone);
+}
+
+TEST(TcpTest, DupAcksCounted) {
+  TcpWorld w;
+  int n = 0;
+  w.data_pipe.drop = [&](const net::PacketPtr&) { return ++n == 15; };
+  w.conn.app_send(300'000);
+  w.sched.run_until(Time::sec(5));
+  EXPECT_GT(w.conn.stats().dup_acks, 0u);
+}
+
+TEST(TcpTest, TotalBlackoutThenRecovery) {
+  // The Enhanced-802.11r pathology: the path dies for 2 s mid-transfer.
+  TcpWorld w;
+  bool blackout = false;
+  w.data_pipe.drop = [&](const net::PacketPtr&) { return blackout; };
+  w.ack_pipe.drop = [&](const net::PacketPtr&) { return blackout; };
+  std::uint64_t app_bytes = 0;
+  w.conn.on_app_receive = [&](std::size_t b, Time) { app_bytes += b; };
+  w.conn.app_send(20'000'000);
+  w.sched.schedule(Time::ms(30), [&]() { blackout = true; });
+  w.sched.schedule(Time::ms(2030), [&]() { blackout = false; });
+  w.sched.run_until(Time::sec(60));
+  EXPECT_EQ(app_bytes, 20'000'000u);
+  EXPECT_GE(w.conn.stats().timeouts, 1u);  // RTO fired during the blackout
+}
+
+}  // namespace
+}  // namespace wgtt::transport

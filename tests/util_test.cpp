@@ -1,0 +1,232 @@
+// Unit tests for util: Time arithmetic, RNG determinism and distributions,
+// statistics accumulators, unit conversions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "util/units.h"
+
+namespace wgtt {
+namespace {
+
+TEST(TimeTest, ConstructorsAgree) {
+  EXPECT_EQ(Time::us(1).to_ns(), 1000);
+  EXPECT_EQ(Time::ms(1).to_ns(), 1'000'000);
+  EXPECT_EQ(Time::sec(1).to_ns(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(Time::ms(2.5).to_ms(), 2.5);
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::ms(3);
+  const Time b = Time::ms(1);
+  EXPECT_EQ((a + b).to_ms(), 4.0);
+  EXPECT_EQ((a - b).to_ms(), 2.0);
+  EXPECT_EQ((a * 2.0).to_ms(), 6.0);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+}
+
+TEST(TimeTest, Ordering) {
+  EXPECT_LT(Time::us(999), Time::ms(1));
+  EXPECT_GT(Time::infinity(), Time::sec(1e9));
+  EXPECT_EQ(Time::zero(), Time::ns(0));
+}
+
+TEST(TimeTest, CompoundAssignment) {
+  Time t = Time::ms(1);
+  t += Time::ms(2);
+  EXPECT_EQ(t, Time::ms(3));
+  t -= Time::ms(1);
+  EXPECT_EQ(t, Time::ms(2));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(0, 7);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 7);
+    saw_lo = saw_lo || v == 0;
+    saw_hi = saw_hi || v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.gaussian(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.exponential(5.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(23);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  // Forking with the same tag from the same parent state is reproducible.
+  Rng parent2(23);
+  Rng a2 = parent2.fork(1);
+  Rng a3(23);
+  EXPECT_EQ(Rng(23).fork(1).next_u64(), a3.fork(1).next_u64());
+  (void)a2;
+}
+
+TEST(RngTest, ForkByString) {
+  Rng parent(29);
+  Rng a = parent.fork("channel");
+  Rng b = parent.fork("mac");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RunningStatsTest, Basic) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.add(42.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSetTest, PercentilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(0.9), 90.1, 0.2);
+}
+
+TEST(SampleSetTest, CdfIsMonotone) {
+  SampleSet s;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) s.add(rng.gaussian());
+  const auto cdf = s.cdf(50);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SampleSetTest, MeanStddev) {
+  SampleSet s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(ThroughputSeriesTest, BinningAndAverage) {
+  ThroughputSeries ts(Time::ms(100));
+  // 1000 bytes every 10 ms for 1 s => 800 kbit/s.
+  for (int i = 0; i < 100; ++i) ts.add(Time::ms(i * 10), 1000);
+  EXPECT_EQ(ts.total_bytes(), 100'000u);
+  EXPECT_NEAR(ts.average_mbps_over(Time::sec(1)), 0.8, 1e-9);
+  const auto bins = ts.bins();
+  ASSERT_EQ(bins.size(), 10u);
+  for (const auto& [t, mbps] : bins) EXPECT_NEAR(mbps, 0.8, 1e-9);
+}
+
+TEST(ThroughputSeriesTest, EmptySeries) {
+  ThroughputSeries ts;
+  EXPECT_EQ(ts.total_bytes(), 0u);
+  EXPECT_EQ(ts.average_mbps(), 0.0);
+  EXPECT_TRUE(ts.bins().empty());
+}
+
+TEST(UnitsTest, DbRoundTrip) {
+  for (double db : {-20.0, -3.0, 0.0, 3.0, 10.0, 30.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-9);
+  }
+  EXPECT_NEAR(db_to_linear(3.0), 2.0, 0.01);
+  EXPECT_NEAR(dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(mw_to_dbm(100.0), 20.0, 1e-9);
+}
+
+TEST(UnitsTest, SpeedConversion) {
+  EXPECT_NEAR(mph_to_mps(25.0), 11.176, 0.001);
+  EXPECT_NEAR(mps_to_mph(mph_to_mps(35.0)), 35.0, 1e-9);
+}
+
+TEST(UnitsTest, NoiseFloor20MHz) {
+  // -174 + 10log10(20e6) + 6 = -95 dBm.
+  EXPECT_NEAR(noise_floor_dbm(20e6, 6.0), -95.0, 0.05);
+}
+
+TEST(UnitsTest, Wavelength24GHz) {
+  EXPECT_NEAR(wavelength_m(2.462e9), 0.1218, 0.001);
+}
+
+}  // namespace
+}  // namespace wgtt
