@@ -7,6 +7,10 @@
 // along the road, so aggregate capacity should grow once clients are spread
 // out beyond carrier-sense range of each other — the capacity argument that
 // motivates the whole system (§1, Cooper's law).
+//
+// Both sweeps run as one SweepRunner batch (the corridor runs are the
+// slowest in the suite, so parallelism pays off most here); results land in
+// BENCH_scaleout.json.
 
 #include <cstdio>
 #include <vector>
@@ -29,28 +33,23 @@ scenario::TestbedConfig corridor(std::size_t aps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::header("Scale-out (§7)", "corridor length and client count sweep");
 
-  std::printf("\n-- corridor length (1 client, UDP 15 Mb/s, 15 mph) --\n");
-  std::printf("%-8s %10s %12s %12s\n", "APs", "Mb/s", "accuracy",
-              "switches");
-  for (std::size_t aps : {8u, 16u, 24u, 32u}) {
+  constexpr std::size_t kCorridors[] = {8, 16, 24, 32};
+  constexpr std::size_t kClientCounts[] = {1, 2, 3, 4};
+
+  std::vector<scenario::DriveScenarioConfig> configs;
+  for (std::size_t aps : kCorridors) {
     scenario::DriveScenarioConfig cfg;
     cfg.testbed = corridor(aps);
     cfg.traffic = scenario::TrafficType::kUdpDownlink;
     cfg.speed_mph = 15.0;
     cfg.seed = 42;
-    auto r = scenario::run_drive(cfg);
-    std::printf("%-8zu %10.2f %11.1f%% %12zu\n", aps, r.mean_goodput_mbps(),
-                r.clients[0].switching_accuracy * 100.0, r.switches.size());
-    std::fflush(stdout);
+    configs.push_back(cfg);
   }
-
-  std::printf("\n-- spatial reuse: clients spread along a 24-AP corridor --\n");
-  std::printf("%-9s %14s %16s\n", "clients", "per-client Mb/s",
-              "aggregate Mb/s");
-  for (std::size_t n : {1u, 2u, 3u, 4u}) {
+  for (std::size_t n : kClientCounts) {
     scenario::DriveScenarioConfig cfg;
     cfg.testbed = corridor(24);
     cfg.traffic = scenario::TrafficType::kUdpDownlink;
@@ -60,14 +59,55 @@ int main() {
     cfg.pattern = scenario::MultiClientPattern::kFollowing;
     cfg.following_gap_m = 45.0;  // ~6 cells apart: out of mutual CS range
     cfg.seed = 42;
-    auto r = scenario::run_drive(cfg);
-    std::printf("%-9zu %14.2f %16.2f\n", n, r.mean_goodput_mbps(),
-                r.mean_goodput_mbps() * static_cast<double>(n));
-    std::fflush(stdout);
+    configs.push_back(cfg);
   }
+
+  const scenario::SweepRunner runner(args.sweep);
+  std::printf("running %zu drives on %zu threads...\n", configs.size(),
+              runner.jobs());
+  const scenario::SweepOutcome outcome = runner.run(configs);
+
+  scenario::SweepReport report;
+  report.bench_id = "scaleout";
+  report.title = "corridor length and client count sweep";
+  report.note_outcome(outcome);
+
+  std::printf("\n-- corridor length (1 client, UDP 15 Mb/s, 15 mph) --\n");
+  std::printf("%-8s %10s %12s %12s\n", "APs", "Mb/s", "accuracy",
+              "switches");
+  for (std::size_t c = 0; c < std::size(kCorridors); ++c) {
+    const auto& r = outcome.runs[c].result;
+    std::printf("%-8zu %10.2f %11.1f%% %12zu\n", kCorridors[c],
+                r.mean_goodput_mbps(),
+                r.clients[0].switching_accuracy * 100.0, r.switches.size());
+    report.runs.push_back(scenario::make_run_report(
+        "corridor/" + std::to_string(kCorridors[c]) + "aps", configs[c], r,
+        outcome.runs[c].wall_ms));
+    report.runs.back().extra.emplace_back(
+        "aps", static_cast<double>(kCorridors[c]));
+  }
+
+  std::printf("\n-- spatial reuse: clients spread along a 24-AP corridor --\n");
+  std::printf("%-9s %14s %16s\n", "clients", "per-client Mb/s",
+              "aggregate Mb/s");
+  for (std::size_t c = 0; c < std::size(kClientCounts); ++c) {
+    const std::size_t i = std::size(kCorridors) + c;
+    const auto& r = outcome.runs[i].result;
+    const double per_client = r.mean_goodput_mbps();
+    std::printf("%-9zu %14.2f %16.2f\n", kClientCounts[c], per_client,
+                per_client * static_cast<double>(kClientCounts[c]));
+    report.runs.push_back(scenario::make_run_report(
+        "reuse/" + std::to_string(kClientCounts[c]) + "clients", configs[i],
+        r, outcome.runs[i].wall_ms));
+    report.runs.back().extra.emplace_back(
+        "aggregate_mbps",
+        per_client * static_cast<double>(kClientCounts[c]));
+  }
+
   std::printf("\nexpected: per-client throughput holds as the corridor grows\n"
               "(switching cost is local), and aggregate capacity scales\n"
               "nearly linearly with well-separated clients — the picocell\n"
               "spatial-reuse dividend the paper's introduction argues for.\n");
+  bench::emit_report(report);
   return 0;
 }

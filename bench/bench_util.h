@@ -1,11 +1,18 @@
 // Shared output helpers for the experiment benches: every binary prints the
 // rows/series of one paper table or figure, plus the paper's numbers for
-// side-by-side comparison.
+// side-by-side comparison.  Sweep-shaped benches additionally run their
+// simulations through scenario::SweepRunner (all cores by default) and leave
+// a machine-readable BENCH_<id>.json report behind.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
+
+#include "scenario/report.h"
+#include "scenario/sweep.h"
 
 namespace wgtt::bench {
 
@@ -26,6 +33,48 @@ inline std::string bar(double value, double max, int width = 40) {
   if (n < 0) n = 0;
   if (n > width) n = width;
   return std::string(static_cast<std::size_t>(n), '#');
+}
+
+/// Command-line options shared by the sweep-shaped benches.
+struct BenchArgs {
+  scenario::SweepOptions sweep;  // --jobs N / -j N (0 = env/hardware default)
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* val = nullptr;
+    if (std::strncmp(a, "--jobs=", 7) == 0) {
+      val = a + 7;
+    } else if ((std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) &&
+               i + 1 < argc) {
+      val = argv[++i];
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      std::printf("usage: %s [--jobs N]\n"
+                  "  --jobs N   worker threads for the sweep (default: "
+                  "WGTT_SWEEP_JOBS env or hardware concurrency)\n",
+                  argv[0]);
+      std::exit(0);
+    }
+    if (val != nullptr) {
+      const long v = std::strtol(val, nullptr, 10);
+      if (v > 0) args.sweep.jobs = static_cast<std::size_t>(v);
+    }
+  }
+  return args;
+}
+
+/// Serialize `report` to BENCH_<id>.json and tell the user where it went.
+inline void emit_report(const scenario::SweepReport& report) {
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "warning: failed to write bench report for %s\n",
+                 report.bench_id.c_str());
+    return;
+  }
+  std::printf("\nreport: %s (%zu runs, %zu jobs, %.0f ms wall)\n",
+              path.c_str(), report.runs.size(), report.jobs, report.wall_ms);
 }
 
 }  // namespace wgtt::bench

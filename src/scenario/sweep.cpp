@@ -1,0 +1,95 @@
+#include "scenario/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace wgtt::scenario {
+
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t workers = std::min(jobs, n);
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto work = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::size_t SweepRunner::resolve_jobs(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("WGTT_SWEEP_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts)
+    : jobs_(resolve_jobs(opts.jobs)) {}
+
+SweepOutcome SweepRunner::run(
+    const std::vector<DriveScenarioConfig>& configs) const {
+  SweepOutcome out;
+  out.jobs = jobs_;
+  out.runs.resize(configs.size());
+  const auto start = std::chrono::steady_clock::now();
+  parallel_for(configs.size(), jobs_, [&](std::size_t i) {
+    const auto run_start = std::chrono::steady_clock::now();
+    out.runs[i].result = run_drive(configs[i]);
+    out.runs[i].wall_ms = elapsed_ms(run_start);
+  });
+  out.wall_ms = elapsed_ms(start);
+  return out;
+}
+
+std::vector<DriveScenarioConfig> seed_replicates(DriveScenarioConfig base,
+                                                 std::size_t n,
+                                                 std::uint64_t sweep_seed) {
+  std::vector<DriveScenarioConfig> configs;
+  configs.reserve(n);
+  const Rng parent(sweep_seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    base.seed = parent.fork(i).next_u64();
+    configs.push_back(base);
+  }
+  return configs;
+}
+
+}  // namespace wgtt::scenario

@@ -1,0 +1,76 @@
+// Parallel sweep execution.
+//
+// Every evaluation figure in the paper is a sweep — Fig. 13 alone is 28 full
+// drive-through simulations (7 speeds x 2 traffic types x 2 systems).  Each
+// run_drive() call is fully self-contained (the Testbed owns its scheduler,
+// channel, RNG tree, and log sink), so a sweep can saturate every core:
+// SweepRunner executes a vector of configs on a bounded thread pool and
+// returns results in input order, bitwise-identical to serial execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "scenario/experiment.h"
+
+namespace wgtt::scenario {
+
+struct SweepOptions {
+  /// Worker threads.  0 = take WGTT_SWEEP_JOBS from the environment if set,
+  /// else std::thread::hardware_concurrency().  1 = serial execution on the
+  /// calling thread.
+  std::size_t jobs = 0;
+};
+
+/// One completed simulation plus its host-side cost.
+struct SweepRun {
+  DriveResult result;
+  double wall_ms = 0.0;  // host wall-clock for this run
+};
+
+struct SweepOutcome {
+  std::vector<SweepRun> runs;  // input order, regardless of thread count
+  std::size_t jobs = 1;        // resolved worker count actually used
+  double wall_ms = 0.0;        // host wall-clock for the whole sweep
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  /// Resolved worker-thread count this runner will use.
+  std::size_t jobs() const { return jobs_; }
+
+  /// Run every config (in parallel, up to jobs() at a time) and return the
+  /// results in input order.  Deterministic: each run's metrics depend only
+  /// on its config, never on scheduling, so the outcome is bitwise-identical
+  /// to a serial loop over run_drive().  Exceptions from a run are rethrown
+  /// on the calling thread after all workers have stopped.
+  SweepOutcome run(const std::vector<DriveScenarioConfig>& configs) const;
+
+  /// Apply SweepOptions defaulting: 0 -> WGTT_SWEEP_JOBS env var if set and
+  /// positive, else hardware_concurrency (min 1).
+  static std::size_t resolve_jobs(std::size_t requested);
+
+ private:
+  std::size_t jobs_;
+};
+
+/// Expand `base` into `n` runs whose seeds derive from `sweep_seed` via the
+/// Rng::fork discipline — independent of execution order or thread count, so
+/// replicate i always sees the same seed.
+std::vector<DriveScenarioConfig> seed_replicates(DriveScenarioConfig base,
+                                                 std::size_t n,
+                                                 std::uint64_t sweep_seed);
+
+/// Bounded-parallel index loop: invoke fn(0..n-1), at most `jobs` at a time
+/// (jobs <= 1 runs inline on the calling thread).  The building block under
+/// SweepRunner, reusable by benches whose unit of work is not run_drive()
+/// (e.g. Fig. 21's trace recording).  fn must be safe to call concurrently
+/// for distinct indices.  The first exception thrown is rethrown here after
+/// all workers finish.
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace wgtt::scenario

@@ -12,7 +12,9 @@ namespace wgtt::scenario {
 // ---------------------------------------------------------------------------
 
 Testbed::Testbed(TestbedConfig cfg)
-    : cfg_(std::move(cfg)),
+    : log_sink_(cfg.log_sink),
+      log_scope_(log_sink_.get()),
+      cfg_(std::move(cfg)),
       rng_(cfg_.seed),
       error_model_(cfg_.error_model) {
   channel_ = std::make_unique<channel::ChannelModel>(

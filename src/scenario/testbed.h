@@ -27,6 +27,7 @@
 #include "sim/scheduler.h"
 #include "transport/tcp_connection.h"
 #include "transport/udp_flow.h"
+#include "util/logging.h"
 
 namespace wgtt::scenario {
 
@@ -64,6 +65,12 @@ struct TestbedConfig {
   Time wan_latency = Time::ms(2);  // content cached at the local server (§5.4)
   Time client_keepalive = Time::ms(4);
   std::uint64_t seed = 1;
+  /// Per-sim log destination.  When set, the Testbed installs it as the
+  /// constructing thread's context-current sink for its whole lifetime, so
+  /// concurrent simulations on different threads log independently.  Null
+  /// inherits whatever sink is already current (ultimately the process-wide
+  /// default).
+  std::shared_ptr<LogSink> log_sink{};
 };
 
 class Testbed {
@@ -102,6 +109,10 @@ class Testbed {
   Time transit_duration(double mph, double lead_in_m = 15.0) const;
 
  private:
+  // Declared first so the sink outlives (and its scope encloses) everything
+  // the testbed constructs or destroys on this thread.
+  std::shared_ptr<LogSink> log_sink_;
+  ScopedLogSink log_scope_;
   TestbedConfig cfg_;
   sim::Scheduler sched_;
   Rng rng_;
@@ -128,11 +139,23 @@ class FlowRouter {
   }
   void deliver(const net::PacketPtr& pkt) {
     auto it = handlers_.find(pkt->flow_id);
-    if (it != handlers_.end()) it->second(pkt);
+    if (it == handlers_.end()) {
+      ++dropped_;
+      WGTT_LOG(kDebug, "flow",
+               "no handler for flow " << pkt->flow_id << ", dropping "
+                                      << net::to_string(pkt->type) << " "
+                                      << pkt->src << "->" << pkt->dst);
+      return;
+    }
+    it->second(pkt);
   }
+  /// Packets delivered to a flow_id nobody registered — a miswired
+  /// experiment if nonzero.
+  std::uint64_t dropped() const { return dropped_; }
 
  private:
   std::map<std::uint32_t, Handler> handlers_;
+  std::uint64_t dropped_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -13,7 +13,7 @@ EventId Scheduler::schedule_at(Time when, Callback cb) {
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (!id.valid() || id.seq_ >= next_seq_) return false;
+  if (!id.valid() || id.seq_ >= next_seq_ || has_popped(id.seq_)) return false;
   // Lazy cancellation: record the sequence number; the event is skipped when
   // it reaches the head of the queue.
   auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.seq_);
@@ -26,6 +26,28 @@ bool Scheduler::is_cancelled(std::uint64_t seq) const {
   return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
 }
 
+bool Scheduler::has_popped(std::uint64_t seq) const {
+  return seq <= popped_low_water_ ||
+         std::binary_search(popped_ahead_.begin(), popped_ahead_.end(), seq);
+}
+
+void Scheduler::record_pop(std::uint64_t seq) {
+  if (seq != popped_low_water_ + 1) {
+    popped_ahead_.insert(
+        std::lower_bound(popped_ahead_.begin(), popped_ahead_.end(), seq),
+        seq);
+    return;
+  }
+  popped_low_water_ = seq;
+  // Absorb any contiguous run the out-of-order set was holding.
+  auto it = popped_ahead_.begin();
+  while (it != popped_ahead_.end() && *it == popped_low_water_ + 1) {
+    popped_low_water_ = *it;
+    ++it;
+  }
+  popped_ahead_.erase(popped_ahead_.begin(), it);
+}
+
 void Scheduler::run_until(Time until) {
   stopped_ = false;
   while (!queue_.empty() && !stopped_) {
@@ -34,6 +56,7 @@ void Scheduler::run_until(Time until) {
     // Move the callback out before popping so re-entrant schedules are safe.
     Event ev{top.when, top.seq, std::move(const_cast<Event&>(top).cb)};
     queue_.pop();
+    record_pop(ev.seq);
     if (is_cancelled(ev.seq)) {
       auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), ev.seq);
       cancelled_.erase(it);

@@ -45,8 +45,9 @@ class Scheduler {
   /// Schedule `cb` at an absolute time (must not be in the past).
   EventId schedule_at(Time when, Callback cb);
 
-  /// Cancel a pending event.  Returns false if it already fired or was
-  /// already cancelled.
+  /// Cancel a pending event.  Returns false if it already fired, was
+  /// already cancelled, or was never scheduled: cancelling a stale id is a
+  /// recognised no-op, not a deferred cancellation.
   bool cancel(EventId id);
 
   /// Run until the event queue is empty or `until` is reached, whichever
@@ -78,6 +79,8 @@ class Scheduler {
   };
 
   bool is_cancelled(std::uint64_t seq) const;
+  bool has_popped(std::uint64_t seq) const;
+  void record_pop(std::uint64_t seq);
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
@@ -85,6 +88,13 @@ class Scheduler {
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<std::uint64_t> cancelled_;  // sorted insert-order, searched rarely
+  // Popped-seq tracking so cancel() can reject ids that already left the
+  // queue.  Events pop in time order, not seq order, so alongside the
+  // low-water mark (every seq <= it has popped) we keep the sparse set of
+  // popped seqs above it; the set drains back into the mark as it advances,
+  // keeping memory proportional to the out-of-order window, not history.
+  std::uint64_t popped_low_water_ = 0;
+  std::vector<std::uint64_t> popped_ahead_;  // sorted, all > popped_low_water_
 };
 
 }  // namespace wgtt::sim

@@ -1,0 +1,70 @@
+// A small hand-rolled JSON writer — just enough to serialize bench reports
+// (objects, arrays, strings, numbers, booleans) without an external
+// dependency.  Output is UTF-8 with standard escaping; non-finite doubles
+// become null so downstream parsers never see "nan".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wgtt {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Streaming writer.  Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.field("bench", "fig13").field("jobs", 8);
+///   w.key("runs").begin_array();
+///   ... w.begin_object()...end_object() per run ...
+///   w.end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+///
+/// The writer tracks nesting and comma placement; keys are only legal inside
+/// objects, values only at the top level, inside arrays, or after a key.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_in_scope_;  // per nesting level
+  bool after_key_ = false;
+};
+
+/// Write `contents` to `path` atomically enough for bench output (truncate +
+/// write).  Returns false (and leaves a partial file possible) on I/O error.
+bool write_text_file(const std::string& path, std::string_view contents);
+
+}  // namespace wgtt

@@ -4,9 +4,13 @@
 
 namespace wgtt {
 namespace {
-LogLevel g_level = LogLevel::kOff;
 
-const char* level_name(LogLevel l) {
+/// Innermost ScopedLogSink on this thread; null = use the default sink.
+thread_local LogSink* t_current_sink = nullptr;
+
+}  // namespace
+
+const char* to_string(LogLevel l) {
   switch (l) {
     case LogLevel::kTrace: return "TRACE";
     case LogLevel::kDebug: return "DEBUG";
@@ -17,16 +21,42 @@ const char* level_name(LogLevel l) {
   }
   return "?";
 }
-}  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void LogSink::write(LogLevel level, std::string_view component,
+                    std::string_view message) {
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", to_string(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+LogSink& default_log_sink() {
+  static LogSink sink;  // magic static: thread-safe init, immortal
+  return sink;
+}
+
+LogSink& current_log_sink() {
+  return t_current_sink != nullptr ? *t_current_sink : default_log_sink();
+}
+
+ScopedLogSink::ScopedLogSink(LogSink* sink) {
+  if (sink == nullptr) return;
+  installed_ = sink;
+  previous_ = t_current_sink;
+  t_current_sink = sink;
+}
+
+ScopedLogSink::~ScopedLogSink() {
+  if (installed_ != nullptr) t_current_sink = previous_;
+}
+
+LogLevel log_level() { return current_log_sink().threshold(); }
+
+void set_log_level(LogLevel level) { current_log_sink().set_threshold(level); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& component,
               const std::string& message) {
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
-               message.c_str());
+  current_log_sink().write(level, component, message);
 }
 }  // namespace detail
 

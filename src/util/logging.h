@@ -1,17 +1,111 @@
-// Minimal leveled logging.  Off by default so benchmark runs stay quiet;
-// tests and examples can turn on per-component tracing.
+// Minimal leveled logging, thread-isolatable per simulation.
+//
+// Messages flow through a LogSink.  Which sink receives a message is decided
+// by a *context-current* pointer (thread-local), so concurrent simulations on
+// different threads each log through their own sink without touching any
+// shared mutable state.  When no sink has been installed on the calling
+// thread, messages fall back to the process-wide default sink, whose
+// threshold is a std::atomic so the WGTT_LOG fast path stays a relaxed load.
+//
+// Off by default so benchmark runs stay quiet; tests and examples can turn
+// on per-component tracing with set_log_level(), or capture output with a
+// CapturingLogSink installed via ScopedLogSink.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace wgtt {
 
 enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
-/// Global log threshold; messages below it are discarded cheaply.
-void set_log_level(LogLevel level);
+const char* to_string(LogLevel level);
+
+/// Destination for log messages.  The base class writes to stderr; override
+/// write() to capture messages elsewhere.  The threshold is atomic so one
+/// thread may adjust it while another is inside the WGTT_LOG fast path.
+class LogSink {
+ public:
+  explicit LogSink(LogLevel threshold = LogLevel::kOff)
+      : threshold_(threshold) {}
+  virtual ~LogSink() = default;
+  LogSink(const LogSink&) = delete;
+  LogSink& operator=(const LogSink&) = delete;
+
+  LogLevel threshold() const {
+    return threshold_.load(std::memory_order_relaxed);
+  }
+  void set_threshold(LogLevel level) {
+    threshold_.store(level, std::memory_order_relaxed);
+  }
+
+  virtual void write(LogLevel level, std::string_view component,
+                     std::string_view message);
+
+ private:
+  std::atomic<LogLevel> threshold_;
+};
+
+/// Sink that records messages in memory; for tests and per-sim capture.
+/// Not internally synchronized: each simulation owns its sink and runs on
+/// one thread at a time.
+class CapturingLogSink : public LogSink {
+ public:
+  struct Entry {
+    LogLevel level;
+    std::string component;
+    std::string message;
+  };
+
+  explicit CapturingLogSink(LogLevel threshold = LogLevel::kTrace)
+      : LogSink(threshold) {}
+
+  void write(LogLevel level, std::string_view component,
+             std::string_view message) override {
+    entries_.push_back(Entry{level, std::string(component),
+                             std::string(message)});
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// The process-wide fallback sink (writes to stderr).
+LogSink& default_log_sink();
+
+/// The sink WGTT_LOG currently routes to on this thread: the innermost
+/// installed ScopedLogSink, or the default sink when none is installed.
+LogSink& current_log_sink();
+
+/// Install `sink` as the calling thread's current sink for the lifetime of
+/// this object (RAII; nests).  Passing nullptr is a no-op, keeping whatever
+/// sink is already current — convenient for optional per-sim sinks.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink* sink);
+  ~ScopedLogSink();
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  LogSink* installed_ = nullptr;
+  LogSink* previous_ = nullptr;
+};
+
+/// Threshold of the calling thread's current sink; messages below it are
+/// discarded cheaply (a thread-local read plus a relaxed atomic load).
 LogLevel log_level();
+
+/// Set the threshold of the calling thread's current sink.  With no scoped
+/// sink installed this adjusts the process-wide default, preserving the
+/// historical "global log level" behaviour.
+void set_log_level(LogLevel level);
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& component,

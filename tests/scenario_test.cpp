@@ -61,10 +61,40 @@ TEST(FlowRouterTest, DispatchesByFlowId) {
   net::Packet p;
   p.flow_id = 2;
   router.deliver(net::make_packet(p));
-  p.flow_id = 9;  // unregistered: silently ignored
+  p.flow_id = 9;  // unregistered: counted as dropped
   router.deliver(net::make_packet(p));
   EXPECT_EQ(a, 0);
   EXPECT_EQ(b, 1);
+  EXPECT_EQ(router.dropped(), 1u);
+}
+
+TEST(FlowRouterTest, UnhandledFlowCountsAndLogs) {
+  CapturingLogSink sink(LogLevel::kDebug);
+  ScopedLogSink scope(&sink);
+  FlowRouter router;
+  net::Packet p;
+  p.flow_id = 77;
+  router.deliver(net::make_packet(p));
+  router.deliver(net::make_packet(p));
+  EXPECT_EQ(router.dropped(), 2u);
+  ASSERT_EQ(sink.entries().size(), 2u);
+  EXPECT_EQ(sink.entries()[0].level, LogLevel::kDebug);
+  EXPECT_EQ(sink.entries()[0].component, "flow");
+  EXPECT_NE(sink.entries()[0].message.find("flow 77"), std::string::npos);
+}
+
+TEST(TestbedTest, InstallsConfiguredLogSinkForItsLifetime) {
+  auto sink = std::make_shared<CapturingLogSink>(LogLevel::kDebug);
+  {
+    TestbedConfig cfg;
+    cfg.log_sink = sink;
+    Testbed bed{cfg};
+    EXPECT_EQ(&current_log_sink(), sink.get());
+    WGTT_LOG(kInfo, "test", "inside testbed scope");
+  }
+  EXPECT_EQ(&current_log_sink(), &default_log_sink());
+  ASSERT_EQ(sink->entries().size(), 1u);
+  EXPECT_EQ(sink->entries()[0].message, "inside testbed scope");
 }
 
 TEST(MetricsTest, AccuracyIsOneWhenFollowingOptimal) {

@@ -114,6 +114,68 @@ TEST(SchedulerTest, SelfReschedulingChainHonoursBound) {
   EXPECT_EQ(ticks, 10);
 }
 
+TEST(SchedulerTest, CancelAfterFireReturnsFalse) {
+  Scheduler s;
+  int fired = 0;
+  EventId id = s.schedule(Time::ms(1), [&]() { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  // The event already fired: cancelling its id is a recognised no-op, not a
+  // deferred cancellation of some future event.
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(SchedulerTest, StaleCancelDoesNotUndercountPending) {
+  Scheduler s;
+  EventId fired_id = s.schedule(Time::ms(1), []() {});
+  s.run();
+  EXPECT_FALSE(s.cancel(fired_id));  // regression: used to return true...
+  int fired = 0;
+  s.schedule(Time::ms(2), [&]() { ++fired; });
+  // ...and leave a stale entry in the cancelled set, undercounting pending.
+  EXPECT_EQ(s.events_pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, CancelAfterCancelledEventPoppedReturnsFalse) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule(Time::ms(1), [&]() { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();  // pops and skips the cancelled event
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(SchedulerTest, OutOfOrderPopStillRejectsStaleCancel) {
+  Scheduler s;
+  // Seqs pop in time order, not allocation order: `late` (seq 1) is still
+  // queued when `early` (seq 2) has already fired.
+  bool late_fired = false;
+  EventId late = s.schedule(Time::ms(10), [&]() { late_fired = true; });
+  EventId early = s.schedule(Time::ms(1), []() {});
+  s.run_until(Time::ms(5));
+  EXPECT_FALSE(s.cancel(early));  // already fired
+  EXPECT_TRUE(s.cancel(late));    // genuinely pending
+  s.run();
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(SchedulerTest, ManyStaleCancelsStayRejected) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(s.schedule(Time::ms(i), []() {}));
+  }
+  s.run();
+  for (const EventId& id : ids) EXPECT_FALSE(s.cancel(id));
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
 TEST(SchedulerTest, ScheduleAtAbsoluteTime) {
   Scheduler s;
   Time seen;

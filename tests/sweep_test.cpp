@@ -1,0 +1,179 @@
+// Tests for the parallel sweep engine: thread-count-independent determinism
+// (the property the whole evaluation pipeline rests on), seed derivation,
+// the bounded parallel_for primitive, and report serialization.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "scenario/report.h"
+#include "scenario/sweep.h"
+
+namespace wgtt::scenario {
+namespace {
+
+/// The comparable fingerprint of a run: every headline metric, captured
+/// exactly (no tolerance — parallel execution must be bitwise-identical).
+struct Fingerprint {
+  std::vector<double> goodput;
+  std::vector<double> loss;
+  std::vector<double> accuracy;
+  std::vector<std::size_t> handovers;
+  std::size_t switches;
+  std::uint64_t stop_retx;
+  double utilization;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint fingerprint(const DriveResult& r) {
+  Fingerprint f;
+  for (const auto& c : r.clients) {
+    f.goodput.push_back(c.goodput_mbps);
+    f.loss.push_back(c.udp_loss_rate);
+    f.accuracy.push_back(c.switching_accuracy);
+    f.handovers.push_back(c.handovers + c.failed_handovers);
+  }
+  f.switches = r.switches.size();
+  f.stop_retx = r.stop_retransmissions;
+  f.utilization = r.medium_utilization;
+  return f;
+}
+
+/// Short-but-real drives: both systems, both transports, truncated to keep
+/// the test (and its TSan build) fast.
+std::vector<DriveScenarioConfig> test_configs() {
+  std::vector<DriveScenarioConfig> configs;
+  const SystemType systems[] = {SystemType::kWgtt,
+                                SystemType::kEnhanced80211r};
+  const TrafficType traffics[] = {TrafficType::kTcpDownlink,
+                                  TrafficType::kUdpDownlink};
+  std::uint64_t seed = 7;
+  for (SystemType sys : systems) {
+    for (TrafficType traffic : traffics) {
+      DriveScenarioConfig cfg;
+      cfg.system = sys;
+      cfg.traffic = traffic;
+      cfg.speed_mph = 15.0;
+      cfg.duration = Time::sec(2);
+      cfg.seed = seed++;
+      configs.push_back(cfg);
+    }
+  }
+  return configs;
+}
+
+TEST(SweepRunnerTest, ParallelMatchesSerialForAnyThreadCount) {
+  const auto configs = test_configs();
+
+  // Ground truth: plain serial run_drive calls, no SweepRunner involved.
+  std::vector<Fingerprint> serial;
+  for (const auto& cfg : configs) serial.push_back(fingerprint(run_drive(cfg)));
+
+  for (std::size_t jobs : {1u, 2u, 8u}) {
+    SweepRunner runner(SweepOptions{.jobs = jobs});
+    ASSERT_EQ(runner.jobs(), jobs);
+    const SweepOutcome outcome = runner.run(configs);
+    ASSERT_EQ(outcome.runs.size(), configs.size());
+    EXPECT_EQ(outcome.jobs, jobs);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      EXPECT_EQ(fingerprint(outcome.runs[i].result), serial[i])
+          << "run " << i << " diverged from serial with jobs=" << jobs;
+    }
+  }
+}
+
+TEST(SweepRunnerTest, ResolveJobsPrefersExplicitValue) {
+  EXPECT_EQ(SweepRunner::resolve_jobs(3), 3u);
+  EXPECT_GE(SweepRunner::resolve_jobs(0), 1u);  // env or hardware fallback
+}
+
+TEST(SeedReplicatesTest, DeterministicAndDistinct) {
+  DriveScenarioConfig base;
+  const auto a = seed_replicates(base, 8, 1234);
+  const auto b = seed_replicates(base, 8, 1234);
+  ASSERT_EQ(a.size(), 8u);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);  // independent of when/where expanded
+    seeds.insert(a[i].seed);
+  }
+  EXPECT_EQ(seeds.size(), a.size());  // all replicates draw distinct seeds
+  // Follows the Rng::fork discipline exactly.
+  EXPECT_EQ(a[3].seed, Rng(1234).fork(3).next_u64());
+  // A different sweep seed yields a different family.
+  EXPECT_NE(seed_replicates(base, 1, 99)[0].seed, a[0].seed);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {1u, 3u, 16u}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for(hits.size(), jobs, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(10, 4,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ZeroItemsIsNoOp) {
+  bool called = false;
+  parallel_for(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(SweepReportTest, SerializesRunsAndSummary) {
+  SweepReport report;
+  report.bench_id = "unit";
+  report.title = "unit test";
+  report.jobs = 2;
+  report.wall_ms = 12.5;
+  report.summary.emplace_back("speedup", 1.9);
+
+  DriveScenarioConfig cfg;
+  cfg.speed_mph = 15.0;
+  cfg.seed = 42;
+  DriveResult result;
+  ClientDriveResult c;
+  c.goodput_mbps = 6.25;
+  c.switching_accuracy = 0.5;
+  result.clients.push_back(c);
+  report.runs.push_back(make_run_report("r0", cfg, result, 3.0));
+  report.runs.back().extra.emplace_back("knob", 1.0);
+
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"bench\":\"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"speedup\":1.9"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"r0\""), std::string::npos);
+  EXPECT_NE(json.find("\"goodput_mbps\":6.25"), std::string::npos);
+  EXPECT_NE(json.find("\"system\":\"wgtt\""), std::string::npos);
+  EXPECT_NE(json.find("\"knob\":1"), std::string::npos);
+}
+
+TEST(SweepReportTest, MakeRunReportAveragesClients) {
+  DriveScenarioConfig cfg;
+  DriveResult result;
+  for (double g : {2.0, 4.0}) {
+    ClientDriveResult c;
+    c.goodput_mbps = g;
+    c.udp_loss_rate = g / 10.0;
+    c.handovers = 1;
+    result.clients.push_back(c);
+  }
+  const RunReport r = make_run_report("x", cfg, result, 0.0);
+  EXPECT_DOUBLE_EQ(r.goodput_mbps, 3.0);
+  EXPECT_DOUBLE_EQ(r.udp_loss_rate, 0.3);
+  EXPECT_EQ(r.handovers, 2u);
+}
+
+}  // namespace
+}  // namespace wgtt::scenario

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
 
+#include "util/json.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -203,6 +206,117 @@ TEST(ThroughputSeriesTest, EmptySeries) {
   EXPECT_EQ(ts.total_bytes(), 0u);
   EXPECT_EQ(ts.average_mbps(), 0.0);
   EXPECT_TRUE(ts.bins().empty());
+}
+
+TEST(LoggingTest, DefaultSinkIsCurrentAndOff) {
+  EXPECT_EQ(&current_log_sink(), &default_log_sink());
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST(LoggingTest, ScopedSinkCapturesAndRestores) {
+  CapturingLogSink sink(LogLevel::kDebug);
+  {
+    ScopedLogSink scope(&sink);
+    EXPECT_EQ(&current_log_sink(), &sink);
+    WGTT_LOG(kInfo, "test", "hello " << 42);
+    WGTT_LOG(kTrace, "test", "below threshold");  // filtered
+  }
+  EXPECT_EQ(&current_log_sink(), &default_log_sink());
+  ASSERT_EQ(sink.entries().size(), 1u);
+  EXPECT_EQ(sink.entries()[0].level, LogLevel::kInfo);
+  EXPECT_EQ(sink.entries()[0].component, "test");
+  EXPECT_EQ(sink.entries()[0].message, "hello 42");
+}
+
+TEST(LoggingTest, NullScopedSinkIsNoOp) {
+  CapturingLogSink outer(LogLevel::kTrace);
+  ScopedLogSink outer_scope(&outer);
+  {
+    ScopedLogSink noop(nullptr);
+    EXPECT_EQ(&current_log_sink(), &outer);
+  }
+  EXPECT_EQ(&current_log_sink(), &outer);
+}
+
+TEST(LoggingTest, ScopesNest) {
+  CapturingLogSink a(LogLevel::kTrace);
+  CapturingLogSink b(LogLevel::kTrace);
+  ScopedLogSink sa(&a);
+  {
+    ScopedLogSink sb(&b);
+    WGTT_LOG(kWarn, "nest", "inner");
+  }
+  WGTT_LOG(kWarn, "nest", "outer");
+  ASSERT_EQ(b.entries().size(), 1u);
+  EXPECT_EQ(b.entries()[0].message, "inner");
+  ASSERT_EQ(a.entries().size(), 1u);
+  EXPECT_EQ(a.entries()[0].message, "outer");
+}
+
+TEST(LoggingTest, SetLogLevelTargetsCurrentSink) {
+  CapturingLogSink sink(LogLevel::kOff);
+  ScopedLogSink scope(&sink);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(sink.threshold(), LogLevel::kError);
+  // The process-wide default is untouched.
+  EXPECT_EQ(default_log_sink().threshold(), LogLevel::kOff);
+}
+
+TEST(LoggingTest, CurrentSinkIsPerThread) {
+  CapturingLogSink sink(LogLevel::kTrace);
+  ScopedLogSink scope(&sink);
+  LogSink* other_thread_sink = nullptr;
+  std::thread t([&]() { other_thread_sink = &current_log_sink(); });
+  t.join();
+  // A sibling thread never sees this thread's scoped sink.
+  EXPECT_EQ(other_thread_sink, &default_log_sink());
+  EXPECT_EQ(&current_log_sink(), &sink);
+}
+
+TEST(JsonWriterTest, ObjectWithScalars) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "fig13").field("jobs", 4).field("ratio", 2.5);
+  w.field("ok", true);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"fig13\",\"jobs\":4,\"ratio\":2.5,\"ok\":true}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("runs").begin_array();
+  w.begin_object().field("i", 0).end_object();
+  w.begin_object().field("i", 1).end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"runs\":[{\"i\":0},{\"i\":1}]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("k", "a\"b\\c\nd\te");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\"}");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(1.0 / 0.0);
+  w.value(3.25);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,3.25]");
+}
+
+TEST(JsonWriterTest, TopLevelArray) {
+  JsonWriter w;
+  w.begin_array().value(1).value(2).value(3).end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
 }
 
 TEST(UnitsTest, DbRoundTrip) {
