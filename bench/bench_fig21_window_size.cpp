@@ -33,9 +33,11 @@ struct TraceSample {
   std::map<net::NodeId, double> uplink_esnr;    // what CSI reports would say
 };
 
-std::vector<TraceSample> record_trace(std::uint64_t seed) {
+std::vector<TraceSample> record_trace(std::uint64_t seed,
+                                      std::string trace_path = {}) {
   scenario::TestbedConfig tb;
   tb.seed = seed;
+  tb.trace_path = std::move(trace_path);
   scenario::Testbed bed(tb);
   scenario::WgttNetwork net(bed);
   const net::NodeId client =
@@ -127,7 +129,12 @@ int main(int argc, char** argv) {
   // so they record in parallel.
   std::vector<std::vector<TraceSample>> traces(10);
   scenario::parallel_for(traces.size(), jobs, [&](std::size_t i) {
-    traces[i] = record_trace(static_cast<std::uint64_t>(i) + 1);
+    traces[i] = record_trace(
+        static_cast<std::uint64_t>(i) + 1,
+        i == 0 && args.trace ? (args.trace_path.empty()
+                                    ? "TRACE_fig21_window_size.json"
+                                    : args.trace_path)
+                             : std::string{});
   });
 
   scenario::SweepReport report;

@@ -38,6 +38,20 @@ inline std::string bar(double value, double max, int width = 40) {
 /// Command-line options shared by the sweep-shaped benches.
 struct BenchArgs {
   scenario::SweepOptions sweep;  // --jobs N / -j N (0 = env/hardware default)
+  /// --trace [PATH]: write a Chrome trace-event JSON of the first run.
+  /// Empty = tracing off; the default path is TRACE_<bench_id>.json.
+  std::string trace_path;
+  bool trace = false;
+
+  /// Apply the --trace request to the config of one run (benches trace the
+  /// first simulation of their sweep; tracing every run would just overwrite
+  /// one file per worker).
+  template <typename DriveConfig>
+  void apply_trace(DriveConfig& cfg, const std::string& bench_id) const {
+    if (!trace) return;
+    cfg.testbed.trace_path =
+        trace_path.empty() ? "TRACE_" + bench_id + ".json" : trace_path;
+  }
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -50,10 +64,19 @@ inline BenchArgs parse_args(int argc, char** argv) {
     } else if ((std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) &&
                i + 1 < argc) {
       val = argv[++i];
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      args.trace = true;
+      args.trace_path = a + 8;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      args.trace = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') args.trace_path = argv[++i];
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
-      std::printf("usage: %s [--jobs N]\n"
-                  "  --jobs N   worker threads for the sweep (default: "
-                  "WGTT_SWEEP_JOBS env or hardware concurrency)\n",
+      std::printf("usage: %s [--jobs N] [--trace [PATH]]\n"
+                  "  --jobs N        worker threads for the sweep (default: "
+                  "WGTT_SWEEP_JOBS env or hardware concurrency)\n"
+                  "  --trace [PATH]  write a Chrome trace-event JSON "
+                  "(chrome://tracing, Perfetto) of the bench's first "
+                  "simulation; default PATH is TRACE_<bench>.json\n",
                   argv[0]);
       std::exit(0);
     }

@@ -5,6 +5,12 @@ namespace wgtt::core {
 ApQueueStack::ApQueueStack(sim::Scheduler& sched, mac::WifiDevice& device,
                            net::NodeId client, QueueStackConfig cfg)
     : sched_(sched), device_(device), client_(client), cfg_(cfg) {
+  if (auto* reg = metrics::MetricsRegistry::current()) {
+    m_backlog_ = &reg->histogram(
+        "core.queue_stack_backlog", metrics::exponential_buckets(1.0, 2.0, 13));
+    m_activations_ = &reg->counter("core.queue_stack_activations");
+  }
+  tracer_ = trace::Tracer::current();
   device_.set_refill_handler(client_, [this]() { pump(); });
 }
 
@@ -27,12 +33,29 @@ void ApQueueStack::on_downlink(std::uint32_t index, net::PacketPtr pkt) {
 void ApQueueStack::activate(std::uint32_t start_index) {
   cyclic_.set_head(start_index);
   active_ = true;
+  if (m_activations_) m_activations_->add();
+  if (m_backlog_) m_backlog_->record(static_cast<double>(total_backlog()));
+  if (tracer_) {
+    tracer_->instant("core", "stack_activate", sched_.now(),
+                     static_cast<std::int64_t>(device_.id()),
+                     {{"client", static_cast<double>(client_)},
+                      {"start_index", static_cast<double>(start_index)},
+                      {"backlog", static_cast<double>(total_backlog())}});
+  }
   pump();
 }
 
 std::uint32_t ApQueueStack::deactivate() {
   active_ = false;
   const std::uint32_t k = next_nic_index();
+  if (m_backlog_) m_backlog_->record(static_cast<double>(total_backlog()));
+  if (tracer_) {
+    tracer_->instant("core", "stack_deactivate", sched_.now(),
+                     static_cast<std::int64_t>(device_.id()),
+                     {{"client", static_cast<double>(client_)},
+                      {"k", static_cast<double>(k)},
+                      {"backlog", static_cast<double>(total_backlog())}});
+  }
   // Flush the kernel stage back into oblivion: the next AP's cyclic queue
   // already holds these packets, so local copies would only be duplicates.
   kernel_flushed_ += kernel_.size();

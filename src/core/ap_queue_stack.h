@@ -29,6 +29,8 @@
 #include "mac/wifi_device.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace wgtt::core {
 
@@ -88,6 +90,10 @@ class ApQueueStack {
   bool active_ = false;
   std::uint64_t kernel_flushed_ = 0;
   std::uint64_t stale_dropped_ = 0;
+  // Instrumentation (null when the sim has no metrics/trace context).
+  metrics::Histogram* m_backlog_ = nullptr;
+  metrics::Counter* m_activations_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace wgtt::core

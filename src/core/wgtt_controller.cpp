@@ -15,6 +15,13 @@ WgttController::WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
       backhaul_(backhaul),
       ap_ids_(std::move(ap_ids)),
       cfg_(cfg) {
+  if (auto* reg = metrics::MetricsRegistry::current()) {
+    m_switches_ = &reg->counter("core.switches_completed");
+    m_dedup_hits_ = &reg->counter("core.dedup_hits");
+    m_switch_latency_ms_ = &reg->histogram(
+        "core.switch_latency_ms", metrics::exponential_buckets(0.5, 2.0, 10));
+  }
+  tracer_ = trace::Tracer::current();
   backhaul_.attach(net::kControllerId, [this](const net::TunneledPacket& f) {
     on_backhaul_frame(f);
   });
@@ -111,6 +118,7 @@ void WgttController::handle_client_joined(const ClientJoinedMsg& msg) {
 void WgttController::handle_uplink_data(net::PacketPtr pkt) {
   if (dedup_.is_duplicate(*pkt, sched_.now())) {
     ++stats_.uplink_duplicates;
+    if (m_dedup_hits_) m_dedup_hits_->add();
     return;
   }
   ++stats_.uplink_packets;
@@ -183,6 +191,13 @@ void WgttController::initiate_switch(net::NodeId client, ClientState& st,
   st.switch_target = target;
   st.switch_started = sched_.now();
   st.stop_retx = 0;
+  if (tracer_) {
+    tracer_->instant("core", "switch_start", sched_.now(),
+                     static_cast<std::int64_t>(net::kControllerId),
+                     {{"client", static_cast<double>(client)},
+                      {"from", static_cast<double>(st.active_ap)},
+                      {"to", static_cast<double>(target)}});
+  }
   send_stop(client, st);
 }
 
@@ -224,6 +239,20 @@ void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
   rec.stop_retransmissions = st.stop_retx;
   stats_.switch_latency_ms.add((rec.completed - rec.initiated).to_ms());
   switch_log_.push_back(rec);
+  if (m_switches_) {
+    m_switches_->add();
+    m_switch_latency_ms_->record((rec.completed - rec.initiated).to_ms());
+  }
+  if (tracer_) {
+    tracer_->complete("core", "switch", rec.initiated,
+                      rec.completed - rec.initiated,
+                      static_cast<std::int64_t>(net::kControllerId),
+                      {{"client", static_cast<double>(rec.client)},
+                       {"from", static_cast<double>(rec.from_ap)},
+                       {"to", static_cast<double>(rec.to_ap)},
+                       {"stop_retx",
+                        static_cast<double>(rec.stop_retransmissions)}});
+  }
 
   st.active_ap = msg.new_ap;
   st.switch_in_flight = false;

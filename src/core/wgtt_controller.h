@@ -28,7 +28,9 @@
 #include "net/backhaul.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/metrics.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace wgtt::core {
 
@@ -136,6 +138,11 @@ class WgttController {
   std::uint32_t next_switch_id_ = 1;
   ControllerStats stats_;
   std::vector<SwitchRecord> switch_log_;
+  // Instrumentation (null when the sim has no metrics/trace context).
+  metrics::Counter* m_switches_ = nullptr;
+  metrics::Counter* m_dedup_hits_ = nullptr;
+  metrics::Histogram* m_switch_latency_ms_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace wgtt::core

@@ -58,6 +58,19 @@ WifiDevice::WifiDevice(MacContext& ctx, net::NodeId self, WifiDeviceConfig cfg)
       return std::make_unique<phy::MinstrelRateControl>();
     };
   }
+  if (auto* reg = metrics::MetricsRegistry::current()) {
+    m_airtime_ns_ =
+        &reg->counter("mac.airtime_ns.node" + std::to_string(self_));
+    m_airtime_total_ns_ = &reg->counter("mac.airtime_ns_total");
+    m_ampdu_mpdus_ = &reg->histogram(
+        "mac.ampdu_mpdus", metrics::exponential_buckets(1.0, 2.0, 7));
+    m_ba_rollups_ = &reg->counter("mac.block_ack_rollups");
+    m_mcs_index_ = &reg->histogram("phy.mcs_index",
+                                   metrics::linear_buckets(0.0, 1.0, 16));
+    m_esnr_db_ = &reg->histogram("phy.esnr_db",
+                                 metrics::linear_buckets(-10.0, 5.0, 13));
+  }
+  tracer_ = trace::Tracer::current();
   ctx_.register_device(this);
   ctx_.medium().attach(self_,
                        cfg_.is_ap
@@ -224,7 +237,9 @@ double WifiDevice::effective_esnr_db(net::NodeId tx_node, net::NodeId rx_node,
     shift_db = linear_to_db(1.0 + interference_mw / noise_mw);
   }
   if (csi_out) *csi_out = csi;
-  return phy::effective_snr_db(csi, mod) - shift_db;
+  const double esnr = phy::effective_snr_db(csi, mod) - shift_db;
+  if (m_esnr_db_) m_esnr_db_->record(esnr);
+  return esnr;
 }
 
 void WifiDevice::begin_exchange() {
@@ -243,6 +258,20 @@ void WifiDevice::begin_exchange() {
   if (!cfg_.is_ap) {
     ++stats_.uplink_frames_sent;
     last_uplink_tx_ = now;
+  }
+  if (m_airtime_ns_) {
+    const auto ns = static_cast<std::uint64_t>(duration.to_ns());
+    m_airtime_ns_->add(ns);
+    m_airtime_total_ns_->add(ns);
+    m_ampdu_mpdus_->record(static_cast<double>(ex.aggregate.size()));
+    m_mcs_index_->record(static_cast<double>(ex.mcs->index));
+  }
+  if (tracer_) {
+    tracer_->complete("mac", cfg_.is_ap ? "ampdu_dl" : "ampdu_ul", now,
+                      duration, static_cast<std::int64_t>(self_),
+                      {{"peer", static_cast<double>(ex.peer)},
+                       {"mpdus", static_cast<double>(ex.aggregate.size())},
+                       {"mcs", static_cast<double>(ex.mcs->index)}});
   }
 
   evaluate_receptions(ex, data_time, ba_time);
@@ -480,6 +509,12 @@ bool WifiDevice::apply_external_block_ack(const BlockAckInfo& ba) {
     return false;
   }
   ++stats_.block_acks_recovered;
+  if (m_ba_rollups_) m_ba_rollups_->add();
+  if (tracer_) {
+    tracer_->instant("mac", "ba_rollup", ctx_.sched().now(),
+                     static_cast<std::int64_t>(self_),
+                     {{"client", static_cast<double>(ba.client)}});
+  }
   ex.any_ba = true;
   ex.merged_ba.bitmap |= ba.bitmap;
   if (seq_distance(ex.merged_ba.start_seq, ba.start_seq) != 0) {
@@ -580,6 +615,11 @@ void WifiDevice::run_mgmt_exchange() {
   const Time data_time = now + duration * 0.5;
   const phy::ErrorModel& em = ctx_.error_model();
   if (!cfg_.is_ap) last_uplink_tx_ = now;
+  if (m_airtime_ns_) {
+    const auto ns = static_cast<std::uint64_t>(duration.to_ns());
+    m_airtime_ns_->add(ns);
+    m_airtime_total_ns_->add(ns);
+  }
 
   if (tx.peer == net::kBroadcast) {
     // Beacon-style: every device that can decode it receives it; no ACK.

@@ -40,8 +40,10 @@
 #include "phy/error_model.h"
 #include "phy/rate_control.h"
 #include "sim/scheduler.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/trace.h"
 
 namespace wgtt::mac {
 
@@ -262,6 +264,15 @@ class WifiDevice {
   bool mgmt_in_flight_ = false;
   Time last_uplink_tx_ = Time::zero();
   DeviceStats stats_;
+  // Instrumentation, cached from the context-current registry/tracer at
+  // construction; null when off.
+  metrics::Counter* m_airtime_ns_ = nullptr;        // this radio
+  metrics::Counter* m_airtime_total_ns_ = nullptr;  // all radios of the sim
+  metrics::Histogram* m_ampdu_mpdus_ = nullptr;
+  metrics::Counter* m_ba_rollups_ = nullptr;
+  metrics::Histogram* m_mcs_index_ = nullptr;
+  metrics::Histogram* m_esnr_db_ = nullptr;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace wgtt::mac

@@ -5,7 +5,13 @@
 namespace wgtt::net {
 
 Backhaul::Backhaul(sim::Scheduler& sched, BackhaulConfig cfg, Rng rng)
-    : sched_(sched), cfg_(cfg), rng_(rng) {}
+    : sched_(sched), cfg_(cfg), rng_(rng) {
+  if (auto* reg = metrics::MetricsRegistry::current()) {
+    m_latency_us_ = &reg->histogram(
+        "net.backhaul_latency_us", metrics::exponential_buckets(25.0, 2.0, 10));
+    m_bytes_ = &reg->counter("net.backhaul_bytes");
+  }
+}
 
 void Backhaul::attach(NodeId node, DeliverFn on_receive) {
   nodes_[node] = std::move(on_receive);
@@ -39,6 +45,10 @@ void Backhaul::send(TunneledPacket frame) {
     prev->second = arrival;
   }
 
+  if (m_latency_us_) {
+    m_latency_us_->record((arrival - sched_.now()).to_us());
+    m_bytes_->add(frame.wire_bytes);
+  }
   DeliverFn& deliver = it->second;
   sched_.schedule_at(arrival, [&deliver, frame = std::move(frame)]() {
     deliver(frame);

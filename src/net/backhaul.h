@@ -14,6 +14,7 @@
 
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -57,6 +58,9 @@ class Backhaul {
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  // Instrumentation (null when the sim has no metrics context).
+  metrics::Histogram* m_latency_us_ = nullptr;
+  metrics::Counter* m_bytes_ = nullptr;
 };
 
 }  // namespace wgtt::net

@@ -134,6 +134,7 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
   DriveResult result;
   result.measured_duration = duration - cfg.app_start;
   result.medium_utilization = bed.medium().utilization();
+  result.metrics = bed.metrics_snapshot();
   if (wgtt) {
     result.switches = wgtt->controller().switch_log();
     result.stop_retransmissions =

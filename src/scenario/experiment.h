@@ -17,6 +17,7 @@
 #include "core/wgtt_controller.h"
 #include "scenario/metrics.h"
 #include "scenario/testbed.h"
+#include "util/metrics.h"
 
 namespace wgtt::scenario {
 
@@ -82,6 +83,9 @@ struct DriveResult {
   std::uint64_t stop_retransmissions = 0;
   std::uint64_t uplink_duplicates_removed = 0;
   std::vector<double> switch_latencies_ms;
+  /// Every instrument the sim recorded (empty when testbed.enable_metrics
+  /// is false).  Exported into the bench reports' "metrics" section.
+  metrics::Snapshot metrics;
 
   double mean_goodput_mbps() const {
     if (clients.empty()) return 0.0;

@@ -1,7 +1,5 @@
 #include "scenario/metrics.h"
 
-#include <cassert>
-
 #include "phy/esnr.h"
 
 namespace wgtt::scenario {
@@ -60,16 +58,23 @@ void DriveMetrics::sample() {
   bed_.sched().schedule(period_, [this]() { sample(); });
 }
 
+// Accessors for untracked clients return empty results rather than asserting:
+// in a release build the assert would vanish and dereferencing end() is UB,
+// which a mislabeled client id in an experiment should not turn into memory
+// corruption.  The statics are never written after construction, so the
+// shared references are safe even with concurrent sims on other threads.
+
 const std::vector<DriveMetrics::TimelinePoint>& DriveMetrics::timeline(
     net::NodeId client) const {
+  static const std::vector<TimelinePoint> kEmpty;
   auto it = clients_.find(client);
-  assert(it != clients_.end());
+  if (it == clients_.end()) return kEmpty;
   return it->second.timeline;
 }
 
 double DriveMetrics::switching_accuracy(net::NodeId client) const {
   auto it = clients_.find(client);
-  assert(it != clients_.end());
+  if (it == clients_.end()) return 0.0;
   std::size_t considered = 0;
   std::size_t correct = 0;
   for (const TimelinePoint& pt : it->second.timeline) {
@@ -82,15 +87,17 @@ double DriveMetrics::switching_accuracy(net::NodeId client) const {
 }
 
 const SampleSet& DriveMetrics::bitrate_samples(net::NodeId client) const {
+  static const SampleSet kEmpty;
   auto it = clients_.find(client);
-  assert(it != clients_.end());
+  if (it == clients_.end()) return kEmpty;
   return it->second.bitrates;
 }
 
 const std::vector<std::pair<Time, double>>& DriveMetrics::bitrate_series(
     net::NodeId client) const {
+  static const std::vector<std::pair<Time, double>> kEmpty;
   auto it = clients_.find(client);
-  assert(it != clients_.end());
+  if (it == clients_.end()) return kEmpty;
   return it->second.bitrate_series;
 }
 

@@ -43,6 +43,8 @@ class DriveMetrics {
   void attach_bitrate_probe(mac::WifiDevice& ap_device);
   void start();
 
+  // All per-client accessors are total: a client that was never tracked
+  // yields an empty timeline / sample set / series (accuracy 0.0), never UB.
   const std::vector<TimelinePoint>& timeline(net::NodeId client) const;
   /// Fraction of in-coverage samples where active == optimal (Table 2).
   double switching_accuracy(net::NodeId client) const;

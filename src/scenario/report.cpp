@@ -35,6 +35,7 @@ RunReport make_run_report(std::string label, const DriveScenarioConfig& cfg,
   r.switches = result.switches.size();
   r.medium_utilization = result.medium_utilization;
   r.wall_ms = wall_ms;
+  r.metrics = result.metrics;
   if (!result.clients.empty()) {
     double loss = 0.0;
     double acc = 0.0;
@@ -82,6 +83,10 @@ std::string SweepReport::to_json() const {
       w.key("extra").begin_object();
       for (const auto& [k, v] : r.extra) w.field(k, v);
       w.end_object();
+    }
+    if (!r.metrics.empty()) {
+      w.key("metrics");
+      r.metrics.write_json(w);
     }
     w.end_object();
   }

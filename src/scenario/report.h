@@ -41,6 +41,9 @@ struct RunReport {
   double wall_ms = 0.0;
   /// Bench-specific scalars (e.g. dense/sparse region throughput).
   std::vector<std::pair<std::string, double>> extra;
+  /// Full instrument snapshot from the run's MetricsRegistry (counters,
+  /// gauges, histograms); serialized as the run's "metrics" object.
+  metrics::Snapshot metrics;
 };
 
 /// Populate a RunReport from a finished run.  `label` is free-form.

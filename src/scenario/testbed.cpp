@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/json.h"
 #include "util/units.h"
 
 namespace wgtt::scenario {
@@ -15,6 +16,13 @@ Testbed::Testbed(TestbedConfig cfg)
     : log_sink_(cfg.log_sink),
       log_scope_(log_sink_.get()),
       cfg_(std::move(cfg)),
+      metrics_(cfg_.enable_metrics
+                   ? std::make_unique<metrics::MetricsRegistry>()
+                   : nullptr),
+      metrics_scope_(metrics_.get()),
+      tracer_(cfg_.trace_path.empty() ? nullptr
+                                      : std::make_unique<trace::Tracer>()),
+      trace_scope_(tracer_.get()),
       rng_(cfg_.seed),
       error_model_(cfg_.error_model) {
   channel_ = std::make_unique<channel::ChannelModel>(
@@ -25,6 +33,14 @@ Testbed::Testbed(TestbedConfig cfg)
                                            error_model_, rng_.fork("mac"));
   backhaul_ = std::make_unique<net::Backhaul>(sched_, cfg_.backhaul,
                                               rng_.fork("backhaul"));
+}
+
+Testbed::~Testbed() {
+  if (tracer_) write_text_file(cfg_.trace_path, tracer_->finish());
+}
+
+metrics::Snapshot Testbed::metrics_snapshot() const {
+  return metrics_ ? metrics_->snapshot() : metrics::Snapshot{};
 }
 
 mac::WifiDevice& Testbed::create_ap_device(net::NodeId id,

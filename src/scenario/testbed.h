@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "apps/conference.h"
@@ -28,6 +29,8 @@
 #include "transport/tcp_connection.h"
 #include "transport/udp_flow.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace wgtt::scenario {
 
@@ -71,11 +74,22 @@ struct TestbedConfig {
   /// inherits whatever sink is already current (ultimately the process-wide
   /// default).
   std::shared_ptr<LogSink> log_sink{};
+  /// Per-sim instrumentation.  When true the Testbed owns a MetricsRegistry
+  /// and installs it as the constructing thread's context-current registry
+  /// for its lifetime; components cache typed instrument pointers at
+  /// construction, so recording is a single branch per site and free when
+  /// off.  Instruments only observe — enabling them never changes behaviour.
+  bool enable_metrics = true;
+  /// When non-empty, the Testbed owns a Tracer and writes the Chrome
+  /// trace-event JSON (chrome://tracing / Perfetto) here on destruction.
+  std::string trace_path{};
 };
 
 class Testbed {
  public:
   explicit Testbed(TestbedConfig cfg = {});
+  /// Flushes the trace (if tracing) to cfg.trace_path before teardown.
+  ~Testbed();
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
@@ -87,6 +101,11 @@ class Testbed {
   net::Backhaul& backhaul() { return *backhaul_; }
   const TestbedConfig& config() const { return cfg_; }
   const std::vector<net::NodeId>& ap_ids() const { return ap_ids_; }
+  /// This simulation's registry / tracer (null when disabled).
+  metrics::MetricsRegistry* metrics() { return metrics_.get(); }
+  trace::Tracer* tracer() { return tracer_.get(); }
+  /// Flattened copy of every instrument; empty when metrics are disabled.
+  metrics::Snapshot metrics_snapshot() const;
 
   /// Create an AP radio (called by the network overlays).
   mac::WifiDevice& create_ap_device(net::NodeId id,
@@ -114,6 +133,12 @@ class Testbed {
   std::shared_ptr<LogSink> log_sink_;
   ScopedLogSink log_scope_;
   TestbedConfig cfg_;
+  // Metrics/trace contexts install right after cfg_ so every later member
+  // (the scheduler first of all) constructs with them current.
+  std::unique_ptr<metrics::MetricsRegistry> metrics_;
+  metrics::ScopedMetricsRegistry metrics_scope_;
+  std::unique_ptr<trace::Tracer> tracer_;
+  trace::ScopedTracer trace_scope_;
   sim::Scheduler sched_;
   Rng rng_;
   phy::ErrorModel error_model_;
@@ -134,6 +159,11 @@ class Testbed {
 class FlowRouter {
  public:
   using Handler = std::function<void(const net::PacketPtr&)>;
+  FlowRouter() {
+    if (auto* reg = metrics::MetricsRegistry::current()) {
+      m_dropped_ = &reg->counter("net.flow_router_drops");
+    }
+  }
   void register_flow(std::uint32_t flow_id, Handler h) {
     handlers_[flow_id] = std::move(h);
   }
@@ -141,6 +171,7 @@ class FlowRouter {
     auto it = handlers_.find(pkt->flow_id);
     if (it == handlers_.end()) {
       ++dropped_;
+      if (m_dropped_) m_dropped_->add();
       WGTT_LOG(kDebug, "flow",
                "no handler for flow " << pkt->flow_id << ", dropping "
                                       << net::to_string(pkt->type) << " "
@@ -156,6 +187,7 @@ class FlowRouter {
  private:
   std::map<std::uint32_t, Handler> handlers_;
   std::uint64_t dropped_ = 0;
+  metrics::Counter* m_dropped_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

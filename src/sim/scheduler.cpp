@@ -5,6 +5,15 @@
 
 namespace wgtt::sim {
 
+Scheduler::Scheduler() {
+  if (auto* reg = metrics::MetricsRegistry::current()) {
+    m_dispatched_ = &reg->counter("sim.events_dispatched");
+    m_cancelled_ = &reg->counter("sim.events_cancelled");
+    m_queue_depth_ = &reg->histogram(
+        "sim.queue_depth", metrics::exponential_buckets(1.0, 2.0, 14));
+  }
+}
+
 EventId Scheduler::schedule_at(Time when, Callback cb) {
   assert(when >= now_ && "cannot schedule in the past");
   const std::uint64_t seq = next_seq_++;
@@ -19,6 +28,7 @@ bool Scheduler::cancel(EventId id) {
   auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.seq_);
   if (it != cancelled_.end() && *it == id.seq_) return false;
   cancelled_.insert(it, id.seq_);
+  if (m_cancelled_) m_cancelled_->add();
   return true;
 }
 
@@ -64,6 +74,10 @@ void Scheduler::run_until(Time until) {
     }
     now_ = ev.when;
     ++executed_;
+    if (m_dispatched_) {
+      m_dispatched_->add();
+      m_queue_depth_->record(static_cast<double>(queue_.size()));
+    }
     ev.cb();
   }
   // On a bounded run, advance the clock to the bound so callers can chain

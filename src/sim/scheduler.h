@@ -11,6 +11,7 @@
 #include <queue>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/time.h"
 
 namespace wgtt::sim {
@@ -32,7 +33,7 @@ class Scheduler {
  public:
   using Callback = std::function<void()>;
 
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -95,6 +96,11 @@ class Scheduler {
   // keeping memory proportional to the out-of-order window, not history.
   std::uint64_t popped_low_water_ = 0;
   std::vector<std::uint64_t> popped_ahead_;  // sorted, all > popped_low_water_
+  // Instrumentation, cached from the context-current registry at
+  // construction; null (every site a single branch) when metrics are off.
+  metrics::Counter* m_dispatched_ = nullptr;
+  metrics::Counter* m_cancelled_ = nullptr;
+  metrics::Histogram* m_queue_depth_ = nullptr;
 };
 
 }  // namespace wgtt::sim

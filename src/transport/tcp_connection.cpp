@@ -16,7 +16,12 @@ TcpConnection::TcpConnection(sim::Scheduler& sched, IpIdAllocator& ip_ids,
       cwnd_(cfg.mss * cfg.initial_cwnd_segments),
       ssthresh_(cfg.receive_window_bytes),
       rto_(cfg.initial_rto),
-      goodput_(cfg.throughput_bin) {}
+      goodput_(cfg.throughput_bin) {
+  if (auto* reg = metrics::MetricsRegistry::current()) {
+    m_retransmissions_ = &reg->counter("transport.tcp_retransmissions");
+    m_timeouts_ = &reg->counter("transport.tcp_timeouts");
+  }
+}
 
 void TcpConnection::app_send(std::size_t bytes) {
   app_limit_ += bytes;
@@ -52,7 +57,10 @@ void TcpConnection::send_segment(std::uint64_t seq_start,
   p.size_bytes = payload + 52;  // IP + TCP headers
   p.created = sched_.now();
   ++stats_.segments_sent;
-  if (is_retransmission) ++stats_.retransmissions;
+  if (is_retransmission) {
+    ++stats_.retransmissions;
+    if (m_retransmissions_) m_retransmissions_->add();
+  }
 
   const std::uint64_t seq_end = seq_start + payload;
   auto [it, inserted] =
@@ -72,6 +80,7 @@ void TcpConnection::on_rto() {
   rto_armed_ = false;
   if (flight_size() == 0) return;
   ++stats_.timeouts;
+  if (m_timeouts_) m_timeouts_->add();
   // RFC 5681 loss recovery by timeout: collapse to one segment, go-back-N.
   ssthresh_ = std::max<std::size_t>(static_cast<std::size_t>(flight_size()) / 2,
                                     2 * cfg_.mss);

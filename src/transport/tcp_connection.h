@@ -18,6 +18,7 @@
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "transport/udp_flow.h"  // IpIdAllocator
+#include "util/metrics.h"
 #include "util/stats.h"
 
 namespace wgtt::transport {
@@ -124,6 +125,9 @@ class TcpConnection {
 
   TcpStats stats_;
   ThroughputSeries goodput_;
+  // Instrumentation (null when the sim has no metrics context).
+  metrics::Counter* m_retransmissions_ = nullptr;
+  metrics::Counter* m_timeouts_ = nullptr;
 };
 
 }  // namespace wgtt::transport

@@ -120,6 +120,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view v) {
+  comma();
+  out_ += v;
+  return *this;
+}
+
 bool write_text_file(const std::string& path, std::string_view contents) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return false;

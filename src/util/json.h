@@ -45,6 +45,10 @@ class JsonWriter {
   JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
   JsonWriter& value(bool v);
   JsonWriter& null();
+  /// Emit a pre-formatted JSON value verbatim (caller guarantees validity).
+  /// Used where the byte-exact rendering matters, e.g. trace timestamps
+  /// formatted with integer arithmetic.
+  JsonWriter& raw(std::string_view v);
 
   /// key() + value() in one call.
   template <typename T>

@@ -1,0 +1,21 @@
+// Minimal SHA-256 (FIPS 180-4), dependency-free.
+//
+// Used by the golden-trace regression suite to pin the exact bytes a
+// fixed-seed simulation's trace serializes to.  Not performance-critical and
+// not intended for any security purpose.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wgtt {
+
+/// Raw 32-byte digest of `data`.
+std::array<std::uint8_t, 32> sha256(std::string_view data);
+
+/// Lowercase hex rendering of the digest (64 characters).
+std::string sha256_hex(std::string_view data);
+
+}  // namespace wgtt

@@ -1,0 +1,103 @@
+#include "util/trace.h"
+
+#include <cassert>
+
+namespace wgtt::trace {
+
+Tracer::Tracer() {
+  w_.begin_object();
+  w_.field("displayTimeUnit", "ms");
+  w_.key("traceEvents").begin_array();
+}
+
+std::string Tracer::format_ts(Time t) {
+  std::int64_t ns = t.to_ns();
+  assert(ns >= 0 && "trace timestamps are sim times, never negative");
+  const std::int64_t us = ns / 1000;
+  const std::int64_t frac = ns % 1000;
+  std::string out = std::to_string(us);
+  out += '.';
+  out += static_cast<char>('0' + frac / 100);
+  out += static_cast<char>('0' + (frac / 10) % 10);
+  out += static_cast<char>('0' + frac % 10);
+  return out;
+}
+
+void Tracer::begin_event(char ph, std::string_view cat, std::string_view name,
+                         Time ts, std::int64_t tid) {
+  assert(!finished_ && "trace already finished");
+  ++events_;
+  w_.begin_object();
+  w_.field("name", name);
+  w_.field("cat", cat);
+  const char ph_str[2] = {ph, '\0'};
+  w_.field("ph", static_cast<const char*>(ph_str));
+  w_.key("ts").raw(format_ts(ts));
+  w_.field("pid", std::int64_t{1});
+  w_.field("tid", tid);
+}
+
+void Tracer::write_args(std::initializer_list<TraceArg> args) {
+  if (args.size() == 0) return;
+  w_.key("args").begin_object();
+  for (const TraceArg& a : args) w_.field(a.key, a.value);
+  w_.end_object();
+}
+
+void Tracer::instant(std::string_view cat, std::string_view name, Time t,
+                     std::int64_t tid, std::initializer_list<TraceArg> args) {
+  begin_event('i', cat, name, t, tid);
+  w_.field("s", "t");  // thread-scoped instant
+  write_args(args);
+  w_.end_object();
+}
+
+void Tracer::complete(std::string_view cat, std::string_view name, Time start,
+                      Time dur, std::int64_t tid,
+                      std::initializer_list<TraceArg> args) {
+  begin_event('X', cat, name, start, tid);
+  w_.key("dur").raw(format_ts(dur));
+  write_args(args);
+  w_.end_object();
+}
+
+void Tracer::counter(std::string_view cat, std::string_view name, Time t,
+                     double value, std::int64_t tid) {
+  begin_event('C', cat, name, t, tid);
+  w_.key("args").begin_object();
+  w_.field("value", value);
+  w_.end_object();
+  w_.end_object();
+}
+
+const std::string& Tracer::finish() {
+  if (!finished_) {
+    w_.end_array();
+    w_.end_object();
+    finished_ = true;
+  }
+  return w_.str();
+}
+
+// ---------------------------------------------------------------------------
+// Thread context
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local Tracer* t_current_tracer = nullptr;
+}  // namespace
+
+Tracer* Tracer::current() { return t_current_tracer; }
+
+ScopedTracer::ScopedTracer(Tracer* tracer) : installed_(tracer) {
+  if (installed_ != nullptr) {
+    previous_ = t_current_tracer;
+    t_current_tracer = installed_;
+  }
+}
+
+ScopedTracer::~ScopedTracer() {
+  if (installed_ != nullptr) t_current_tracer = previous_;
+}
+
+}  // namespace wgtt::trace

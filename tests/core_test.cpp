@@ -102,6 +102,72 @@ TEST(CyclicQueueTest, ClearResets) {
   EXPECT_EQ(q.head(), 0u);
 }
 
+// --- adversarial reordering -------------------------------------------------
+
+TEST(CyclicQueueTest, ShuffledInsertsAcrossWrapPopInIndexOrder) {
+  // The backhaul fans packets out per-AP with independent jitter, so an AP
+  // can receive a window of indices in any order — including a window that
+  // straddles the 4095 -> 0 boundary.  Pop order must follow the index ring
+  // regardless of arrival order.
+  CyclicQueue q;
+  q.set_head(4093);
+  const std::uint32_t arrival[] = {2, 4095, 0, 4093, 3, 1, 4094};
+  for (std::uint32_t i : arrival) q.insert(i, mk(i));
+  const std::uint32_t expect[] = {4093, 4094, 4095, 0, 1, 2, 3};
+  for (std::uint32_t e : expect) {
+    auto item = q.pop();
+    ASSERT_TRUE(item);
+    EXPECT_EQ(item->first, e);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CyclicQueueTest, DuplicateInsertAcrossWrapKeepsNewestCopy) {
+  // A full index-space lap maps index i and i + 4096 to the same slot.  A
+  // still-pending old-lap packet must be dropped as an overrun and the new
+  // copy kept — delivering the stale one would hand TCP a 4096-packet-old
+  // duplicate.
+  CyclicQueue q;
+  q.set_head(5);
+  q.insert(5, mk(5, Time::ms(1)));
+  q.insert((5 + CyclicQueue::kSlots) & (CyclicQueue::kSlots - 1),
+           mk(5, Time::ms(900)));
+  EXPECT_EQ(q.overruns(), 1u);
+  EXPECT_EQ(q.pending(), 1u);
+  auto item = q.pop();
+  ASSERT_TRUE(item);
+  EXPECT_EQ(item->first, 5u);
+  EXPECT_EQ(item->second->created, Time::ms(900));  // the new-lap copy
+}
+
+TEST(CyclicQueueTest, SetHeadAcrossWrapDiscardsOnlyPassedSlots) {
+  // start(c, k) where the discarded range [old_head, k) wraps through 0.
+  CyclicQueue q;
+  q.set_head(4090);
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    q.insert((4090 + i) & (CyclicQueue::kSlots - 1), mk(i));
+  }
+  q.set_head(4);  // forward distance 10: discard 4090..4095, 0..3
+  EXPECT_EQ(q.discarded(), 10u);
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.pop()->first, 4u);
+  EXPECT_EQ(q.pop()->first, 5u);
+  EXPECT_FALSE(q.pop());
+}
+
+TEST(CyclicQueueTest, SetHeadPastEverythingLeavesConsistentEmptyQueue) {
+  CyclicQueue q;
+  for (std::uint32_t i = 0; i < 8; ++i) q.insert(i, mk(i));
+  q.set_head(100);  // out-of-window k: beyond every pending index
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop());
+  // The queue must remain usable at the new position.
+  q.insert(100, mk(100));
+  auto item = q.pop();
+  ASSERT_TRUE(item);
+  EXPECT_EQ(item->first, 100u);
+}
+
 // ---------------------------------------------------------------------------
 // ApQueueStack (the Fig. 7 buffering stack)
 // ---------------------------------------------------------------------------
@@ -269,6 +335,85 @@ TEST(DedupTest, NonIpExempt) {
   p.ip_id = 9;
   EXPECT_FALSE(d.is_duplicate(p, Time::ms(1)));
   EXPECT_FALSE(d.is_duplicate(p, Time::ms(2)));
+}
+
+// --- adversarial reordering -------------------------------------------------
+
+namespace {
+net::Packet uplink(net::NodeId src, std::uint16_t ip_id) {
+  net::Packet p;
+  p.type = net::PacketType::kData;
+  p.src = src;
+  p.ip_id = ip_id;
+  return p;
+}
+}  // namespace
+
+TEST(DedupTest, InterleavedCopiesFromThreeApsPassExactlyOnce) {
+  // Three APs hear the same uplink burst and tunnel independent copies; the
+  // backhaul then interleaves and reorders them.  Exactly one copy of each
+  // IP-ID must pass, no matter the arrival order of the copies.
+  Deduplicator d;
+  std::vector<std::uint16_t> arrivals;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (std::uint16_t id = 0; id < 50; ++id) arrivals.push_back(id);
+  }
+  // Deterministic shuffle: stride by a unit coprime to 150.
+  std::size_t passed = 0;
+  Time t = Time::zero();
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const std::uint16_t id = arrivals[(i * 77) % arrivals.size()];
+    t += Time::us(50);
+    if (!d.is_duplicate(uplink(net::kClientBase, id), t)) ++passed;
+  }
+  EXPECT_EQ(passed, 50u);
+  EXPECT_EQ(d.duplicates_dropped(), 100u);
+}
+
+TEST(DedupTest, IpIdWraparoundIsNotADuplicate) {
+  // IP-ID is 16-bit and wraps; 65535 followed by 0 are distinct packets,
+  // and a straggler copy of the pre-wrap packet is still caught.
+  Deduplicator d;
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, 65535), Time::ms(1)));
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, 0), Time::ms(2)));
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, 1), Time::ms(3)));
+  EXPECT_TRUE(d.is_duplicate(uplink(net::kClientBase, 65535), Time::ms(4)));
+  EXPECT_EQ(d.duplicates_dropped(), 1u);
+}
+
+TEST(DedupTest, OutOfWindowSequenceNumbersReadmitAfterExpiry) {
+  // A key older than the window has been expired, so the same (src, IP-ID)
+  // passes again — that is IP-ID reuse, not a duplicate.  Interleave other
+  // traffic so expiry has to skip over still-hot keys correctly.
+  Deduplicator d(Time::ms(100));
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, 7), Time::ms(0)));
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, 8), Time::ms(90)));
+  // t=150: key 7 (age 150) is out-of-window, key 8 (age 60) is still hot.
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, 7), Time::ms(150)));
+  EXPECT_TRUE(d.is_duplicate(uplink(net::kClientBase, 8), Time::ms(150)));
+  // The readmitted key 7 is hot again from t=150.
+  EXPECT_TRUE(d.is_duplicate(uplink(net::kClientBase, 7), Time::ms(200)));
+}
+
+TEST(DedupTest, SameIpIdDifferentClientsAreDistinct) {
+  // The paper's 48-bit key is (source address ++ IP-ID): two clients using
+  // the same IP-ID must never shadow each other.
+  Deduplicator d;
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, 42), Time::ms(1)));
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase + 1, 42), Time::ms(2)));
+  EXPECT_TRUE(d.is_duplicate(uplink(net::kClientBase, 42), Time::ms(3)));
+  EXPECT_TRUE(d.is_duplicate(uplink(net::kClientBase + 1, 42), Time::ms(4)));
+}
+
+TEST(DedupTest, WindowedSizeStaysBounded) {
+  // Sustained line-rate traffic must not grow the key set beyond the
+  // window's worth of packets (the §3.2.3 memory argument).
+  Deduplicator d(Time::ms(10));
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    d.is_duplicate(uplink(net::kClientBase, static_cast<std::uint16_t>(i)),
+                   Time::us(i * 100));  // 10k pkt/s: window holds ~100 keys
+  }
+  EXPECT_LE(d.size(), 101u);
 }
 
 // ---------------------------------------------------------------------------

@@ -131,6 +131,25 @@ TEST(MetricsTest, OutOfCoverageSamplesExcluded) {
   }
 }
 
+TEST(MetricsTest, UntrackedClientYieldsEmptyResultsNotUB) {
+  // Regression: these accessors used to assert(it != end()) and then
+  // dereference — in a release build the assert compiles away and an
+  // untracked client id walked straight into UB.  They now degrade to empty
+  // results.
+  Testbed bed{TestbedConfig{}};
+  DriveMetrics metrics(bed, {});
+  metrics.track_client(net::kClientBase);
+  const net::NodeId never_tracked = net::kClientBase + 7;
+  EXPECT_TRUE(metrics.timeline(never_tracked).empty());
+  EXPECT_EQ(metrics.bitrate_samples(never_tracked).count(), 0u);
+  EXPECT_TRUE(metrics.bitrate_series(never_tracked).empty());
+  EXPECT_DOUBLE_EQ(metrics.switching_accuracy(never_tracked), 0.0);
+  // The tracked client is unaffected.
+  metrics.start();
+  bed.sched().run_until(Time::ms(50));
+  EXPECT_FALSE(metrics.timeline(net::kClientBase).empty());
+}
+
 TEST(AblationTest, LatestReadingSelectorSwitchesMore) {
   DriveScenarioConfig cfg;
   cfg.traffic = TrafficType::kUdpDownlink;
