@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  args.apply_trace(configs.front(), "ablations");
+  args.apply_outputs(configs.front(), "ablations");
 
   const scenario::SweepRunner runner(args.sweep);
   std::printf("running %zu drives on %zu threads...\n", configs.size(),

@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
       }
     }
   }
-  args.apply_trace(configs.front(), "fig13_speed_sweep");
+  args.apply_outputs(configs.front(), "fig13_speed_sweep");
 
   const scenario::SweepRunner runner(args.sweep);
   std::printf("running %zu drives on %zu threads...\n", configs.size(),

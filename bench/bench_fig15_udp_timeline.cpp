@@ -1,43 +1,72 @@
 // Paper Fig. 15: UDP throughput + link bit rate + AP timeline at 15 mph.
 //
+// The timeline is read back from the run's TelemetrySampler (500 ms period):
+// per-client goodput, selected AP, and cumulative loss come from one
+// telemetry table; the PHY bit-rate column is averaged from the run's
+// bitrate samples over each telemetry period.
+//
 // Claims: WGTT rides the best link continuously (frequent switches, stable
 // rate); Enhanced 802.11r switches only ~3 times in the whole 10 s transit
 // and its throughput swings wildly.
+//
+// Pass --telemetry [PATH] to keep the WGTT run's full CSV (default
+// TELEMETRY_fig15_udp_timeline.csv); --force overwrites an existing file.
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "scenario/experiment.h"
+#include "scenario/telemetry.h"
 #include "util/stats.h"
 
 using namespace wgtt;
 
 namespace {
 
-void print_run(const char* name, scenario::SystemType sys) {
+std::size_t col_by_suffix(const scenario::TelemetryTable& table,
+                          const std::string& suffix) {
+  for (std::size_t i = 0; i < table.columns.size(); ++i) {
+    const std::string& name = table.columns[i].name;
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return i;
+    }
+  }
+  return scenario::TelemetryTable::npos;
+}
+
+void print_run(const char* name, scenario::SystemType sys,
+               const std::string& telemetry_path) {
   scenario::DriveScenarioConfig cfg;
   cfg.system = sys;
   cfg.traffic = scenario::TrafficType::kUdpDownlink;
   cfg.udp_offered_mbps = 15.0;
   cfg.speed_mph = 15.0;
   cfg.seed = 42;
+  cfg.testbed.enable_telemetry = true;
+  cfg.testbed.telemetry_period = Time::ms(500);
+  cfg.testbed.telemetry_path = telemetry_path;
   auto r = scenario::run_drive(cfg);
   const auto& c = r.clients.front();
 
   std::printf("\n--- %s ---\n", name);
+  const scenario::TelemetryTable& table = r.telemetry;
+  const std::size_t col_goodput = col_by_suffix(table, ".goodput_mbps");
+  const std::size_t col_ap = col_by_suffix(table, ".ap");
   std::printf("%-7s %-8s %-10s %s\n", "t(s)", "Mb/s", "bitrate", "AP");
-  for (const auto& [t, mbps] : c.throughput_bins) {
-    // Average PHY bit rate of exchanges in this bin.
+  for (std::size_t i = 0; i < table.row_count(); ++i) {
+    const auto& row = table.rows[i];
+    const Time t = table.times[i];
+    // Average PHY bit rate of exchanges in this telemetry period.
     RunningStats rate;
     for (const auto& [bt, mb] : c.bitrate_series) {
-      if (bt >= t && bt < t + Time::ms(500)) rate.add(mb);
+      if (bt >= t - Time::ms(500) && bt < t) rate.add(mb);
     }
-    net::NodeId ap = 0;
-    for (const auto& pt : c.timeline) {
-      if (pt.t <= t + Time::ms(250)) ap = pt.active;
-    }
-    std::printf("%-7.1f %-8.2f %-10.1f AP%u %s\n", t.to_sec(), mbps,
-                rate.mean(), ap, bench::bar(mbps, 16, 20).c_str());
+    std::printf("%-7.1f %-8.2f %-10.1f AP%u %s\n", t.to_sec(),
+                row[col_goodput], rate.mean(),
+                static_cast<unsigned>(row[col_ap]),
+                bench::bar(row[col_goodput], 16, 20).c_str());
   }
   std::size_t switch_count = 0;
   net::NodeId prev = 0;
@@ -51,10 +80,18 @@ void print_run(const char* name, scenario::SystemType sys) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::header("Fig. 15", "UDP throughput + bit rate + AP timeline, 15 mph");
-  print_run("WGTT", scenario::SystemType::kWgtt);
-  print_run("Enhanced 802.11r", scenario::SystemType::kEnhanced80211r);
+  std::string csv_path;
+  if (args.telemetry) {
+    csv_path = bench::claim_output_path(
+        args.telemetry_path.empty() ? "TELEMETRY_fig15_udp_timeline.csv"
+                                    : args.telemetry_path,
+        args.force, "telemetry");
+  }
+  print_run("WGTT", scenario::SystemType::kWgtt, csv_path);
+  print_run("Enhanced 802.11r", scenario::SystemType::kEnhanced80211r, {});
   std::printf("\npaper: WGTT switches frequently and keeps a stable rate;\n"
               "Enhanced 802.11r switches only ~3 times in 10 s with low,\n"
               "unstable throughput.\n");

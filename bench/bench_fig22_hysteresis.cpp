@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
-  args.apply_trace(configs.front(), "fig22_hysteresis");
+  args.apply_outputs(configs.front(), "fig22_hysteresis");
 
   const scenario::SweepRunner runner(args.sweep);
   const scenario::SweepOutcome outcome = runner.run(configs);

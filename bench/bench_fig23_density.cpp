@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
-  args.apply_trace(configs.front(), "fig23_density");
+  args.apply_outputs(configs.front(), "fig23_density");
 
   const scenario::SweepRunner runner(args.sweep);
   const scenario::SweepOutcome outcome = runner.run(configs);

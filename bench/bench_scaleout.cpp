@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     cfg.seed = 42;
     configs.push_back(cfg);
   }
-  args.apply_trace(configs.front(), "scaleout");
+  args.apply_outputs(configs.front(), "scaleout");
 
   const scenario::SweepRunner runner(args.sweep);
   std::printf("running %zu drives on %zu threads...\n", configs.size(),

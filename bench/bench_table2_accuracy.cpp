@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
-  args.apply_trace(configs.front(), "table2_accuracy");
+  args.apply_outputs(configs.front(), "table2_accuracy");
 
   const scenario::SweepRunner runner(args.sweep);
   const scenario::SweepOutcome outcome = runner.run(configs);

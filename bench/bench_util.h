@@ -35,6 +35,25 @@ inline std::string bar(double value, double max, int width = 40) {
   return std::string(static_cast<std::size_t>(n), '#');
 }
 
+/// Resolve one bench output path, refusing to silently clobber a file that
+/// already exists unless the user passed --force.  Prints the resolved path
+/// so the bench summary names every artifact it is about to write.
+inline std::string claim_output_path(const std::string& path, bool force,
+                                     const char* what) {
+  if (!force) {
+    if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+      std::fclose(f);
+      std::fprintf(stderr,
+                   "error: %s output %s already exists; pass --force to "
+                   "overwrite\n",
+                   what, path.c_str());
+      std::exit(1);
+    }
+  }
+  std::printf("%s: %s\n", what, path.c_str());
+  return path;
+}
+
 /// Command-line options shared by the sweep-shaped benches.
 struct BenchArgs {
   scenario::SweepOptions sweep;  // --jobs N / -j N (0 = env/hardware default)
@@ -42,15 +61,41 @@ struct BenchArgs {
   /// Empty = tracing off; the default path is TRACE_<bench_id>.json.
   std::string trace_path;
   bool trace = false;
+  /// --telemetry [PATH]: write the first run's telemetry CSV.
+  /// Empty = sampling off; the default path is TELEMETRY_<bench_id>.csv.
+  std::string telemetry_path;
+  bool telemetry = false;
+  /// --decisions [PATH]: write the first run's controller decision JSONL.
+  /// Empty = audit log off; the default path is DECISIONS_<bench_id>.jsonl.
+  std::string decisions_path;
+  bool decisions = false;
+  /// --force: overwrite existing trace/telemetry/decision output files.
+  bool force = false;
 
-  /// Apply the --trace request to the config of one run (benches trace the
-  /// first simulation of their sweep; tracing every run would just overwrite
-  /// one file per worker).
+  /// Apply the requested --trace/--telemetry/--decisions outputs to the
+  /// config of one run (benches instrument the first simulation of their
+  /// sweep; instrumenting every run would just overwrite one file per
+  /// worker).  Exits with an error if a target file exists and --force was
+  /// not given.
   template <typename DriveConfig>
-  void apply_trace(DriveConfig& cfg, const std::string& bench_id) const {
-    if (!trace) return;
-    cfg.testbed.trace_path =
-        trace_path.empty() ? "TRACE_" + bench_id + ".json" : trace_path;
+  void apply_outputs(DriveConfig& cfg, const std::string& bench_id) const {
+    if (trace) {
+      cfg.testbed.trace_path = claim_output_path(
+          trace_path.empty() ? "TRACE_" + bench_id + ".json" : trace_path,
+          force, "trace");
+    }
+    if (telemetry) {
+      cfg.testbed.telemetry_path = claim_output_path(
+          telemetry_path.empty() ? "TELEMETRY_" + bench_id + ".csv"
+                                 : telemetry_path,
+          force, "telemetry");
+    }
+    if (decisions) {
+      cfg.testbed.decision_log_path = claim_output_path(
+          decisions_path.empty() ? "DECISIONS_" + bench_id + ".jsonl"
+                                 : decisions_path,
+          force, "decisions");
+    }
   }
 };
 
@@ -70,14 +115,39 @@ inline BenchArgs parse_args(int argc, char** argv) {
     } else if (std::strcmp(a, "--trace") == 0) {
       args.trace = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') args.trace_path = argv[++i];
+    } else if (std::strncmp(a, "--telemetry=", 12) == 0) {
+      args.telemetry = true;
+      args.telemetry_path = a + 12;
+    } else if (std::strcmp(a, "--telemetry") == 0) {
+      args.telemetry = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.telemetry_path = argv[++i];
+      }
+    } else if (std::strncmp(a, "--decisions=", 12) == 0) {
+      args.decisions = true;
+      args.decisions_path = a + 12;
+    } else if (std::strcmp(a, "--decisions") == 0) {
+      args.decisions = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.decisions_path = argv[++i];
+      }
+    } else if (std::strcmp(a, "--force") == 0) {
+      args.force = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
-      std::printf("usage: %s [--jobs N] [--trace [PATH]]\n"
-                  "  --jobs N        worker threads for the sweep (default: "
-                  "WGTT_SWEEP_JOBS env or hardware concurrency)\n"
-                  "  --trace [PATH]  write a Chrome trace-event JSON "
-                  "(chrome://tracing, Perfetto) of the bench's first "
-                  "simulation; default PATH is TRACE_<bench>.json\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--jobs N] [--trace [PATH]] [--telemetry [PATH]] "
+          "[--decisions [PATH]] [--force]\n"
+          "  --jobs N            worker threads for the sweep (default: "
+          "WGTT_SWEEP_JOBS env or hardware concurrency)\n"
+          "  --trace [PATH]      write a Chrome trace-event JSON "
+          "(chrome://tracing, Perfetto) of the bench's first "
+          "simulation; default PATH is TRACE_<bench>.json\n"
+          "  --telemetry [PATH]  write the first simulation's telemetry "
+          "time-series CSV; default PATH is TELEMETRY_<bench>.csv\n"
+          "  --decisions [PATH]  write the first simulation's controller "
+          "decision audit JSONL; default PATH is DECISIONS_<bench>.jsonl\n"
+          "  --force             overwrite existing output files\n",
+          argv[0]);
       std::exit(0);
     }
     if (val != nullptr) {

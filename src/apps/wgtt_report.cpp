@@ -1,0 +1,297 @@
+// wgtt-report: analyzer for the BENCH_*.json reports the sweep benches emit.
+//
+//   wgtt-report show FILE
+//       Pretty-print one report: sweep header, per-run metrics table, and
+//       the aggregated host-time profile (where simulator CPU went).
+//
+//   wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]
+//       Compare two reports of the same bench.  Schema mismatches (different
+//       bench id, run count, or run labels) always fail with exit 2.
+//       Performance regressions — sweep wall time, per-run wall time, or an
+//       aggregated profile section slower than baseline by more than the
+//       tolerance (default 25 %) — fail with exit 1, or only warn when
+//       --soft is given (CI runners are noisy; schema breaks are not).
+//       Deterministic simulation outputs (goodput, switch counts) that drift
+//       between same-seed reports are reported as warnings.
+//
+// Exit codes: 0 ok / warnings only, 1 performance regression, 2 schema or
+// usage error.
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using wgtt::JsonValue;
+
+struct ProfileTotals {
+  std::vector<std::pair<std::string, std::int64_t>> sections;  // sorted desc
+  std::int64_t total_ns = 0;
+};
+
+// Sum each profile section's self_ns across all runs of a report.
+ProfileTotals aggregate_profile(const JsonValue& report) {
+  std::map<std::string, std::int64_t> acc;
+  if (const JsonValue* runs = report.find("runs"); runs && runs->is_array()) {
+    for (const JsonValue& run : runs->as_array()) {
+      const JsonValue* profile = run.find("profile");
+      if (!profile) continue;
+      const JsonValue* sections = profile->find("sections");
+      if (!sections || !sections->is_object()) continue;
+      for (const auto& [name, sec] : sections->as_object()) {
+        acc[name] += static_cast<std::int64_t>(sec.number_or("self_ns", 0.0));
+      }
+    }
+  }
+  ProfileTotals out;
+  for (const auto& [name, ns] : acc) {
+    out.sections.emplace_back(name, ns);
+    out.total_ns += ns;
+  }
+  std::sort(out.sections.begin(), out.sections.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+bool load_report(const std::string& path, JsonValue& out) {
+  std::string text;
+  if (!wgtt::read_text_file(path, text)) {
+    std::fprintf(stderr, "wgtt-report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string error;
+  if (!wgtt::json_parse(text, out, &error)) {
+    std::fprintf(stderr, "wgtt-report: %s: JSON parse error: %s\n",
+                 path.c_str(), error.c_str());
+    return false;
+  }
+  if (!out.is_object() || !out.find("bench") || !out.find("runs") ||
+      !out.find("runs")->is_array()) {
+    std::fprintf(stderr,
+                 "wgtt-report: %s: not a bench report (missing \"bench\" or "
+                 "\"runs\")\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+int cmd_show(const std::string& path) {
+  JsonValue report;
+  if (!load_report(path, report)) return 2;
+
+  std::printf("bench:  %s\n", report.string_or("bench", "?").c_str());
+  std::printf("title:  %s\n", report.string_or("title", "").c_str());
+  std::printf("jobs:   %d    wall: %.1f ms\n",
+              static_cast<int>(report.number_or("jobs", 0.0)),
+              report.number_or("wall_ms", 0.0));
+  if (const JsonValue* summary = report.find("summary");
+      summary && summary->is_object() && !summary->as_object().empty()) {
+    std::printf("summary:\n");
+    for (const auto& [k, v] : summary->as_object()) {
+      if (v.is_number()) std::printf("  %-32s %.4g\n", k.c_str(), v.as_number());
+    }
+  }
+
+  const auto& runs = report.find("runs")->as_array();
+  std::printf("\n%-28s %10s %8s %9s %9s %10s\n", "run", "goodput", "loss",
+              "accuracy", "switches", "wall_ms");
+  for (const JsonValue& run : runs) {
+    std::printf("%-28s %10.2f %8.3f %9.3f %9d %10.1f\n",
+                run.string_or("label", "?").c_str(),
+                run.number_or("goodput_mbps", 0.0),
+                run.number_or("udp_loss_rate", 0.0),
+                run.number_or("switching_accuracy", 0.0),
+                static_cast<int>(run.number_or("switches", 0.0)),
+                run.number_or("wall_ms", 0.0));
+  }
+
+  const ProfileTotals profile = aggregate_profile(report);
+  if (!profile.sections.empty()) {
+    std::printf("\nprofile (host self-time, all runs):\n");
+    std::printf("%-28s %12s %7s\n", "section", "self_ms", "share");
+    for (const auto& [name, ns] : profile.sections) {
+      std::printf("%-28s %12.1f %6.1f%%\n", name.c_str(),
+                  static_cast<double>(ns) / 1e6,
+                  profile.total_ns > 0
+                      ? 100.0 * static_cast<double>(ns) /
+                            static_cast<double>(profile.total_ns)
+                      : 0.0);
+    }
+  }
+  return 0;
+}
+
+struct DiffState {
+  double tolerance_pct = 25.0;
+  bool soft = false;
+  int regressions = 0;
+  int warnings = 0;
+
+  // A wall-time (or section-time) comparison: regression when current
+  // exceeds baseline by more than the tolerance.  Sub-millisecond baselines
+  // are pure scheduling noise and only ever warn.
+  void check_time(const std::string& what, double base, double cur) {
+    if (base <= 0.0) return;
+    const double ratio = cur / base;
+    const bool over = ratio > 1.0 + tolerance_pct / 100.0;
+    if (!over) return;
+    const bool noise_floor = base < 1.0;
+    if (noise_floor) {
+      std::printf("WARN  %-40s %10.2f -> %10.2f ms (%.2fx, below noise "
+                  "floor)\n",
+                  what.c_str(), base, cur, ratio);
+      ++warnings;
+      return;
+    }
+    std::printf("%s  %-40s %10.2f -> %10.2f ms (%.2fx > %.0f%% tolerance)\n",
+                soft ? "WARN" : "FAIL", what.c_str(), base, cur, ratio,
+                tolerance_pct);
+    if (soft) {
+      ++warnings;
+    } else {
+      ++regressions;
+    }
+  }
+
+  void warn_drift(const std::string& what, double base, double cur) {
+    std::printf("WARN  %-40s %g -> %g (same-seed metric drift)\n",
+                what.c_str(), base, cur);
+    ++warnings;
+  }
+};
+
+int cmd_diff(const std::string& base_path, const std::string& cur_path,
+             DiffState st) {
+  JsonValue base, cur;
+  if (!load_report(base_path, base) || !load_report(cur_path, cur)) return 2;
+
+  // --- schema gate: the reports must describe the same sweep --------------
+  const std::string base_bench = base.string_or("bench", "");
+  const std::string cur_bench = cur.string_or("bench", "");
+  if (base_bench != cur_bench) {
+    std::fprintf(stderr,
+                 "wgtt-report: bench id mismatch: \"%s\" vs \"%s\"\n",
+                 base_bench.c_str(), cur_bench.c_str());
+    return 2;
+  }
+  const auto& base_runs = base.find("runs")->as_array();
+  const auto& cur_runs = cur.find("runs")->as_array();
+  if (base_runs.size() != cur_runs.size()) {
+    std::fprintf(stderr, "wgtt-report: run count mismatch: %zu vs %zu\n",
+                 base_runs.size(), cur_runs.size());
+    return 2;
+  }
+  for (std::size_t i = 0; i < base_runs.size(); ++i) {
+    const std::string bl = base_runs[i].string_or("label", "");
+    const std::string cl = cur_runs[i].string_or("label", "");
+    if (bl != cl) {
+      std::fprintf(stderr,
+                   "wgtt-report: run %zu label mismatch: \"%s\" vs \"%s\"\n",
+                   i, bl.c_str(), cl.c_str());
+      return 2;
+    }
+  }
+
+  std::printf("diff %s: %s -> %s (tolerance %.0f%%%s)\n", base_bench.c_str(),
+              base_path.c_str(), cur_path.c_str(), st.tolerance_pct,
+              st.soft ? ", soft" : "");
+
+  // --- deterministic outputs: same seed should mean same numbers ----------
+  for (std::size_t i = 0; i < base_runs.size(); ++i) {
+    const std::string label = base_runs[i].string_or("label", "?");
+    const double bg = base_runs[i].number_or("goodput_mbps", 0.0);
+    const double cg = cur_runs[i].number_or("goodput_mbps", 0.0);
+    if (std::fabs(cg - bg) > 0.01 * std::max(std::fabs(bg), 1e-9)) {
+      st.warn_drift(label + " goodput_mbps", bg, cg);
+    }
+    const double bs = base_runs[i].number_or("switches", 0.0);
+    const double cs = cur_runs[i].number_or("switches", 0.0);
+    if (bs != cs) st.warn_drift(label + " switches", bs, cs);
+  }
+
+  // --- performance: sweep wall, per-run wall, profile sections ------------
+  st.check_time("sweep wall_ms", base.number_or("wall_ms", 0.0),
+                cur.number_or("wall_ms", 0.0));
+  for (std::size_t i = 0; i < base_runs.size(); ++i) {
+    st.check_time(base_runs[i].string_or("label", "?") + " wall_ms",
+                  base_runs[i].number_or("wall_ms", 0.0),
+                  cur_runs[i].number_or("wall_ms", 0.0));
+  }
+
+  const ProfileTotals base_prof = aggregate_profile(base);
+  const ProfileTotals cur_prof = aggregate_profile(cur);
+  for (const auto& [name, base_ns] : base_prof.sections) {
+    // Sections under 1 % of the baseline total are timer noise; skip them.
+    if (base_prof.total_ns <= 0 || base_ns * 100 < base_prof.total_ns) {
+      continue;
+    }
+    std::int64_t cur_ns = 0;
+    for (const auto& [cn, cv] : cur_prof.sections) {
+      if (cn == name) {
+        cur_ns = cv;
+        break;
+      }
+    }
+    st.check_time("profile " + name, static_cast<double>(base_ns) / 1e6,
+                  static_cast<double>(cur_ns) / 1e6);
+  }
+
+  if (st.regressions > 0) {
+    std::printf("result: %d regression(s), %d warning(s)\n", st.regressions,
+                st.warnings);
+    return 1;
+  }
+  std::printf("result: ok (%d warning(s))\n", st.warnings);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: wgtt-report show FILE\n"
+      "       wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]\n"
+      "\n"
+      "exit codes: 0 ok, 1 performance regression, 2 schema/usage error\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  if (args[0] == "show") {
+    if (args.size() != 2) return usage();
+    return cmd_show(args[1]);
+  }
+  if (args[0] == "diff") {
+    DiffState st;
+    std::vector<std::string> paths;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--soft") {
+        st.soft = true;
+      } else if (args[i] == "--tolerance") {
+        if (i + 1 >= args.size()) return usage();
+        st.tolerance_pct = std::atof(args[++i].c_str());
+      } else if (args[i].rfind("--tolerance=", 0) == 0) {
+        st.tolerance_pct = std::atof(args[i].c_str() + std::strlen("--tolerance="));
+      } else if (args[i].rfind("--", 0) == 0) {
+        return usage();
+      } else {
+        paths.push_back(args[i]);
+      }
+    }
+    if (paths.size() != 2) return usage();
+    return cmd_diff(paths[0], paths[1], st);
+  }
+  return usage();
+}

@@ -18,6 +18,10 @@ ChannelModel::ChannelModel(RadioConfig radio, PathLossConfig pathloss,
       shadowing_cfg_(shadowing),
       fading_cfg_(fading),
       rng_(rng) {
+  if (auto* p = prof::Profiler::current()) {
+    prof_ = p;
+    p_csi_ = &p->section("channel.csi");
+  }
   fading_cfg_.carrier_hz = radio_.carrier_hz;
 }
 
@@ -79,6 +83,7 @@ ChannelModel::Link& ChannelModel::link(net::NodeId ap_id,
 
 phy::Csi ChannelModel::make_csi(net::NodeId ap_id, net::NodeId client_id,
                                 Time t, double tx_power_dbm) const {
+  prof::ScopedSection timer(prof_, p_csi_);
   const ApSite& site = ap(ap_id);
   auto cit = clients_.find(client_id);
   assert(cit != clients_.end());

@@ -20,6 +20,7 @@
 #include "channel/shadowing.h"
 #include "net/packet.h"
 #include "phy/csi.h"
+#include "util/profiler.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -110,6 +111,10 @@ class ChannelModel {
   std::vector<net::NodeId> ap_order_;
   std::map<net::NodeId, ClientInfo> clients_;
   mutable std::map<std::pair<net::NodeId, net::NodeId>, Link> links_;
+  // Host-time profiling of the per-subcarrier CSI synthesis (the channel's
+  // hot path); null when the sim has no profiler context.
+  prof::Profiler* prof_ = nullptr;
+  prof::Section* p_csi_ = nullptr;
 };
 
 }  // namespace wgtt::channel

@@ -51,6 +51,17 @@ net::NodeId MedianEsnrSelector::select(Time now) const {
   return best;
 }
 
+std::size_t MedianEsnrSelector::reading_count(net::NodeId ap, Time now) const {
+  auto it = windows_.find(ap);
+  if (it == windows_.end()) return 0;
+  const Time cutoff = now >= window_ ? now - window_ : Time::zero();
+  std::size_t n = 0;
+  for (const Reading& r : it->second) {
+    if (r.when >= cutoff) ++n;
+  }
+  return n;
+}
+
 std::vector<net::NodeId> MedianEsnrSelector::aps_in_range(Time now) const {
   const Time cutoff = now >= window_ ? now - window_ : Time::zero();
   std::vector<net::NodeId> out;

@@ -47,6 +47,10 @@ class MedianEsnrSelector {
   /// downlink fan-out set (§3.1.2 footnote 1).
   std::vector<net::NodeId> aps_in_range(Time now) const;
 
+  /// Window fill: number of in-window readings for `ap` (an AP needs
+  /// min_readings of them to be eligible).  Audit-log diagnostics.
+  std::size_t reading_count(net::NodeId ap, Time now) const;
+
   Time window() const { return window_; }
 
  private:

@@ -1,0 +1,104 @@
+// Controller decision audit log (JSONL).
+//
+// The WgttController's AP-selection pass runs every selection_period and,
+// per client, either keeps the incumbent AP, initiates a switch, or defers
+// the decision.  The paper's evaluation argues about *why* switches happen
+// (median windows riding out fading spikes, hysteresis suppressing flapping)
+// — this log records every evaluation with enough context to replay that
+// argument: the candidate APs' median ESNRs and window fill, the incumbent,
+// the configured margin, and the outcome with a machine-readable reason.
+//
+// One JSON object per line; timestamps use the tracer's integer-formatted
+// microsecond rendering and ESNR medians are fixed-point milli-dB integers,
+// so a fixed-seed run produces byte-identical output on any platform and the
+// records cross-link to trace spans by simulated timestamp.
+//
+// Thread-scoped exactly like LogSink / MetricsRegistry / Tracer: a
+// DecisionLog is owned by one Testbed, installed as the constructing
+// thread's context-current log, and the controller caches `current()` once
+// at construction — a null pointer (logging off) costs one branch per
+// selection pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace wgtt::core {
+
+enum class DecisionOutcome { kKeep, kSwitch, kDefer };
+
+enum class DecisionReason {
+  kNotJoined,       // defer: client has no active AP yet
+  kSwitchInFlight,  // defer: a stop/start/ack handshake is outstanding
+  kHysteresis,      // defer: within switch_hysteresis of the last switch
+  kNoCandidate,     // keep: no AP has min_readings in-window readings
+  kIncumbentBest,   // keep: the incumbent has the maximal median
+  kBelowMargin,     // keep: challenger ahead but under switch_margin_db
+  kChallengerAhead, // switch: challenger beats incumbent (+margin)
+};
+
+const char* to_string(DecisionOutcome o);
+const char* to_string(DecisionReason r);
+
+struct DecisionCandidate {
+  net::NodeId ap = 0;
+  double median_db = 0.0;    // windowed median ESNR
+  std::size_t readings = 0;  // window fill (eligible when >= min_readings)
+  bool eligible = false;     // has min_readings in-window readings
+};
+
+struct DecisionRecord {
+  Time t;
+  net::NodeId client = 0;
+  net::NodeId incumbent = 0;  // active AP at evaluation time (0 = none)
+  net::NodeId chosen = 0;     // argmax-median AP (0 when none eligible)
+  DecisionOutcome outcome = DecisionOutcome::kKeep;
+  DecisionReason reason = DecisionReason::kNoCandidate;
+  double margin_db = 0.0;        // configured switch margin
+  Time hysteresis_remaining;     // > 0 only for kHysteresis deferrals
+  std::vector<DecisionCandidate> candidates;  // sorted by AP id
+};
+
+class DecisionLog {
+ public:
+  DecisionLog() = default;
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  /// Serialize `rec` as one JSONL line and append it.
+  void append(const DecisionRecord& rec);
+
+  std::size_t entries() const { return entries_; }
+  std::uint64_t switches() const { return switches_; }
+  /// The accumulated JSONL document (one '\n'-terminated object per line).
+  const std::string& jsonl() const { return out_; }
+
+  /// The log the calling thread's current simulation records into, or
+  /// nullptr when decision auditing is off (the default).
+  static DecisionLog* current();
+
+ private:
+  std::string out_;
+  std::size_t entries_ = 0;
+  std::uint64_t switches_ = 0;  // records with outcome kSwitch
+};
+
+/// Install `log` as the calling thread's current decision log for this
+/// object's lifetime (RAII; nests).  Passing nullptr keeps the current one.
+class ScopedDecisionLog {
+ public:
+  explicit ScopedDecisionLog(DecisionLog* log);
+  ~ScopedDecisionLog();
+  ScopedDecisionLog(const ScopedDecisionLog&) = delete;
+  ScopedDecisionLog& operator=(const ScopedDecisionLog&) = delete;
+
+ private:
+  DecisionLog* installed_ = nullptr;
+  DecisionLog* previous_ = nullptr;
+};
+
+}  // namespace wgtt::core

@@ -22,6 +22,12 @@ WgttController::WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
         "core.switch_latency_ms", metrics::exponential_buckets(0.5, 2.0, 10));
   }
   tracer_ = trace::Tracer::current();
+  decision_log_ = DecisionLog::current();
+  if (auto* p = prof::Profiler::current()) {
+    prof_ = p;
+    p_selection_ = &p->section("core.selection");
+    p_csi_ = &p->section("core.csi_report");
+  }
   backhaul_.attach(net::kControllerId, [this](const net::TunneledPacket& f) {
     on_backhaul_frame(f);
   });
@@ -100,6 +106,7 @@ void WgttController::inject_csi(net::NodeId ap, net::NodeId client,
 }
 
 void WgttController::handle_csi_report(const CsiReportMsg& msg) {
+  prof::ScopedSection timer(prof_, p_csi_);
   ++stats_.csi_reports;
   ClientState& st = client_state(msg.client);
   const double esnr = phy::selection_esnr_db(msg.csi);
@@ -163,20 +170,90 @@ void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
 // AP selection + switching protocol
 // ---------------------------------------------------------------------------
 
+void WgttController::log_decision(net::NodeId client, const ClientState& st,
+                                  Time now, DecisionOutcome outcome,
+                                  DecisionReason reason, net::NodeId chosen,
+                                  Time hysteresis_remaining) {
+  DecisionRecord rec;
+  rec.t = now;
+  rec.client = client;
+  rec.incumbent = st.active_ap;
+  rec.chosen = chosen;
+  rec.outcome = outcome;
+  rec.reason = reason;
+  rec.margin_db = cfg_.switch_margin_db;
+  rec.hysteresis_remaining = hysteresis_remaining;
+  if (st.selector) {
+    // aps_in_range iterates the selector's NodeId-ordered window map, so the
+    // candidate list is sorted and the serialization deterministic.
+    for (net::NodeId ap : st.selector->aps_in_range(now)) {
+      DecisionCandidate c;
+      c.ap = ap;
+      c.readings = st.selector->reading_count(ap, now);
+      if (const auto m = st.selector->median(ap, now)) {
+        c.median_db = *m;
+        c.eligible = true;
+      }
+      rec.candidates.push_back(c);
+    }
+  }
+  decision_log_->append(rec);
+}
+
 void WgttController::run_selection() {
+  prof::ScopedSection timer(prof_, p_selection_);
   const Time now = sched_.now();
   for (auto& [client, st] : clients_) {
-    if (st.active_ap == 0 || st.switch_in_flight || !st.selector) continue;
-    if (now - st.last_switch < cfg_.switch_hysteresis) continue;
+    // Every early-out below is an auditable decision: when a DecisionLog is
+    // installed, record why this client was not switched (observation only —
+    // the control flow is identical with auditing off).
+    if (st.active_ap == 0 || st.switch_in_flight || !st.selector) {
+      if (decision_log_ && st.selector) {
+        log_decision(client, st, now, DecisionOutcome::kDefer,
+                     st.active_ap == 0 ? DecisionReason::kNotJoined
+                                       : DecisionReason::kSwitchInFlight,
+                     /*chosen=*/0, Time::zero());
+      }
+      continue;
+    }
+    if (now - st.last_switch < cfg_.switch_hysteresis) {
+      if (decision_log_) {
+        log_decision(client, st, now, DecisionOutcome::kDefer,
+                     DecisionReason::kHysteresis, /*chosen=*/0,
+                     cfg_.switch_hysteresis - (now - st.last_switch));
+      }
+      continue;
+    }
     st.selector->prune(now);
 
     const net::NodeId best = st.selector->select(now);
-    if (best == 0 || best == st.active_ap) continue;
+    if (best == 0) {
+      if (decision_log_) {
+        log_decision(client, st, now, DecisionOutcome::kKeep,
+                     DecisionReason::kNoCandidate, /*chosen=*/0, Time::zero());
+      }
+      continue;
+    }
+    if (best == st.active_ap) {
+      if (decision_log_) {
+        log_decision(client, st, now, DecisionOutcome::kKeep,
+                     DecisionReason::kIncumbentBest, best, Time::zero());
+      }
+      continue;
+    }
     const auto best_median = st.selector->median(best, now);
     const auto active_median = st.selector->median(st.active_ap, now);
     if (active_median &&
         *best_median < *active_median + cfg_.switch_margin_db) {
+      if (decision_log_) {
+        log_decision(client, st, now, DecisionOutcome::kKeep,
+                     DecisionReason::kBelowMargin, best, Time::zero());
+      }
       continue;
+    }
+    if (decision_log_) {
+      log_decision(client, st, now, DecisionOutcome::kSwitch,
+                   DecisionReason::kChallengerAhead, best, Time::zero());
     }
     initiate_switch(client, st, best);
   }

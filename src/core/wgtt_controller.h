@@ -24,11 +24,13 @@
 
 #include "core/ap_selector.h"
 #include "core/control_messages.h"
+#include "core/decision_log.h"
 #include "core/dedup.h"
 #include "net/backhaul.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/stats.h"
 #include "util/trace.h"
 
@@ -122,6 +124,9 @@ class WgttController {
   void handle_uplink_data(net::PacketPtr pkt);
 
   void run_selection();
+  void log_decision(net::NodeId client, const ClientState& st, Time now,
+                    DecisionOutcome outcome, DecisionReason reason,
+                    net::NodeId chosen, Time hysteresis_remaining);
   void initiate_switch(net::NodeId client, ClientState& st,
                        net::NodeId target);
   void send_stop(net::NodeId client, ClientState& st);
@@ -143,6 +148,10 @@ class WgttController {
   metrics::Counter* m_dedup_hits_ = nullptr;
   metrics::Histogram* m_switch_latency_ms_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  DecisionLog* decision_log_ = nullptr;
+  prof::Profiler* prof_ = nullptr;
+  prof::Section* p_selection_ = nullptr;
+  prof::Section* p_csi_ = nullptr;
 };
 
 }  // namespace wgtt::core

@@ -71,6 +71,10 @@ WifiDevice::WifiDevice(MacContext& ctx, net::NodeId self, WifiDeviceConfig cfg)
                                  metrics::linear_buckets(-10.0, 5.0, 13));
   }
   tracer_ = trace::Tracer::current();
+  if (auto* p = prof::Profiler::current()) {
+    prof_ = p;
+    p_exchange_ = &p->section("mac.exchange");
+  }
   ctx_.register_device(this);
   ctx_.medium().attach(self_,
                        cfg_.is_ap
@@ -243,6 +247,7 @@ double WifiDevice::effective_esnr_db(net::NodeId tx_node, net::NodeId rx_node,
 }
 
 void WifiDevice::begin_exchange() {
+  prof::ScopedSection timer(prof_, p_exchange_);
   assert(in_flight_);
   tx_armed_ = false;
   const Time now = ctx_.sched().now();
@@ -481,6 +486,7 @@ void WifiDevice::deliver_upward(net::NodeId stream, std::uint16_t seq,
 }
 
 void WifiDevice::complete_exchange() {
+  prof::ScopedSection timer(prof_, p_exchange_);
   assert(in_flight_);
   if (!in_flight_->any_ba && cfg_.ba_completion_grace > Time::zero()) {
     // Hold the exchange open: a forwarded BA may still arrive over the

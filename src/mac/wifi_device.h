@@ -41,6 +41,7 @@
 #include "phy/rate_control.h"
 #include "sim/scheduler.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/trace.h"
@@ -273,6 +274,8 @@ class WifiDevice {
   metrics::Histogram* m_mcs_index_ = nullptr;
   metrics::Histogram* m_esnr_db_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  prof::Profiler* prof_ = nullptr;
+  prof::Section* p_exchange_ = nullptr;
 };
 
 }  // namespace wgtt::mac

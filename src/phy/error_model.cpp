@@ -5,7 +5,12 @@
 
 namespace wgtt::phy {
 
-ErrorModel::ErrorModel(ErrorModelConfig cfg) : cfg_(cfg) {}
+ErrorModel::ErrorModel(ErrorModelConfig cfg) : cfg_(cfg) {
+  if (auto* p = prof::Profiler::current()) {
+    prof_ = p;
+    p_mcs_ = &p->section("phy.mcs_select");
+  }
+}
 
 double ErrorModel::per(const McsInfo& m, double esnr_db,
                        std::size_t bytes) const {
@@ -33,6 +38,7 @@ double ErrorModel::per(const McsInfo& m, double esnr_db,
 
 const McsInfo& ErrorModel::best_mcs_for(double esnr_db, std::size_t bytes,
                                         double target_per) const {
+  prof::ScopedSection timer(prof_, p_mcs_);
   const McsInfo* best = &mcs(0);
   for (const McsInfo& m : mcs_table()) {
     if (per(m, esnr_db, bytes) <= target_per) best = &m;

@@ -10,6 +10,7 @@
 #include <cstddef>
 
 #include "phy/mcs.h"
+#include "util/profiler.h"
 
 namespace wgtt::phy {
 
@@ -40,6 +41,10 @@ class ErrorModel {
 
  private:
   ErrorModelConfig cfg_;
+  // Host-time profiling of the PER-driven MCS scan; null without a profiler
+  // context (per() itself is too cheap to time without skewing the result).
+  prof::Profiler* prof_ = nullptr;
+  prof::Section* p_mcs_ = nullptr;
 };
 
 }  // namespace wgtt::phy

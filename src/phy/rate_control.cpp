@@ -4,7 +4,12 @@
 
 namespace wgtt::phy {
 
-MinstrelRateControl::MinstrelRateControl(MinstrelConfig cfg) : cfg_(cfg) {}
+MinstrelRateControl::MinstrelRateControl(MinstrelConfig cfg) : cfg_(cfg) {
+  if (auto* p = prof::Profiler::current()) {
+    prof_ = p;
+    p_select_ = &p->section("phy.rate_select");
+  }
+}
 
 unsigned MinstrelRateControl::best_rate_index() const {
   unsigned best = 0;
@@ -23,6 +28,7 @@ unsigned MinstrelRateControl::best_rate_index() const {
 }
 
 const McsInfo& MinstrelRateControl::select(Time) {
+  prof::ScopedSection timer(prof_, p_select_);
   ++selections_;
   const unsigned best = best_rate_index();
   if (cfg_.probe_period > 0 && selections_ % cfg_.probe_period == 0) {

@@ -15,6 +15,7 @@
 
 #include "phy/error_model.h"
 #include "phy/mcs.h"
+#include "util/profiler.h"
 #include "util/time.h"
 
 namespace wgtt::phy {
@@ -54,6 +55,8 @@ class MinstrelRateControl final : public RateControl {
   unsigned best_rate_index() const;
 
   MinstrelConfig cfg_;
+  prof::Profiler* prof_ = nullptr;
+  prof::Section* p_select_ = nullptr;
   struct RateStats {
     double ewma_prob = 1.0;  // optimistic start => rates get sampled
     bool ever_reported = false;

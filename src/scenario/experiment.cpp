@@ -127,6 +127,76 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
   }
   bed.sched().schedule_at(cfg.app_start, [&metrics]() { metrics.start(); });
 
+  // --- telemetry columns ---------------------------------------------------
+  // Probes read live state owned by this frame (overlay, apps); they only
+  // fire during run_until below, while everything they capture is alive.
+  if (TelemetrySampler* tel = bed.telemetry()) {
+    const double period_ns = static_cast<double>(tel->period().to_ns());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      const net::NodeId client = clients[i];
+      const std::string prefix = "c" + std::to_string(client);
+      tel->add_column(prefix + ".ap", 0, [active_lookup, client]() {
+        return static_cast<double>(active_lookup(client));
+      });
+      if (wgtt) {
+        for (net::NodeId ap : bed.ap_ids()) {
+          // The ESNR lookup table's floor (-30 dB) doubles as the
+          // "no in-window readings" sentinel.
+          tel->add_column(prefix + ".esnr_ap" + std::to_string(ap), 3,
+                          [w = wgtt.get(), client, ap]() {
+                            return w->controller()
+                                .median_esnr(client, ap)
+                                .value_or(-30.0);
+                          });
+        }
+      }
+      std::function<std::uint64_t()> bytes_now;
+      if (cfg.traffic == TrafficType::kTcpDownlink) {
+        auto* conn = &tcp_apps[i]->connection();
+        bytes_now = [conn]() { return conn->delivered_bytes(); };
+        tel->add_column(prefix + ".cwnd", 2,
+                        [conn]() { return conn->cwnd_segments(); });
+        tel->add_column(prefix + ".tcp_retx", 0, [conn]() {
+          return static_cast<double>(conn->stats().retransmissions);
+        });
+      } else {
+        auto* app = udp_apps[i].get();
+        bytes_now = [app]() {
+          return static_cast<std::uint64_t>(
+              app->receiver().throughput().total_bytes());
+        };
+        tel->add_column(prefix + ".udp_loss", 4,
+                        [app]() { return app->loss_rate(); });
+      }
+      auto prev = std::make_shared<std::uint64_t>(0);
+      tel->add_column(prefix + ".goodput_mbps", 3,
+                      [bytes_now, prev, period_ns]() {
+                        const std::uint64_t b = bytes_now();
+                        const double delta =
+                            static_cast<double>(b - *prev);
+                        *prev = b;
+                        // bytes/period -> Mbit/s
+                        return delta * 8000.0 / period_ns;
+                      });
+    }
+    if (wgtt) {
+      for (net::NodeId ap : bed.ap_ids()) {
+        tel->add_column("ap" + std::to_string(ap) + ".backlog", 0,
+                        [w = wgtt.get(), ap, clients]() {
+                          double backlog = 0.0;
+                          for (net::NodeId c : clients) {
+                            if (const auto* stack = w->ap(ap).stack_for(c)) {
+                              backlog += static_cast<double>(
+                                  stack->total_backlog());
+                            }
+                          }
+                          return backlog;
+                        });
+      }
+    }
+    bed.sched().schedule_at(cfg.app_start, [tel]() { tel->start(); });
+  }
+
   // --- run -----------------------------------------------------------------
   bed.sched().run_until(duration);
 
@@ -135,6 +205,15 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
   result.measured_duration = duration - cfg.app_start;
   result.medium_utilization = bed.medium().utilization();
   result.metrics = bed.metrics_snapshot();
+  result.profile = bed.profile_snapshot();
+  if (const TelemetrySampler* tel = bed.telemetry()) {
+    result.telemetry = tel->table();
+  }
+  if (const core::DecisionLog* dlog = bed.decision_log()) {
+    result.decision_jsonl = dlog->jsonl();
+    result.decision_records = dlog->entries();
+    result.decision_switch_records = dlog->switches();
+  }
   if (wgtt) {
     result.switches = wgtt->controller().switch_log();
     result.stop_retransmissions =

@@ -86,6 +86,20 @@ struct DriveResult {
   /// Every instrument the sim recorded (empty when testbed.enable_metrics
   /// is false).  Exported into the bench reports' "metrics" section.
   metrics::Snapshot metrics;
+  /// The sampled telemetry table (empty unless testbed.enable_telemetry /
+  /// telemetry_path is set).  run_drive wires the standard column set:
+  /// per-client active AP, per-(client, AP) median ESNR, instantaneous
+  /// goodput, TCP cwnd/retransmissions or UDP loss, and per-AP backlog.
+  TelemetryTable telemetry;
+  /// Controller decision audit log (JSONL; empty unless
+  /// testbed.enable_decision_log / decision_log_path is set).
+  std::string decision_jsonl;
+  std::uint64_t decision_records = 0;
+  std::uint64_t decision_switch_records = 0;
+  /// Host self-time per instrumented section (empty when
+  /// testbed.enable_profiler is false).  Exported as the reports' "profile"
+  /// block.
+  prof::ProfileSnapshot profile;
 
   double mean_goodput_mbps() const {
     if (clients.empty()) return 0.0;

@@ -36,6 +36,7 @@ RunReport make_run_report(std::string label, const DriveScenarioConfig& cfg,
   r.medium_utilization = result.medium_utilization;
   r.wall_ms = wall_ms;
   r.metrics = result.metrics;
+  r.profile = result.profile;
   if (!result.clients.empty()) {
     double loss = 0.0;
     double acc = 0.0;
@@ -87,6 +88,10 @@ std::string SweepReport::to_json() const {
     if (!r.metrics.empty()) {
       w.key("metrics");
       r.metrics.write_json(w);
+    }
+    if (!r.profile.empty()) {
+      w.key("profile");
+      r.profile.write_json(w);
     }
     w.end_object();
   }

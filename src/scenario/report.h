@@ -44,6 +44,9 @@ struct RunReport {
   /// Full instrument snapshot from the run's MetricsRegistry (counters,
   /// gauges, histograms); serialized as the run's "metrics" object.
   metrics::Snapshot metrics;
+  /// Per-section host self-time from the run's Profiler; serialized as the
+  /// run's "profile" object (where the simulator's CPU went).
+  prof::ProfileSnapshot profile;
 };
 
 /// Populate a RunReport from a finished run.  `label` is free-form.

@@ -23,6 +23,17 @@ Testbed::Testbed(TestbedConfig cfg)
       tracer_(cfg_.trace_path.empty() ? nullptr
                                       : std::make_unique<trace::Tracer>()),
       trace_scope_(tracer_.get()),
+      profiler_(cfg_.enable_profiler ? std::make_unique<prof::Profiler>()
+                                     : nullptr),
+      profiler_scope_(profiler_.get()),
+      decision_log_((cfg_.enable_decision_log || !cfg_.decision_log_path.empty())
+                        ? std::make_unique<core::DecisionLog>()
+                        : nullptr),
+      decision_scope_(decision_log_.get()),
+      telemetry_((cfg_.enable_telemetry || !cfg_.telemetry_path.empty())
+                     ? std::make_unique<TelemetrySampler>(sched_,
+                                                          cfg_.telemetry_period)
+                     : nullptr),
       rng_(cfg_.seed),
       error_model_(cfg_.error_model) {
   channel_ = std::make_unique<channel::ChannelModel>(
@@ -37,10 +48,20 @@ Testbed::Testbed(TestbedConfig cfg)
 
 Testbed::~Testbed() {
   if (tracer_) write_text_file(cfg_.trace_path, tracer_->finish());
+  if (telemetry_ && !cfg_.telemetry_path.empty()) {
+    write_text_file(cfg_.telemetry_path, telemetry_->to_csv());
+  }
+  if (decision_log_ && !cfg_.decision_log_path.empty()) {
+    write_text_file(cfg_.decision_log_path, decision_log_->jsonl());
+  }
 }
 
 metrics::Snapshot Testbed::metrics_snapshot() const {
   return metrics_ ? metrics_->snapshot() : metrics::Snapshot{};
+}
+
+prof::ProfileSnapshot Testbed::profile_snapshot() const {
+  return profiler_ ? profiler_->snapshot() : prof::ProfileSnapshot{};
 }
 
 mac::WifiDevice& Testbed::create_ap_device(net::NodeId id,

@@ -20,16 +20,19 @@
 #include "apps/web_browse.h"
 #include "baseline/enhanced_80211r.h"
 #include "channel/channel_model.h"
+#include "core/decision_log.h"
 #include "core/wgtt_ap.h"
 #include "core/wgtt_controller.h"
 #include "mac/medium.h"
 #include "mac/wifi_device.h"
 #include "net/backhaul.h"
+#include "scenario/telemetry.h"
 #include "sim/scheduler.h"
 #include "transport/tcp_connection.h"
 #include "transport/udp_flow.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/trace.h"
 
 namespace wgtt::scenario {
@@ -83,6 +86,25 @@ struct TestbedConfig {
   /// When non-empty, the Testbed owns a Tracer and writes the Chrome
   /// trace-event JSON (chrome://tracing / Perfetto) here on destruction.
   std::string trace_path{};
+  /// Host-time profiler: the Testbed owns a prof::Profiler and installs it
+  /// as the constructing thread's context-current profiler for its lifetime;
+  /// instrumented hot paths (scheduler dispatch, channel CSI synthesis, MAC
+  /// exchanges, PHY rate selection, controller passes) accumulate exclusive
+  /// self-time that lands in the bench report's "profile" block.  Measures
+  /// host wall-clock only — it never touches the simulated clock.
+  bool enable_profiler = true;
+  /// Controller decision audit log (JSONL, one record per AP-selection
+  /// evaluation).  Enabled when true or when decision_log_path is set; the
+  /// file (if any) is written on destruction.
+  bool enable_decision_log = false;
+  std::string decision_log_path{};
+  /// Periodic telemetry sampling (columnar CSV on the simulated clock).
+  /// Enabled when true or when telemetry_path is set; experiments register
+  /// the probe columns (run_drive wires the standard set) and the CSV (if a
+  /// path is set) is written on destruction.
+  bool enable_telemetry = false;
+  std::string telemetry_path{};
+  Time telemetry_period = Time::ms(100);
 };
 
 class Testbed {
@@ -106,6 +128,13 @@ class Testbed {
   trace::Tracer* tracer() { return tracer_.get(); }
   /// Flattened copy of every instrument; empty when metrics are disabled.
   metrics::Snapshot metrics_snapshot() const;
+  /// This simulation's profiler / decision log / telemetry sampler (null
+  /// when the corresponding TestbedConfig switch is off).
+  prof::Profiler* profiler() { return profiler_.get(); }
+  core::DecisionLog* decision_log() { return decision_log_.get(); }
+  TelemetrySampler* telemetry() { return telemetry_.get(); }
+  /// Per-section host self-time; empty when profiling is disabled.
+  prof::ProfileSnapshot profile_snapshot() const;
 
   /// Create an AP radio (called by the network overlays).
   mac::WifiDevice& create_ap_device(net::NodeId id,
@@ -139,7 +168,12 @@ class Testbed {
   metrics::ScopedMetricsRegistry metrics_scope_;
   std::unique_ptr<trace::Tracer> tracer_;
   trace::ScopedTracer trace_scope_;
+  std::unique_ptr<prof::Profiler> profiler_;
+  prof::ScopedProfiler profiler_scope_;
+  std::unique_ptr<core::DecisionLog> decision_log_;
+  core::ScopedDecisionLog decision_scope_;
   sim::Scheduler sched_;
+  std::unique_ptr<TelemetrySampler> telemetry_;  // after sched_: holds a ref
   Rng rng_;
   phy::ErrorModel error_model_;
   std::unique_ptr<channel::ChannelModel> channel_;

@@ -12,6 +12,10 @@ Scheduler::Scheduler() {
     m_queue_depth_ = &reg->histogram(
         "sim.queue_depth", metrics::exponential_buckets(1.0, 2.0, 14));
   }
+  if (auto* p = prof::Profiler::current()) {
+    prof_ = p;
+    p_dispatch_ = &p->section("sim.dispatch");
+  }
 }
 
 EventId Scheduler::schedule_at(Time when, Callback cb) {
@@ -78,6 +82,9 @@ void Scheduler::run_until(Time until) {
       m_dispatched_->add();
       m_queue_depth_->record(static_cast<double>(queue_.size()));
     }
+    // "sim.dispatch" covers the whole callback; nested sections (channel,
+    // MAC, controller, ...) carve their exclusive self-time out of it.
+    prof::ScopedSection timer(prof_, p_dispatch_);
     ev.cb();
   }
   // On a bounded run, advance the clock to the bound so callers can chain

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/profiler.h"
 #include "util/time.h"
 
 namespace wgtt::sim {
@@ -101,6 +102,8 @@ class Scheduler {
   metrics::Counter* m_dispatched_ = nullptr;
   metrics::Counter* m_cancelled_ = nullptr;
   metrics::Histogram* m_queue_depth_ = nullptr;
+  prof::Profiler* prof_ = nullptr;
+  prof::Section* p_dispatch_ = nullptr;
 };
 
 }  // namespace wgtt::sim

@@ -1,10 +1,11 @@
-// A small hand-rolled JSON writer — just enough to serialize bench reports
-// (objects, arrays, strings, numbers, booleans) without an external
-// dependency.  Output is UTF-8 with standard escaping; non-finite doubles
-// become null so downstream parsers never see "nan".
+// A small hand-rolled JSON writer and parser — just enough to serialize and
+// re-load bench reports (objects, arrays, strings, numbers, booleans) without
+// an external dependency.  Output is UTF-8 with standard escaping; non-finite
+// doubles become null so downstream parsers never see "nan".
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,5 +71,59 @@ class JsonWriter {
 /// Write `contents` to `path` atomically enough for bench output (truncate +
 /// write).  Returns false (and leaves a partial file possible) on I/O error.
 bool write_text_file(const std::string& path, std::string_view contents);
+
+/// Read a whole text file into `out`.  Returns false on I/O error.
+bool read_text_file(const std::string& path, std::string& out);
+
+/// Parsed JSON document.  Numbers are kept as double (bench reports never
+/// exceed 2^53); object keys are ordered (std::map) so iteration is
+/// deterministic regardless of input order.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), num_(n) {}
+  explicit JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit JsonValue(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  explicit JsonValue(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  const std::string& as_string() const { return str_; }
+  const Array& as_array() const { return arr_; }
+  const Object& as_object() const { return obj_; }
+
+  /// Object member lookup; nullptr when absent or when this isn't an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Convenience accessors with fallbacks for absent/mistyped members.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string_view fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parse a complete JSON document.  On success returns true and fills `out`;
+/// on failure returns false and `error` (if non-null) describes the problem
+/// with a byte offset.  Accepts exactly what JsonWriter emits plus standard
+/// JSON (whitespace, \uXXXX escapes decoded to UTF-8, null/true/false).
+bool json_parse(std::string_view text, JsonValue& out, std::string* error = nullptr);
 
 }  // namespace wgtt

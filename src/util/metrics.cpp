@@ -14,7 +14,8 @@ namespace wgtt::metrics {
 
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1, 0) {
-  assert(!bounds_.empty());
+  // Empty bounds are legal: the histogram degenerates to the single overflow
+  // bucket, and quantile() interpolates over [min, max].
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
 }
 

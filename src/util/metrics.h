@@ -58,7 +58,8 @@ class Gauge {
 /// the implicit overflow bucket past the last bound.
 class Histogram {
  public:
-  /// `upper_bounds` must be strictly increasing and non-empty.
+  /// `upper_bounds` must be sorted.  An empty list is legal and degenerates
+  /// to the single overflow bucket (quantiles interpolate over [min, max]).
   explicit Histogram(std::vector<double> upper_bounds);
 
   void record(double x);
@@ -75,7 +76,9 @@ class Histogram {
   /// the ceil(q*n)-th sample and interpolate linearly inside it.  The
   /// estimate always lies within that bucket's bounds (clamped to the
   /// observed min/max at the edges), so it brackets the exact sample
-  /// quantile to within one bucket width.
+  /// quantile to within one bucket width.  Defined for every histogram
+  /// state: an empty histogram returns 0.0, and a single-bucket (empty
+  /// bounds) histogram interpolates over [min, max].
   double quantile(double q) const;
 
   /// Accumulate `other` (same bounds required) as if its samples had been

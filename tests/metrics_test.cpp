@@ -158,6 +158,52 @@ TEST(HistogramTest, MergeIntoEmptyAdoptsExtremes) {
   EXPECT_DOUBLE_EQ(empty.max(), 17.0);
 }
 
+TEST(HistogramTest, EmptyBoundsDegenerateToSingleOverflowBucket) {
+  // Regression: empty bounds used to trip an assertion; they are now legal
+  // and behave as one overflow bucket whose quantiles span [min, max].
+  Histogram h({});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);  // empty histogram: defined, 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  h.record(10.0);
+  h.record(30.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.buckets(), (std::vector<std::uint64_t>{2}));
+  // All mass in one bucket: estimates interpolate over [min, max] and are
+  // always bracketed by the observed extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 30.0);
+  for (double q : {0.0, 0.25, 0.5, 0.75}) {
+    EXPECT_GE(h.quantile(q), 10.0) << "q=" << q;
+    EXPECT_LE(h.quantile(q), 30.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, SingleSampleQuantilesAreThatSample) {
+  Histogram h(linear_buckets(0.0, 1.0, 4));
+  h.record(2.5);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 2.5) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, EmptyBoundsMergeAndSnapshot) {
+  Histogram a({}), b({});
+  a.record(1.0);
+  b.record(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+  MetricsRegistry reg;
+  reg.histogram("edge", {}).record(2.0);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_TRUE(snap.histograms[0].bounds.empty());
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p50, 2.0);
+}
+
 TEST(HistogramTest, UpperBoundIsInclusive) {
   Histogram h(linear_buckets(10.0, 10.0, 2));  // bounds 10, 20
   h.record(10.0);  // first bucket (x <= 10)

@@ -8,6 +8,7 @@
 // update kGoldenTraceSha256 to the "actual" value it prints.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -15,8 +16,10 @@
 #include <string>
 
 #include "scenario/experiment.h"
+#include "scenario/report.h"
 #include "scenario/sweep.h"
 #include "util/json.h"
+#include "util/profiler.h"
 #include "util/sha256.h"
 #include "util/trace.h"
 
@@ -157,6 +160,137 @@ TEST(GoldenTraceTest, ByteIdenticalAcrossRunsAndParallelSweep) {
   const std::string swept = read_file("golden_trace_sweep.json");
   std::remove("golden_trace_sweep.json");
   EXPECT_EQ(first, swept) << "parallel sweep produced a different trace";
+}
+
+// ---------------------------------------------------------------------------
+// Decision audit log + telemetry: same determinism contract as the trace
+// ---------------------------------------------------------------------------
+
+/// Golden config plus the observability layer this suite locks down.
+scenario::DriveScenarioConfig observed_config() {
+  scenario::DriveScenarioConfig cfg = golden_config({});
+  cfg.testbed.enable_decision_log = true;
+  cfg.testbed.enable_telemetry = true;
+  cfg.testbed.telemetry_period = Time::ms(100);
+  return cfg;
+}
+
+TEST(DecisionLogTest, ByteIdenticalAcrossRunsAndParallelSweep) {
+  const auto cfg = observed_config();
+  const scenario::DriveResult first = scenario::run_drive(cfg);
+  const scenario::DriveResult second = scenario::run_drive(cfg);
+  ASSERT_GT(first.decision_records, 0u);
+  ASSERT_FALSE(first.decision_jsonl.empty());
+  EXPECT_EQ(first.decision_jsonl, second.decision_jsonl)
+      << "repeat run produced a different decision log";
+  EXPECT_EQ(first.decision_records, second.decision_records);
+
+  // Same config as run 0 of an 8-worker sweep; the other seven runs vary
+  // seed/system so the workers genuinely interleave different sims.
+  std::vector<scenario::DriveScenarioConfig> configs{cfg};
+  for (std::uint64_t seed = 8; seed < 15; ++seed) {
+    scenario::DriveScenarioConfig other = observed_config();
+    other.seed = seed;
+    if (seed % 3 == 0) other.system = scenario::SystemType::kEnhanced80211r;
+    configs.push_back(other);
+  }
+  scenario::SweepRunner runner(scenario::SweepOptions{.jobs = 8});
+  const scenario::SweepOutcome outcome = runner.run(configs);
+  EXPECT_EQ(first.decision_jsonl, outcome.runs[0].result.decision_jsonl)
+      << "8-worker sweep produced a different decision log";
+  EXPECT_EQ(first.telemetry.to_csv(), outcome.runs[0].result.telemetry.to_csv())
+      << "8-worker sweep produced a different telemetry CSV";
+}
+
+TEST(DecisionLogTest, RecordsEverySwitchCountedInMetrics) {
+  const scenario::DriveResult r = scenario::run_drive(observed_config());
+  // One JSONL line per decision evaluation.
+  std::size_t lines = 0;
+  for (char ch : r.decision_jsonl) lines += ch == '\n';
+  EXPECT_EQ(lines, r.decision_records);
+  // "switch" outcomes in the log match the counted switch records...
+  std::size_t switch_lines = 0;
+  for (std::size_t pos = r.decision_jsonl.find("\"outcome\":\"switch\"");
+       pos != std::string::npos;
+       pos = r.decision_jsonl.find("\"outcome\":\"switch\"", pos + 1)) {
+    ++switch_lines;
+  }
+  EXPECT_EQ(switch_lines, r.decision_switch_records);
+  // ...and every switch the metrics block counted has an audit entry
+  // (decisions are recorded at initiation, so completed <= logged).
+  std::uint64_t completed = 0;
+  for (const auto& [name, value] : r.metrics.counters) {
+    if (name == "core.switches_completed") completed = value;
+  }
+  ASSERT_GT(completed, 0u);
+  EXPECT_GE(r.decision_switch_records, completed);
+  EXPECT_EQ(r.switches.size(), static_cast<std::size_t>(completed));
+}
+
+TEST(TelemetryTest, CsvShapeAndDeterminism) {
+  const auto cfg = observed_config();
+  const scenario::DriveResult a = scenario::run_drive(cfg);
+  const scenario::DriveResult b = scenario::run_drive(cfg);
+  const std::string csv = a.telemetry.to_csv();
+  ASSERT_FALSE(csv.empty());
+  EXPECT_EQ(csv, b.telemetry.to_csv())
+      << "repeat run produced a different telemetry CSV";
+
+  // Header names the standard drive columns.
+  const std::string header = csv.substr(0, csv.find('\n'));
+  EXPECT_EQ(header.rfind("t_us,", 0), 0u);
+  EXPECT_NE(header.find(".ap"), std::string::npos);
+  EXPECT_NE(header.find(".goodput_mbps"), std::string::npos);
+  EXPECT_NE(header.find(".cwnd"), std::string::npos);  // golden run is TCP
+  EXPECT_NE(header.find(".backlog"), std::string::npos);
+
+  // Rectangular: every line has the header's field count.
+  const std::size_t fields = 1 + static_cast<std::size_t>(std::count(
+                                     header.begin(), header.end(), ','));
+  std::size_t rows = 0;
+  std::size_t start = header.size() + 1;
+  while (start < csv.size()) {
+    std::size_t end = csv.find('\n', start);
+    if (end == std::string::npos) end = csv.size();
+    const std::string line = csv.substr(start, end - start);
+    EXPECT_EQ(1 + static_cast<std::size_t>(
+                      std::count(line.begin(), line.end(), ',')),
+              fields);
+    ++rows;
+    start = end + 1;
+  }
+  EXPECT_EQ(rows, a.telemetry.row_count());
+  ASSERT_GT(rows, 10u);  // 2 s drive, 100 ms period, started at app_start
+}
+
+TEST(ProfilerTest, RunProfileIsNonEmptyAndBoundedByWallTime) {
+  const std::int64_t start = prof::Profiler::now_ns();
+  const scenario::DriveResult r = scenario::run_drive(golden_config({}));
+  const std::int64_t wall_ns = prof::Profiler::now_ns() - start;
+  ASSERT_FALSE(r.profile.empty());
+  // Exclusive self-time: the per-section totals can never sum past the
+  // run's wall clock.
+  EXPECT_LE(r.profile.total_ns(), wall_ns);
+  bool saw_dispatch = false;
+  for (const auto& s : r.profile.sections) {
+    EXPECT_GT(s.calls, 0u);
+    EXPECT_GE(s.self_ns, 0);
+    if (s.name == "sim.dispatch") saw_dispatch = true;
+  }
+  EXPECT_TRUE(saw_dispatch);
+
+  // The profile lands in the bench-report JSON and parses back.
+  scenario::SweepReport report;
+  report.bench_id = "unit";
+  report.runs.push_back(
+      scenario::make_run_report("run", golden_config({}), r, 1.0));
+  JsonValue parsed;
+  std::string err;
+  ASSERT_TRUE(json_parse(report.to_json(), parsed, &err)) << err;
+  const JsonValue* run = &parsed.find("runs")->as_array()[0];
+  const JsonValue* profile = run->find("profile");
+  ASSERT_TRUE(profile != nullptr);
+  EXPECT_TRUE(profile->find("sections") != nullptr);
 }
 
 TEST(GoldenTraceTest, MetricsSnapshotIdenticalAcrossRunsAndJson) {

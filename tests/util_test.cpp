@@ -7,6 +7,7 @@
 
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/profiler.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/time.h"
@@ -340,6 +341,162 @@ TEST(UnitsTest, NoiseFloor20MHz) {
 
 TEST(UnitsTest, Wavelength24GHz) {
   EXPECT_NEAR(wavelength_m(2.462e9), 0.1218, 0.001);
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (wgtt-report's input side)
+// ---------------------------------------------------------------------------
+
+TEST(JsonParseTest, ScalarsAndContainers) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(
+      R"({"a": 1.5, "b": [true, false, null], "s": "hi", "n": -3e2})", v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_DOUBLE_EQ(v.number_or("a", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(v.number_or("n", 0.0), -300.0);
+  EXPECT_EQ(v.string_or("s", ""), "hi");
+  const JsonValue* arr = v.find("b");
+  ASSERT_TRUE(arr && arr->is_array());
+  ASSERT_EQ(arr->as_array().size(), 3u);
+  EXPECT_TRUE(arr->as_array()[0].as_bool());
+  EXPECT_TRUE(arr->as_array()[2].is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 7.0), 7.0);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"(["a\"b\\c\n", "Aé", "😀"])",
+                         v));
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.as_array()[0].as_string(), "a\"b\\c\n");
+  EXPECT_EQ(v.as_array()[1].as_string(), "A\xc3\xa9");
+  EXPECT_EQ(v.as_array()[2].as_string(), "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("", v, &err));
+  EXPECT_FALSE(json_parse("{", v, &err));
+  EXPECT_FALSE(json_parse("[1,]", v, &err));
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing", v, &err));
+  EXPECT_FALSE(json_parse("\"lone \\ud800 surrogate\"", v, &err));
+  EXPECT_FALSE(err.empty());
+  // Depth cap: 200 nested arrays exceed the 128-level limit.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(json_parse(deep, v, &err));
+}
+
+TEST(JsonParseTest, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("name", "bench");
+  w.field("wall_ms", 12.625);
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.field("label", "a/b");
+  w.field("goodput", 5.25);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(w.str(), v, &err)) << err;
+  EXPECT_EQ(v.string_or("name", ""), "bench");
+  EXPECT_DOUBLE_EQ(v.number_or("wall_ms", 0.0), 12.625);
+  const JsonValue* runs = v.find("runs");
+  ASSERT_TRUE(runs && runs->is_array());
+  EXPECT_DOUBLE_EQ(runs->as_array()[0].number_or("goodput", 0.0), 5.25);
+}
+
+// ---------------------------------------------------------------------------
+// Host-time profiler
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerTest, SectionsAccumulateCallsAndSelfTime) {
+  prof::Profiler p;
+  prof::Section& outer = p.section("outer");
+  prof::Section& inner = p.section("inner");
+  EXPECT_EQ(&p.section("outer"), &outer);  // find-or-create is stable
+  for (int i = 0; i < 3; ++i) {
+    prof::ScopedSection a(&p, &outer);
+    prof::ScopedSection b(&p, &inner);
+  }
+  const prof::ProfileSnapshot snap = p.snapshot();
+  ASSERT_EQ(snap.sections.size(), 2u);
+  EXPECT_FALSE(snap.empty());
+  // Lexicographic order: inner before outer.
+  EXPECT_EQ(snap.sections[0].name, "inner");
+  EXPECT_EQ(snap.sections[0].calls, 3u);
+  EXPECT_EQ(snap.sections[1].name, "outer");
+  EXPECT_EQ(snap.sections[1].calls, 3u);
+  EXPECT_GE(snap.sections[0].self_ns, 0);
+  EXPECT_GE(snap.sections[1].self_ns, 0);
+  EXPECT_EQ(snap.total_ns(),
+            snap.sections[0].self_ns + snap.sections[1].self_ns);
+}
+
+TEST(ProfilerTest, NestedSelfTimeIsExclusive) {
+  // Exclusive attribution: the time a nested section runs must not also be
+  // charged to its parent, so the section totals can never exceed the
+  // enclosing wall time.
+  prof::Profiler p;
+  prof::Section& outer = p.section("outer");
+  prof::Section& inner = p.section("inner");
+  const std::int64_t start = prof::Profiler::now_ns();
+  {
+    prof::ScopedSection a(&p, &outer);
+    prof::ScopedSection b(&p, &inner);
+    // Busy-wait so inner accumulates measurable time.
+    while (prof::Profiler::now_ns() - start < 2'000'000) {
+    }
+  }
+  const std::int64_t wall = prof::Profiler::now_ns() - start;
+  const prof::ProfileSnapshot snap = p.snapshot();
+  EXPECT_LE(snap.total_ns(), wall);
+  EXPECT_GE(p.section("inner").self_ns, 1'500'000);
+}
+
+TEST(ProfilerTest, NullProfilerScopedSectionIsNoOp) {
+  prof::Section s;
+  prof::ScopedSection timer(nullptr, &s);
+  EXPECT_EQ(s.calls, 0u);
+}
+
+TEST(ProfilerTest, ScopedContextInstallsAndNests) {
+  EXPECT_EQ(prof::Profiler::current(), nullptr);
+  prof::Profiler outer, inner;
+  {
+    prof::ScopedProfiler a(&outer);
+    EXPECT_EQ(prof::Profiler::current(), &outer);
+    {
+      prof::ScopedProfiler b(&inner);
+      EXPECT_EQ(prof::Profiler::current(), &inner);
+      prof::ScopedProfiler c(nullptr);  // no-op, not an uninstall
+      EXPECT_EQ(prof::Profiler::current(), &inner);
+    }
+    EXPECT_EQ(prof::Profiler::current(), &outer);
+  }
+  EXPECT_EQ(prof::Profiler::current(), nullptr);
+}
+
+TEST(ProfilerTest, SnapshotJsonShapeParses) {
+  prof::Profiler p;
+  {
+    prof::ScopedSection t(&p, &p.section("sim.dispatch"));
+  }
+  const std::string json = p.snapshot().to_json();
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(json_parse(json, v, &err)) << err;
+  const JsonValue* sections = v.find("sections");
+  ASSERT_TRUE(sections && sections->is_object());
+  const JsonValue* d = sections->find("sim.dispatch");
+  ASSERT_TRUE(d != nullptr);
+  EXPECT_DOUBLE_EQ(d->number_or("calls", 0.0), 1.0);
+  EXPECT_TRUE(v.find("total_ns") != nullptr);
 }
 
 }  // namespace
