@@ -38,7 +38,8 @@ std::size_t col_by_suffix(const scenario::TelemetryTable& table,
 }
 
 void print_run(const char* name, scenario::SystemType sys,
-               const std::string& telemetry_path) {
+               const std::string& telemetry_path,
+               const std::string& packets_path, std::uint32_t packet_sample) {
   scenario::DriveScenarioConfig cfg;
   cfg.system = sys;
   cfg.traffic = scenario::TrafficType::kTcpDownlink;
@@ -47,6 +48,8 @@ void print_run(const char* name, scenario::SystemType sys,
   cfg.testbed.enable_telemetry = true;
   cfg.testbed.telemetry_period = Time::ms(500);
   cfg.testbed.telemetry_path = telemetry_path;
+  cfg.testbed.packet_log_path = packets_path;
+  cfg.testbed.packet_sample = packet_sample;
   auto r = scenario::run_drive(cfg);
   const auto& c = r.clients.front();
 
@@ -95,8 +98,17 @@ int main(int argc, char** argv) {
                                     : args.telemetry_path,
         args.force, "telemetry");
   }
-  print_run("WGTT", scenario::SystemType::kWgtt, csv_path);
-  print_run("Enhanced 802.11r", scenario::SystemType::kEnhanced80211r, {});
+  std::string packets_path;
+  if (args.packets) {
+    packets_path = bench::claim_output_path(
+        args.packets_path.empty() ? "PACKETS_fig14_tcp_timeline.jsonl"
+                                  : args.packets_path,
+        args.force, "packets");
+  }
+  print_run("WGTT", scenario::SystemType::kWgtt, csv_path, packets_path,
+            args.packet_sample);
+  print_run("Enhanced 802.11r", scenario::SystemType::kEnhanced80211r, {}, {},
+            1);
   std::printf("\npaper: WGTT switches ~5x/s and holds ~5 Mb/s steadily; the\n"
               "baseline rises then collapses to zero with a TCP timeout\n"
               "mid-transit.\n");

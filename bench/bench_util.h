@@ -5,6 +5,7 @@
 // a machine-readable BENCH_<id>.json report behind.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,7 +70,13 @@ struct BenchArgs {
   /// Empty = audit log off; the default path is DECISIONS_<bench_id>.jsonl.
   std::string decisions_path;
   bool decisions = false;
-  /// --force: overwrite existing trace/telemetry/decision output files.
+  /// --packets [PATH]: write the first run's per-packet flight-recorder
+  /// JSONL.  Empty = recorder off; default path is PACKETS_<bench_id>.jsonl.
+  std::string packets_path;
+  bool packets = false;
+  /// --packet-sample N: record 1-in-N sampled data packets (default 1).
+  std::uint32_t packet_sample = 1;
+  /// --force: overwrite existing trace/telemetry/decision/packet files.
   bool force = false;
 
   /// Apply the requested --trace/--telemetry/--decisions outputs to the
@@ -95,6 +102,13 @@ struct BenchArgs {
           decisions_path.empty() ? "DECISIONS_" + bench_id + ".jsonl"
                                  : decisions_path,
           force, "decisions");
+    }
+    if (packets) {
+      cfg.testbed.packet_log_path = claim_output_path(
+          packets_path.empty() ? "PACKETS_" + bench_id + ".jsonl"
+                               : packets_path,
+          force, "packets");
+      cfg.testbed.packet_sample = packet_sample;
     }
   }
 };
@@ -131,12 +145,27 @@ inline BenchArgs parse_args(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         args.decisions_path = argv[++i];
       }
+    } else if (std::strncmp(a, "--packets=", 10) == 0) {
+      args.packets = true;
+      args.packets_path = a + 10;
+    } else if (std::strcmp(a, "--packets") == 0) {
+      args.packets = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.packets_path = argv[++i];
+      }
+    } else if (std::strncmp(a, "--packet-sample=", 16) == 0) {
+      const long v = std::strtol(a + 16, nullptr, 10);
+      if (v > 0) args.packet_sample = static_cast<std::uint32_t>(v);
+    } else if (std::strcmp(a, "--packet-sample") == 0 && i + 1 < argc) {
+      const long v = std::strtol(argv[++i], nullptr, 10);
+      if (v > 0) args.packet_sample = static_cast<std::uint32_t>(v);
     } else if (std::strcmp(a, "--force") == 0) {
       args.force = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       std::printf(
           "usage: %s [--jobs N] [--trace [PATH]] [--telemetry [PATH]] "
-          "[--decisions [PATH]] [--force]\n"
+          "[--decisions [PATH]] [--packets [PATH]] [--packet-sample N] "
+          "[--force]\n"
           "  --jobs N            worker threads for the sweep (default: "
           "WGTT_SWEEP_JOBS env or hardware concurrency)\n"
           "  --trace [PATH]      write a Chrome trace-event JSON "
@@ -146,6 +175,10 @@ inline BenchArgs parse_args(int argc, char** argv) {
           "time-series CSV; default PATH is TELEMETRY_<bench>.csv\n"
           "  --decisions [PATH]  write the first simulation's controller "
           "decision audit JSONL; default PATH is DECISIONS_<bench>.jsonl\n"
+          "  --packets [PATH]    write the first simulation's per-packet "
+          "flight-recorder JSONL; default PATH is PACKETS_<bench>.jsonl\n"
+          "  --packet-sample N   flight-record 1-in-N data packets "
+          "(default 1 = every packet; markers always recorded)\n"
           "  --force             overwrite existing output files\n",
           argv[0]);
       std::exit(0);

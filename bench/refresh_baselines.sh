@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Regenerate the committed perf-gate baselines in bench/baselines/.
+#
+# The CI perf gate diffs each bench's fresh BENCH_*.json against the file
+# committed here (wgtt-report diff), so the baselines must be refreshed —
+# via this script, never by hand — whenever a simulation change legitimately
+# moves the deterministic outputs (goodput, switch counts) or the report
+# schema (run labels, metrics keys).
+#
+# Usage:  bench/refresh_baselines.sh [BUILD_DIR]
+#
+# Runs each baseline bench single-job for stable wall_ms numbers; expect a
+# few minutes.  Run on an otherwise idle machine, then review the printed
+# wgtt-report diff before committing the updated baselines.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-baseline}"
+baseline_dir="${repo_root}/bench/baselines"
+
+# Bench id -> committed baseline file.  Add a line per gated bench.
+benches=(
+  "fig13_speed_sweep fig13.json"
+)
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+targets=(wgtt-report)
+for entry in "${benches[@]}"; do
+  read -r bench_id _ <<<"${entry}"
+  targets+=("bench_${bench_id}")
+done
+cmake --build "${build_dir}" -j "$(nproc)" --target "${targets[@]}"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+for entry in "${benches[@]}"; do
+  read -r bench_id baseline_file <<<"${entry}"
+  echo "== ${bench_id} -> baselines/${baseline_file}"
+  (cd "${workdir}" && "${build_dir}/bench/bench_${bench_id}" --jobs 1 --force)
+  report="${workdir}/BENCH_${bench_id}.json"
+  if [[ -f "${baseline_dir}/${baseline_file}" ]]; then
+    # Show what the refresh changes; the diff warning about wall_ms drift
+    # between machines is expected and fine.
+    "${build_dir}/src/wgtt-report" diff \
+      "${baseline_dir}/${baseline_file}" "${report}" --soft || true
+  fi
+  cp "${report}" "${baseline_dir}/${baseline_file}"
+done
+
+echo "baselines refreshed; review with git diff before committing"

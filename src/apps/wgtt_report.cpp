@@ -14,6 +14,13 @@
 //       Deterministic simulation outputs (goodput, switch counts) that drift
 //       between same-seed reports are reported as warnings.
 //
+//   wgtt-report packets FILE [--limit N] [--switches]
+//       Analyze a per-packet flight-recorder JSONL (the --packets output of
+//       the benches): per-packet latency waterfalls, aggregate time-in-layer,
+//       and a drop/duplicate autopsy table.  With --switches, pairs the
+//       uid-0 switch_start/switch_done markers into switch windows and
+//       attributes every packet whose lifecycle stalled across one.
+//
 // Exit codes: 0 ok / warnings only, 1 performance regression, 2 schema or
 // usage error.
 #include <algorithm>
@@ -115,15 +122,281 @@ int cmd_show(const std::string& path) {
 
   const ProfileTotals profile = aggregate_profile(report);
   if (!profile.sections.empty()) {
-    std::printf("\nprofile (host self-time, all runs):\n");
+    // Top-N by exclusive self-time: the tail sections are timer noise and
+    // bury the hot ones in long reports.
+    constexpr std::size_t kTopSections = 12;
+    const std::size_t shown = std::min(profile.sections.size(), kTopSections);
+    std::printf("\nprofile (host self-time, all runs, top %zu of %zu):\n",
+                shown, profile.sections.size());
     std::printf("%-28s %12s %7s\n", "section", "self_ms", "share");
-    for (const auto& [name, ns] : profile.sections) {
+    std::int64_t shown_ns = 0;
+    for (std::size_t i = 0; i < shown; ++i) {
+      const auto& [name, ns] = profile.sections[i];
+      shown_ns += ns;
       std::printf("%-28s %12.1f %6.1f%%\n", name.c_str(),
                   static_cast<double>(ns) / 1e6,
                   profile.total_ns > 0
                       ? 100.0 * static_cast<double>(ns) /
                             static_cast<double>(profile.total_ns)
                       : 0.0);
+    }
+    if (shown < profile.sections.size()) {
+      const std::int64_t rest_ns = profile.total_ns - shown_ns;
+      std::printf("%-28s %12.1f %6.1f%%\n",
+                  ("+" + std::to_string(profile.sections.size() - shown) +
+                   " more")
+                      .c_str(),
+                  static_cast<double>(rest_ns) / 1e6,
+                  profile.total_ns > 0
+                      ? 100.0 * static_cast<double>(rest_ns) /
+                            static_cast<double>(profile.total_ns)
+                      : 0.0);
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// packets: flight-recorder JSONL analysis
+// ---------------------------------------------------------------------------
+
+struct FlightRec {
+  std::uint64_t uid = 0;
+  double t_us = 0.0;
+  std::string hop;
+  std::int64_t node = 0;
+  std::string cause;                              // empty when none
+  std::vector<std::pair<std::string, std::int64_t>> extras;
+};
+
+// Map a hop name onto the simulator layer its latency is charged to.
+const char* layer_of(const std::string& hop) {
+  if (hop.rfind("transport_", 0) == 0) return "transport";
+  if (hop.rfind("ctrl_", 0) == 0 || hop == "dedup_suppress") {
+    return "controller";
+  }
+  if (hop.rfind("backhaul_", 0) == 0) return "backhaul";
+  if (hop.rfind("ap_", 0) == 0) return "ap_queue";
+  if (hop.rfind("mac_", 0) == 0) return "mac";
+  if (hop.rfind("switch_", 0) == 0) return "switch";
+  return "?";
+}
+
+bool load_packet_log(const std::string& path, std::vector<FlightRec>& out) {
+  std::string text;
+  if (!wgtt::read_text_file(path, text)) {
+    std::fprintf(stderr, "wgtt-report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string error;
+    if (!wgtt::json_parse(line, v, &error) || !v.is_object()) {
+      std::fprintf(stderr, "wgtt-report: %s:%zu: bad record: %s\n",
+                   path.c_str(), line_no, error.c_str());
+      return false;
+    }
+    FlightRec rec;
+    rec.uid = static_cast<std::uint64_t>(v.number_or("uid", 0.0));
+    rec.t_us = v.number_or("t_us", 0.0);
+    rec.hop = v.string_or("hop", "?");
+    rec.node = static_cast<std::int64_t>(v.number_or("node", 0.0));
+    rec.cause = v.string_or("cause", "");
+    for (const auto& [k, val] : v.as_object()) {
+      if (k == "uid" || k == "t_us" || k == "hop" || k == "node" ||
+          k == "cause" || !val.is_number()) {
+        continue;
+      }
+      rec.extras.emplace_back(k, static_cast<std::int64_t>(val.as_number()));
+    }
+    out.push_back(std::move(rec));
+  }
+  return true;
+}
+
+struct SwitchWindow {
+  double start_us = 0.0;
+  double done_us = 0.0;
+  std::int64_t client = -1;
+  std::int64_t from = -1;
+  std::int64_t to = -1;
+  std::int64_t gap_us = 0;
+  std::size_t stalled_packets = 0;
+  double max_stall_us = 0.0;
+};
+
+std::int64_t extra_or(const FlightRec& r, const char* key,
+                      std::int64_t fallback) {
+  for (const auto& [k, v] : r.extras) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+int cmd_packets(const std::string& path, std::size_t waterfall_limit,
+                bool switches) {
+  std::vector<FlightRec> recs;
+  if (!load_packet_log(path, recs)) return 2;
+
+  // Group per packet.  Records were appended in simulated-time order, so
+  // each per-uid vector is already a time-ordered waterfall.
+  std::map<std::uint64_t, std::vector<const FlightRec*>> packets;
+  std::vector<const FlightRec*> markers;
+  for (const FlightRec& r : recs) {
+    if (r.uid == 0) {
+      markers.push_back(&r);
+    } else {
+      packets[r.uid].push_back(&r);
+    }
+  }
+
+  std::printf("packet log: %s\n", path.c_str());
+  std::printf("records: %zu   packets: %zu   markers: %zu\n", recs.size(),
+              packets.size(), markers.size());
+
+  // --- aggregate time-in-layer -------------------------------------------
+  // Each inter-record delta is charged to the layer of the *later* record:
+  // the time it took the packet to reach that hop.
+  std::map<std::string, std::pair<double, std::size_t>> layer_us;
+  std::size_t drops = 0, dups = 0;
+  for (const auto& [uid, hops] : packets) {
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      if (!hops[i]->cause.empty()) {
+        hops[i]->cause == "duplicate" ? ++dups : ++drops;
+      }
+      if (i == 0) continue;
+      auto& [us, n] = layer_us[layer_of(hops[i]->hop)];
+      us += hops[i]->t_us - hops[i - 1]->t_us;
+      ++n;
+    }
+  }
+  if (!layer_us.empty()) {
+    double total_us = 0.0;
+    for (const auto& [layer, acc] : layer_us) total_us += acc.first;
+    std::printf("\ntime in layer (inter-hop latency charged to the arriving "
+                "layer):\n");
+    std::printf("%-12s %14s %8s %10s\n", "layer", "total_ms", "share",
+                "hops");
+    for (const auto& [layer, acc] : layer_us) {
+      std::printf("%-12s %14.3f %7.1f%% %10zu\n", layer.c_str(),
+                  acc.first / 1e3,
+                  total_us > 0 ? 100.0 * acc.first / total_us : 0.0,
+                  acc.second);
+    }
+  }
+
+  // --- per-packet latency waterfalls -------------------------------------
+  std::size_t shown = 0;
+  for (const auto& [uid, hops] : packets) {
+    if (shown >= waterfall_limit) break;
+    ++shown;
+    std::printf("\npacket uid %" PRIu64 " (%zu hops, %.3f ms end-to-end):\n",
+                uid, hops.size(),
+                (hops.back()->t_us - hops.front()->t_us) / 1e3);
+    std::printf("  %12s %10s %-16s %5s  %s\n", "t_us", "dt_us", "hop", "node",
+                "detail");
+    double prev = hops.front()->t_us;
+    for (const FlightRec* r : hops) {
+      std::string detail;
+      for (const auto& [k, v] : r->extras) {
+        if (!detail.empty()) detail += " ";
+        detail += k + "=" + std::to_string(v);
+      }
+      if (!r->cause.empty()) {
+        if (!detail.empty()) detail += " ";
+        detail += "cause=" + r->cause;
+      }
+      std::printf("  %12.3f %10.3f %-16s %5" PRId64 "  %s\n", r->t_us,
+                  r->t_us - prev, r->hop.c_str(), r->node, detail.c_str());
+      prev = r->t_us;
+    }
+  }
+  if (shown < packets.size()) {
+    std::printf("\n(%zu more packets; raise --limit to print them)\n",
+                packets.size() - shown);
+  }
+
+  // --- drop / duplicate autopsy ------------------------------------------
+  std::printf("\nautopsy: %zu drop record(s), %zu duplicate record(s)\n",
+              drops, dups);
+  if (drops + dups > 0) {
+    constexpr std::size_t kMaxAutopsyRows = 200;
+    std::printf("%-10s %12s %-10s %-16s %5s  %s\n", "uid", "t_us", "layer",
+                "hop", "node", "cause");
+    std::size_t rows = 0;
+    for (const FlightRec& r : recs) {
+      if (r.uid == 0 || r.cause.empty()) continue;
+      if (rows++ >= kMaxAutopsyRows) continue;
+      std::printf("%-10" PRIu64 " %12.3f %-10s %-16s %5" PRId64 "  %s\n",
+                  r.uid, r.t_us, layer_of(r.hop), r.hop.c_str(), r.node,
+                  r.cause.c_str());
+    }
+    if (rows > kMaxAutopsyRows) {
+      std::printf("(+%zu more autopsy rows)\n", rows - kMaxAutopsyRows);
+    }
+  }
+
+  // --- switch-gap attribution --------------------------------------------
+  if (switches) {
+    std::vector<SwitchWindow> windows;
+    std::map<std::int64_t, SwitchWindow> open;  // per client
+    for (const FlightRec* m : markers) {
+      const std::int64_t client = extra_or(*m, "client", -1);
+      if (m->hop == "switch_start") {
+        SwitchWindow w;
+        w.start_us = m->t_us;
+        w.client = client;
+        w.from = extra_or(*m, "from", -1);
+        w.to = extra_or(*m, "to", -1);
+        open[client] = w;
+      } else if (m->hop == "switch_done") {
+        auto it = open.find(client);
+        if (it == open.end()) continue;
+        SwitchWindow w = it->second;
+        open.erase(it);
+        w.done_us = m->t_us;
+        w.gap_us = extra_or(*m, "gap_us", 0);
+        windows.push_back(w);
+      }
+    }
+    // A packet "stalled across" a switch when the gap between two of its
+    // consecutive records overlaps the switch window.
+    for (SwitchWindow& w : windows) {
+      for (const auto& [uid, hops] : packets) {
+        double worst = 0.0;
+        for (std::size_t i = 1; i < hops.size(); ++i) {
+          const double lo = hops[i - 1]->t_us;
+          const double hi = hops[i]->t_us;
+          if (lo < w.done_us && hi > w.start_us) {
+            worst = std::max(worst, hi - lo);
+          }
+        }
+        if (worst > 0.0) {
+          ++w.stalled_packets;
+          w.max_stall_us = std::max(w.max_stall_us, worst);
+        }
+      }
+    }
+    std::printf("\nswitches: %zu completed window(s)%s\n", windows.size(),
+                open.empty() ? "" : " (+unfinished)");
+    if (!windows.empty()) {
+      std::printf("%12s %12s %7s %5s %4s %4s %9s %13s\n", "start_us",
+                  "done_us", "gap_us", "client", "from", "to", "stalled",
+                  "max_stall_us");
+      for (const SwitchWindow& w : windows) {
+        std::printf("%12.3f %12.3f %7" PRId64 " %5" PRId64 " %4" PRId64
+                    " %4" PRId64 " %9zu %13.3f\n",
+                    w.start_us, w.done_us, w.gap_us, w.client, w.from, w.to,
+                    w.stalled_packets, w.max_stall_us);
+      }
     }
   }
   return 0;
@@ -258,6 +531,7 @@ int usage() {
       stderr,
       "usage: wgtt-report show FILE\n"
       "       wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]\n"
+      "       wgtt-report packets FILE [--limit N] [--switches]\n"
       "\n"
       "exit codes: 0 ok, 1 performance regression, 2 schema/usage error\n");
   return 2;
@@ -272,6 +546,30 @@ int main(int argc, char** argv) {
   if (args[0] == "show") {
     if (args.size() != 2) return usage();
     return cmd_show(args[1]);
+  }
+  if (args[0] == "packets") {
+    std::size_t limit = 5;
+    bool switches = false;
+    std::string path;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--switches") {
+        switches = true;
+      } else if (args[i] == "--limit") {
+        if (i + 1 >= args.size()) return usage();
+        limit = static_cast<std::size_t>(std::atol(args[++i].c_str()));
+      } else if (args[i].rfind("--limit=", 0) == 0) {
+        limit = static_cast<std::size_t>(
+            std::atol(args[i].c_str() + std::strlen("--limit=")));
+      } else if (args[i].rfind("--", 0) == 0) {
+        return usage();
+      } else if (path.empty()) {
+        path = args[i];
+      } else {
+        return usage();
+      }
+    }
+    if (path.empty()) return usage();
+    return cmd_packets(path, limit, switches);
   }
   if (args[0] == "diff") {
     DiffState st;

@@ -11,6 +11,7 @@ ApQueueStack::ApQueueStack(sim::Scheduler& sched, mac::WifiDevice& device,
     m_activations_ = &reg->counter("core.queue_stack_activations");
   }
   tracer_ = trace::Tracer::current();
+  recorder_ = net::FlightRecorder::current();
   device_.set_refill_handler(client_, [this]() { pump(); });
 }
 
@@ -21,11 +22,21 @@ ApQueueStack::pop_fresh() {
       return item;
     }
     ++stale_dropped_;
+    if (recorder_) {
+      recorder_->record(item->second->uid, sched_.now(), net::Hop::kApDrop,
+                        device_.id(),
+                        {{"client", client_}, {"index", item->first}},
+                        "stale");
+    }
   }
   return std::nullopt;
 }
 
 void ApQueueStack::on_downlink(std::uint32_t index, net::PacketPtr pkt) {
+  if (recorder_) {
+    recorder_->record(pkt->uid, sched_.now(), net::Hop::kApEnqueue,
+                      device_.id(), {{"client", client_}, {"index", index}});
+  }
   cyclic_.insert(index, std::move(pkt));
   if (active_) pump();
 }
@@ -41,6 +52,13 @@ void ApQueueStack::activate(std::uint32_t start_index) {
                      {{"client", static_cast<double>(client_)},
                       {"start_index", static_cast<double>(start_index)},
                       {"backlog", static_cast<double>(total_backlog())}});
+  }
+  if (recorder_) {
+    recorder_->marker(sched_.now(), net::Hop::kApActivate, device_.id(),
+                      {{"client", client_},
+                       {"start_index", start_index},
+                       {"backlog",
+                        static_cast<std::int64_t>(total_backlog())}});
   }
   pump();
 }
@@ -59,6 +77,13 @@ std::uint32_t ApQueueStack::deactivate() {
   // Flush the kernel stage back into oblivion: the next AP's cyclic queue
   // already holds these packets, so local copies would only be duplicates.
   kernel_flushed_ += kernel_.size();
+  if (recorder_) {
+    for (const auto& [index, pkt] : kernel_) {
+      recorder_->record(pkt->uid, sched_.now(), net::Hop::kApDrop,
+                        device_.id(), {{"client", client_}, {"index", index}},
+                        "kernel_flush");
+    }
+  }
   kernel_.clear();
   // NIC queue is left alone: the hardware keeps draining it over the air.
   return k;
@@ -82,7 +107,12 @@ void ApQueueStack::pump() {
   while (!kernel_.empty() && device_.has_room(client_)) {
     auto& [index, pkt] = kernel_.front();
     const auto seq = static_cast<std::uint16_t>(index & (net::kIndexSpace - 1));
+    const std::uint64_t uid = pkt->uid;
     if (!device_.enqueue(client_, std::move(pkt), seq)) break;
+    if (recorder_) {
+      recorder_->record(uid, sched_.now(), net::Hop::kApNic, device_.id(),
+                        {{"client", client_}, {"seq", seq}});
+    }
     kernel_.pop_front();
     // Top up the kernel stage as it drains.
     if (auto item = pop_fresh()) kernel_.push_back(std::move(*item));

@@ -27,6 +27,7 @@
 
 #include "core/cyclic_queue.h"
 #include "mac/wifi_device.h"
+#include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "util/metrics.h"
@@ -94,6 +95,7 @@ class ApQueueStack {
   metrics::Histogram* m_backlog_ = nullptr;
   metrics::Counter* m_activations_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
+  net::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace wgtt::core

@@ -14,6 +14,7 @@ WgttAp::WgttAp(sim::Scheduler& sched, net::Backhaul& backhaul,
       device_(device),
       cfg_(std::move(cfg)),
       rng_(0xA9000ull + cfg_.id) {
+  recorder_ = net::FlightRecorder::current();
   backhaul_.attach(cfg_.id, [this](const net::TunneledPacket& frame) {
     on_backhaul_frame(frame);
   });
@@ -118,6 +119,11 @@ void WgttAp::handle_downlink_data(net::PacketPtr pkt) {
   if (!assoc_.known(client)) {
     // Shouldn't normally happen: the controller only forwards for
     // associated clients.  Drop rather than queue for a stranger.
+    if (recorder_) {
+      recorder_->record(pkt->uid, sched_.now(), net::Hop::kApDrop, cfg_.id,
+                        {{"client", client}, {"index", pkt->index}},
+                        "unknown_client");
+    }
     return;
   }
   ++stats_.downlink_packets_buffered;

@@ -25,6 +25,7 @@
 #include "core/control_messages.h"
 #include "mac/wifi_device.h"
 #include "net/backhaul.h"
+#include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -125,6 +126,7 @@ class WgttAp {
   std::map<net::NodeId, SeenBa> seen_ba_;
   std::uint16_t next_aid_ = 1;
   WgttApStats stats_;
+  net::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace wgtt::core

@@ -23,6 +23,7 @@ WgttController::WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
   }
   tracer_ = trace::Tracer::current();
   decision_log_ = DecisionLog::current();
+  recorder_ = net::FlightRecorder::current();
   if (auto* p = prof::Profiler::current()) {
     prof_ = p;
     p_selection_ = &p->section("core.selection");
@@ -89,7 +90,7 @@ void WgttController::on_backhaul_frame(const net::TunneledPacket& frame) {
       return;
     case net::PacketType::kData:
     case net::PacketType::kTcpAck:
-      handle_uplink_data(std::move(inner));
+      handle_uplink_data(std::move(inner), frame.outer_src);
       return;
     default:
       return;
@@ -122,13 +123,25 @@ void WgttController::handle_client_joined(const ClientJoinedMsg& msg) {
   broadcast_active(msg.info.client, st.active_ap, /*bootstrap=*/true);
 }
 
-void WgttController::handle_uplink_data(net::PacketPtr pkt) {
+void WgttController::handle_uplink_data(net::PacketPtr pkt,
+                                        net::NodeId from_ap) {
   if (dedup_.is_duplicate(*pkt, sched_.now())) {
     ++stats_.uplink_duplicates;
     if (m_dedup_hits_) m_dedup_hits_->add();
+    if (recorder_) {
+      recorder_->record(pkt->uid, sched_.now(), net::Hop::kDedupSuppress,
+                        net::kControllerId,
+                        {{"ap", from_ap},
+                         {"ip_id", pkt->ip_id}},
+                        "duplicate");
+    }
     return;
   }
   ++stats_.uplink_packets;
+  if (recorder_) {
+    recorder_->record(pkt->uid, sched_.now(), net::Hop::kCtrlUplink,
+                      net::kControllerId, {{"ap", from_ap}});
+  }
   if (on_uplink) on_uplink(std::move(pkt));
 }
 
@@ -143,24 +156,41 @@ void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
   ++stats_.downlink_packets;
 
   // Assign the 12-bit cyclic index.  The Packet is shared across APs, so
-  // stamp a copy once here.
+  // stamp a copy once here — keeping the original uid, so the flight
+  // recorder sees one provenance chain from transport send to delivery.
   net::Packet stamped = *pkt;
   stamped.index = st.next_index & (net::kIndexSpace - 1);
   st.next_index = (st.next_index + 1) & (net::kIndexSpace - 1);
-  net::PacketPtr shared = net::make_packet(std::move(stamped));
+  net::PacketPtr shared =
+      std::make_shared<const net::Packet>(std::move(stamped));
 
   // Range set: APs with a CSI reading inside the window; always include the
   // active AP.
   st.selector->prune(sched_.now());
+  const bool rec = recorder_ && net::flight_recorded(shared->type);
   bool active_covered = false;
   if (!cfg_.fanout_active_only) {
     for (net::NodeId ap : st.selector->aps_in_range(sched_.now())) {
+      if (rec) {
+        recorder_->record(shared->uid, sched_.now(), net::Hop::kCtrlFanout,
+                          net::kControllerId,
+                          {{"ap", ap},
+                           {"index", shared->index},
+                           {"active", ap == st.active_ap ? 1 : 0}});
+      }
       backhaul_.send(net::encapsulate(shared, net::kControllerId, ap));
       ++stats_.downlink_copies;
       if (ap == st.active_ap) active_covered = true;
     }
   }
   if (!active_covered) {
+    if (rec) {
+      recorder_->record(shared->uid, sched_.now(), net::Hop::kCtrlFanout,
+                        net::kControllerId,
+                        {{"ap", st.active_ap},
+                         {"index", shared->index},
+                         {"active", 1}});
+    }
     backhaul_.send(net::encapsulate(shared, net::kControllerId, st.active_ap));
     ++stats_.downlink_copies;
   }
@@ -275,6 +305,12 @@ void WgttController::initiate_switch(net::NodeId client, ClientState& st,
                       {"from", static_cast<double>(st.active_ap)},
                       {"to", static_cast<double>(target)}});
   }
+  if (recorder_) {
+    recorder_->marker(sched_.now(), net::Hop::kSwitchStart, net::kControllerId,
+                      {{"client", client},
+                       {"from", st.active_ap},
+                       {"to", target}});
+  }
   send_stop(client, st);
 }
 
@@ -329,6 +365,14 @@ void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
                        {"to", static_cast<double>(rec.to_ap)},
                        {"stop_retx",
                         static_cast<double>(rec.stop_retransmissions)}});
+  }
+  if (recorder_) {
+    recorder_->marker(sched_.now(), net::Hop::kSwitchDone, net::kControllerId,
+                      {{"client", rec.client},
+                       {"from", rec.from_ap},
+                       {"to", rec.to_ap},
+                       {"stop_retx", rec.stop_retransmissions},
+                       {"gap_us", (rec.completed - rec.initiated).to_ns() / 1000}});
   }
 
   st.active_ap = msg.new_ap;

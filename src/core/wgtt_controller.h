@@ -27,6 +27,7 @@
 #include "core/decision_log.h"
 #include "core/dedup.h"
 #include "net/backhaul.h"
+#include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "util/metrics.h"
@@ -121,7 +122,7 @@ class WgttController {
   void handle_csi_report(const CsiReportMsg& msg);
   void handle_switch_ack(const SwitchAckMsg& msg);
   void handle_client_joined(const ClientJoinedMsg& msg);
-  void handle_uplink_data(net::PacketPtr pkt);
+  void handle_uplink_data(net::PacketPtr pkt, net::NodeId from_ap);
 
   void run_selection();
   void log_decision(net::NodeId client, const ClientState& st, Time now,
@@ -149,6 +150,7 @@ class WgttController {
   metrics::Histogram* m_switch_latency_ms_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   DecisionLog* decision_log_ = nullptr;
+  net::FlightRecorder* recorder_ = nullptr;
   prof::Profiler* prof_ = nullptr;
   prof::Section* p_selection_ = nullptr;
   prof::Section* p_csi_ = nullptr;

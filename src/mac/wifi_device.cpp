@@ -71,6 +71,7 @@ WifiDevice::WifiDevice(MacContext& ctx, net::NodeId self, WifiDeviceConfig cfg)
                                  metrics::linear_buckets(-10.0, 5.0, 13));
   }
   tracer_ = trace::Tracer::current();
+  recorder_ = net::FlightRecorder::current();
   if (auto* p = prof::Profiler::current()) {
     prof_ = p;
     p_exchange_ = &p->section("mac.exchange");
@@ -149,6 +150,14 @@ std::size_t WifiDevice::flush_queue(net::NodeId peer) {
   auto it = peers_.find(peer);
   if (it == peers_.end()) return 0;
   const std::size_t n = it->second.queue.size();
+  if (recorder_) {
+    for (const Mpdu& m : it->second.queue) {
+      if (!net::flight_recorded(m.pkt->type)) continue;
+      recorder_->record(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacDrop,
+                        self_, {{"peer", peer}, {"seq", m.seq}},
+                        "handover_flush");
+    }
+  }
   it->second.queue.clear();
   if (in_flight_ && in_flight_->peer == peer) {
     it->second.quench_pending = true;
@@ -277,6 +286,21 @@ void WifiDevice::begin_exchange() {
                       {{"peer", static_cast<double>(ex.peer)},
                        {"mpdus", static_cast<double>(ex.aggregate.size())},
                        {"mcs", static_cast<double>(ex.mcs->index)}});
+  }
+  if (recorder_) {
+    // One record per MPDU per transmission attempt: the MCS it rode at,
+    // which A-MPDU carried it, and the attempt count (retries live in the
+    // per-AP Mpdu, never on the shared packet).
+    for (const Mpdu& m : ex.aggregate) {
+      if (!net::flight_recorded(m.pkt->type)) continue;
+      recorder_->record(m.pkt->uid, now, net::Hop::kMacTx, self_,
+                        {{"peer", ex.peer},
+                         {"seq", m.seq},
+                         {"attempt", m.retries + 1},
+                         {"mcs", ex.mcs->index},
+                         {"ampdu",
+                          static_cast<std::int64_t>(stats_.aggregates_sent)}});
+    }
   }
 
   evaluate_receptions(ex, data_time, ba_time);
@@ -472,6 +496,10 @@ void WifiDevice::evaluate_receptions(PendingExchange& ex, Time data_time,
 
 void WifiDevice::deliver_upward(net::NodeId stream, std::uint16_t seq,
                                 net::PacketPtr pkt, const RxMeta& meta) {
+  if (recorder_ && net::flight_recorded(pkt->type)) {
+    recorder_->record(pkt->uid, ctx_.sched().now(), net::Hop::kMacRx, self_,
+                      {{"stream", stream}, {"seq", seq}});
+  }
   auto it = reorder_.find(stream);
   if (it == reorder_.end()) {
     auto deliver = [this, stream](net::PacketPtr p) {
@@ -553,6 +581,10 @@ void WifiDevice::finish_exchange_with_ba(PendingExchange ex) {
     for (Mpdu& m : ex.aggregate) {
       if (ex.merged_ba.acks(m.seq)) {
         ++delivered;
+        if (recorder_ && net::flight_recorded(m.pkt->type)) {
+          recorder_->record(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacAck,
+                            self_, {{"peer", ex.peer}, {"seq", m.seq}});
+        }
       } else {
         failed.push_back(std::move(m));
       }
@@ -573,8 +605,23 @@ void WifiDevice::finish_exchange_with_ba(PendingExchange ex) {
     Mpdu& m = *it;
     if (quench || ++m.retries > cfg_.retry_limit) {
       ++stats_.mpdus_dropped;
+      if (recorder_ && net::flight_recorded(m.pkt->type)) {
+        recorder_->record(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacDrop,
+                          self_,
+                          {{"peer", ex.peer},
+                           {"seq", m.seq},
+                           {"retries", m.retries}},
+                          quench ? "quench" : "retry_limit");
+      }
       if (on_mpdu_dropped) on_mpdu_dropped(ex.peer, m.pkt);
       continue;
+    }
+    if (recorder_ && net::flight_recorded(m.pkt->type)) {
+      recorder_->record(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacRequeue,
+                        self_,
+                        {{"peer", ex.peer},
+                         {"seq", m.seq},
+                         {"retries", m.retries}});
     }
     st.queue.push_front(std::move(m));
   }

@@ -36,6 +36,7 @@
 #include "mac/ampdu.h"
 #include "mac/block_ack.h"
 #include "mac/medium.h"
+#include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "phy/error_model.h"
 #include "phy/rate_control.h"
@@ -276,6 +277,7 @@ class WifiDevice {
   trace::Tracer* tracer_ = nullptr;
   prof::Profiler* prof_ = nullptr;
   prof::Section* p_exchange_ = nullptr;
+  net::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace wgtt::mac

@@ -11,6 +11,7 @@ Backhaul::Backhaul(sim::Scheduler& sched, BackhaulConfig cfg, Rng rng)
         "net.backhaul_latency_us", metrics::exponential_buckets(25.0, 2.0, 10));
     m_bytes_ = &reg->counter("net.backhaul_bytes");
   }
+  recorder_ = FlightRecorder::current();
 }
 
 void Backhaul::attach(NodeId node, DeliverFn on_receive) {
@@ -28,9 +29,24 @@ Time Backhaul::delivery_delay(std::size_t bytes) {
 }
 
 void Backhaul::send(TunneledPacket frame) {
+  const bool rec = recorder_ && frame.inner != nullptr &&
+                   flight_recorded(frame.inner->type);
   auto it = nodes_.find(frame.outer_dst);
-  if (it == nodes_.end() || (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate))) {
+  // Note the evaluation order matches the original short-circuit: the loss
+  // coin is only tossed for attached destinations (RNG stream unchanged).
+  const char* drop_cause = nullptr;
+  if (it == nodes_.end()) {
+    drop_cause = "unattached";
+  } else if (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate)) {
+    drop_cause = "loss";
+  }
+  if (drop_cause != nullptr) {
     ++frames_dropped_;
+    if (rec) {
+      recorder_->record(frame.inner->uid, sched_.now(), Hop::kBackhaulDrop,
+                        frame.outer_src, {{"dst", frame.outer_dst}},
+                        drop_cause);
+    }
     return;
   }
   ++frames_sent_;
@@ -49,8 +65,19 @@ void Backhaul::send(TunneledPacket frame) {
     m_latency_us_->record((arrival - sched_.now()).to_us());
     m_bytes_->add(frame.wire_bytes);
   }
+  if (rec) {
+    recorder_->record(frame.inner->uid, sched_.now(), Hop::kBackhaulTx,
+                      frame.outer_src,
+                      {{"dst", frame.outer_dst},
+                       {"bytes", static_cast<std::int64_t>(frame.wire_bytes)}});
+  }
   DeliverFn& deliver = it->second;
-  sched_.schedule_at(arrival, [&deliver, frame = std::move(frame)]() {
+  sched_.schedule_at(arrival, [this, rec, &deliver,
+                               frame = std::move(frame)]() {
+    if (rec) {
+      recorder_->record(frame.inner->uid, sched_.now(), Hop::kBackhaulRx,
+                        frame.outer_dst, {{"src", frame.outer_src}});
+    }
     deliver(frame);
   });
 }

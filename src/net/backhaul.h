@@ -12,6 +12,7 @@
 #include <map>
 #include <utility>
 
+#include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "util/metrics.h"
@@ -61,6 +62,7 @@ class Backhaul {
   // Instrumentation (null when the sim has no metrics context).
   metrics::Histogram* m_latency_us_ = nullptr;
   metrics::Counter* m_bytes_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace wgtt::net

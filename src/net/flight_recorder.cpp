@@ -1,0 +1,104 @@
+#include "net/flight_recorder.h"
+
+#include "util/trace.h"
+
+namespace wgtt::net {
+
+const char* to_string(Hop h) {
+  switch (h) {
+    case Hop::kTransportSend: return "transport_send";
+    case Hop::kTransportRx: return "transport_rx";
+    case Hop::kTransportDrop: return "transport_drop";
+    case Hop::kCtrlFanout: return "ctrl_fanout";
+    case Hop::kCtrlUplink: return "ctrl_uplink";
+    case Hop::kDedupSuppress: return "dedup_suppress";
+    case Hop::kBackhaulTx: return "backhaul_tx";
+    case Hop::kBackhaulRx: return "backhaul_rx";
+    case Hop::kBackhaulDrop: return "backhaul_drop";
+    case Hop::kApEnqueue: return "ap_enqueue";
+    case Hop::kApNic: return "ap_nic";
+    case Hop::kApDrop: return "ap_drop";
+    case Hop::kMacTx: return "mac_tx";
+    case Hop::kMacAck: return "mac_ack";
+    case Hop::kMacRequeue: return "mac_requeue";
+    case Hop::kMacDrop: return "mac_drop";
+    case Hop::kMacRx: return "mac_rx";
+    case Hop::kApActivate: return "ap_activate";
+    case Hop::kSwitchStart: return "switch_start";
+    case Hop::kSwitchDone: return "switch_done";
+  }
+  return "?";
+}
+
+namespace {
+
+thread_local FlightRecorder* t_current_flight_recorder = nullptr;
+
+// splitmix64 finalizer: cheap, well-mixed uid hash for the sampler.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg) : cfg_(cfg) {
+  out_.reserve(1 << 16);
+}
+
+bool FlightRecorder::sampled(std::uint64_t uid) const {
+  if (uid == 0 || cfg_.sample <= 1) return true;
+  return mix64(uid ^ cfg_.seed) % cfg_.sample == 0;
+}
+
+void FlightRecorder::record(std::uint64_t uid, Time t, Hop hop, NodeId node,
+                            std::initializer_list<FlightArg> args,
+                            const char* cause) {
+  if (!sampled(uid)) return;
+  // Hand-rolled serialization with a fixed field order and integer-only
+  // number formatting (the decision log's recipe) — every byte deterministic.
+  std::string& s = out_;
+  s += "{\"uid\":";
+  s += std::to_string(uid);
+  s += ",\"t_us\":";
+  s += trace::Tracer::format_ts(t);
+  s += ",\"hop\":\"";
+  s += to_string(hop);
+  s += "\",\"node\":";
+  s += std::to_string(node);
+  for (const FlightArg& a : args) {
+    s += ",\"";
+    s += a.key;
+    s += "\":";
+    s += std::to_string(a.value);
+  }
+  if (cause != nullptr) {
+    s += ",\"cause\":\"";
+    s += cause;
+    s += '"';
+  }
+  s += "}\n";
+  ++records_;
+}
+
+void FlightRecorder::marker(Time t, Hop hop, NodeId node,
+                            std::initializer_list<FlightArg> args) {
+  record(0, t, hop, node, args);
+}
+
+FlightRecorder* FlightRecorder::current() { return t_current_flight_recorder; }
+
+ScopedFlightRecorder::ScopedFlightRecorder(FlightRecorder* rec) {
+  if (rec == nullptr) return;
+  installed_ = rec;
+  previous_ = t_current_flight_recorder;
+  t_current_flight_recorder = rec;
+}
+
+ScopedFlightRecorder::~ScopedFlightRecorder() {
+  if (installed_ != nullptr) t_current_flight_recorder = previous_;
+}
+
+}  // namespace wgtt::net

@@ -1,0 +1,136 @@
+// Per-packet flight recorder (JSONL lifecycle provenance).
+//
+// The paper's headline claims are per-packet claims — zero downlink loss
+// across a sub-25 ms switch gap, uplink de-duplication on src ++ IP-ID,
+// cyclic-index replay on handover — but metrics, traces, telemetry, and the
+// decision log are all aggregate views.  The FlightRecorder closes that gap:
+// it records every lifecycle hop of a sampled set of data packets, keyed by
+// Packet::uid, from the transport send through controller fan-out, backhaul,
+// the per-AP cyclic/kernel/NIC queue stages, and each MAC transmission
+// attempt, down to delivery, drop, or dedup suppression.  Each record is
+// stamped with the simulated clock and the acting node id, so a packet's
+// records line up with trace spans and decision-log entries by t_us.
+//
+// One JSON object per line, hand-serialized with a fixed field order and
+// pure-integer timestamp formatting (the tracer's), so a fixed-seed run
+// emits byte-identical output on any platform, any thread count.
+//
+// Thread-scoped exactly like LogSink / MetricsRegistry / Tracer /
+// DecisionLog: a FlightRecorder is owned by one Testbed, installed as the
+// constructing thread's context-current recorder, and components cache
+// `current()` once at construction — a null pointer (recording off, the
+// default) makes every hop site a single branch with zero allocations.
+//
+// Sampling: a seeded uid-hash selects 1-in-N data packets, so long sweeps
+// can afford full-lifecycle records without drowning in output.  Marker
+// records (uid 0: switch start/done, stack activation) are always written —
+// they are what `wgtt-report packets --switches` attributes packet stalls to.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace wgtt::net {
+
+/// Lifecycle hop taxonomy.  Order groups the layers: transport, controller,
+/// backhaul, AP queue stack, MAC, then the uid-0 marker events.
+enum class Hop : std::uint8_t {
+  kTransportSend,  // transport layer emitted the packet (TCP seg/ack, UDP)
+  kTransportRx,    // transport layer consumed it at the far end
+  kTransportDrop,  // delivered to a flow nobody registered (miswired run)
+  kCtrlFanout,     // controller stamped the cyclic index + sent one AP a copy
+  kCtrlUplink,     // controller forwarded a de-duplicated uplink packet
+  kDedupSuppress,  // controller suppressed a duplicate (48-bit src++IP-ID)
+  kBackhaulTx,     // tunneled frame entered the wired backhaul
+  kBackhaulRx,     // tunneled frame delivered by the backhaul
+  kBackhaulDrop,   // backhaul loss or unattached destination
+  kApEnqueue,      // AP inserted the packet into its cyclic queue
+  kApNic,          // packet crossed the kernel -> NIC boundary (seq stamped)
+  kApDrop,         // AP-side discard (stale lap, kernel flush, unknown client)
+  kMacTx,          // one MPDU transmission attempt inside an A-MPDU
+  kMacAck,         // MPDU covered by the (merged) Block ACK
+  kMacRequeue,     // MPDU failed, re-queued for another attempt
+  kMacDrop,        // MPDU abandoned (retry limit, quench, handover flush)
+  kMacRx,          // MPDU decoded at the receiving radio
+  kApActivate,     // marker: stack activated at start(c, k)
+  kSwitchStart,    // marker: controller initiated a switch
+  kSwitchDone,     // marker: switch ack received, new AP active
+};
+constexpr std::size_t kHopCount = 20;
+
+const char* to_string(Hop h);
+
+/// One integer "extra" field on a record (key must be a static string and
+/// must not collide with uid/t_us/hop/node/cause).
+struct FlightArg {
+  const char* key;
+  std::int64_t value;
+};
+
+struct FlightRecorderConfig {
+  std::uint64_t seed = 1;    // sampler seed (the Testbed passes its sim seed)
+  std::uint32_t sample = 1;  // record 1-in-N data packets (1 = every packet)
+};
+
+/// True for the packet types the recorder follows: transport payloads.
+/// Control-plane packets (stop/start/CSI/...) are visible through markers
+/// and the trace instead.
+inline bool flight_recorded(PacketType t) {
+  return t == PacketType::kData || t == PacketType::kTcpAck;
+}
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig cfg = {});
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Seeded uid-hash sampler: deterministic for a fixed (seed, sample),
+  /// independent of arrival order.  uid 0 (markers) is always sampled.
+  bool sampled(std::uint64_t uid) const;
+
+  /// Append one lifecycle record for `uid` (no-op unless sampled).  `cause`
+  /// must be a static string naming why, for drop/suppress hops.
+  void record(std::uint64_t uid, Time t, Hop hop, NodeId node,
+              std::initializer_list<FlightArg> args = {},
+              const char* cause = nullptr);
+
+  /// Append a uid-0 marker record (switch/activation events); never sampled
+  /// away, so switch attribution works at any sampling rate.
+  void marker(Time t, Hop hop, NodeId node,
+              std::initializer_list<FlightArg> args = {});
+
+  std::size_t records() const { return records_; }
+  /// The accumulated JSONL document (one '\n'-terminated object per line).
+  const std::string& jsonl() const { return out_; }
+  const FlightRecorderConfig& config() const { return cfg_; }
+
+  /// The recorder the calling thread's current simulation records into, or
+  /// nullptr when packet recording is off (the default).
+  static FlightRecorder* current();
+
+ private:
+  FlightRecorderConfig cfg_;
+  std::string out_;
+  std::size_t records_ = 0;
+};
+
+/// Install `rec` as the calling thread's current flight recorder for this
+/// object's lifetime (RAII; nests).  Passing nullptr keeps the current one.
+class ScopedFlightRecorder {
+ public:
+  explicit ScopedFlightRecorder(FlightRecorder* rec);
+  ~ScopedFlightRecorder();
+  ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+  ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+
+ private:
+  FlightRecorder* installed_ = nullptr;
+  FlightRecorder* previous_ = nullptr;
+};
+
+}  // namespace wgtt::net

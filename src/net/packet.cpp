@@ -22,9 +22,36 @@ const char* to_string(PacketType t) {
   return "?";
 }
 
+namespace {
+
+thread_local PacketUidAllocator* t_current_uid_allocator = nullptr;
+
+}  // namespace
+
+PacketUidAllocator* PacketUidAllocator::current() {
+  return t_current_uid_allocator;
+}
+
+ScopedPacketUidAllocator::ScopedPacketUidAllocator(PacketUidAllocator* alloc) {
+  if (alloc == nullptr) return;
+  installed_ = alloc;
+  previous_ = t_current_uid_allocator;
+  t_current_uid_allocator = alloc;
+}
+
+ScopedPacketUidAllocator::~ScopedPacketUidAllocator() {
+  if (installed_ != nullptr) t_current_uid_allocator = previous_;
+}
+
 PacketPtr make_packet(Packet fields) {
-  static std::atomic<std::uint64_t> next_uid{1};
-  fields.uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+  if (PacketUidAllocator* alloc = PacketUidAllocator::current()) {
+    fields.uid = alloc->next();
+  } else {
+    // No simulation context (bare unit tests): fall back to a process-global
+    // counter so uids stay unique, if not reproducible across interleavings.
+    static std::atomic<std::uint64_t> next_uid{1};
+    fields.uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+  }
   return std::make_shared<const Packet>(fields);
 }
 

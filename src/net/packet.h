@@ -2,9 +2,12 @@
 //
 // Packets are the unit passed between the transport layer, the WGTT
 // controller/AP data plane, the 802.11 MAC, and the Ethernet backhaul.
-// A packet is immutable after creation except for MAC-layer bookkeeping
-// (retry count); the controller duplicates packets to many APs by sharing
-// ownership, so per-AP state lives in the AP's queues, never in the packet.
+// A packet is strictly immutable after creation — PacketPtr is a
+// shared_ptr<const Packet> and the controller duplicates a packet to many
+// APs by sharing ownership, so no per-transmission state may live on the
+// packet itself.  MAC bookkeeping (retry/attempt counters, sequence
+// numbers) belongs to each AP's per-peer tx state (mac::Mpdu and the AP
+// queue stack), which is also where the flight recorder reads it.
 #pragma once
 
 #include <any>
@@ -41,6 +44,10 @@ enum class PacketType : std::uint8_t {
   kMgmt,        // authentication / (re)association frames
 };
 
+/// One past the last PacketType value.  Keep in sync when adding a type;
+/// the exhaustive-switch unit test fails loudly if this lags the enum.
+constexpr std::size_t kPacketTypeCount = 11;
+
 const char* to_string(PacketType t);
 
 /// Number of cyclic-queue index bits (paper §3.1.2: m = 12).
@@ -71,8 +78,36 @@ const T* payload_as(const Packet& p) {
   return std::any_cast<T>(&p.payload);
 }
 
-/// Create a packet with a fresh unique id.
+/// Create a packet with a fresh unique id (from the calling thread's
+/// PacketUidAllocator when one is installed, else a process-global counter).
 PacketPtr make_packet(Packet fields);
+
+/// Per-simulation uid source.  Each Testbed owns one, installed thread-
+/// scoped like the other sim contexts, so uids are deterministic per run —
+/// a process-global counter would interleave uids across the parallel
+/// sweep workers and break byte-reproducible flight-recorder output.
+class PacketUidAllocator {
+ public:
+  std::uint64_t next() { return next_uid_++; }
+  static PacketUidAllocator* current();
+
+ private:
+  std::uint64_t next_uid_ = 1;
+};
+
+/// Install `alloc` as the calling thread's uid allocator for this object's
+/// lifetime (RAII; nests).  Passing nullptr keeps the current one.
+class ScopedPacketUidAllocator {
+ public:
+  explicit ScopedPacketUidAllocator(PacketUidAllocator* alloc);
+  ~ScopedPacketUidAllocator();
+  ScopedPacketUidAllocator(const ScopedPacketUidAllocator&) = delete;
+  ScopedPacketUidAllocator& operator=(const ScopedPacketUidAllocator&) = delete;
+
+ private:
+  PacketUidAllocator* installed_ = nullptr;
+  PacketUidAllocator* previous_ = nullptr;
+};
 
 /// 48-bit uplink de-duplication key: source address (32) ++ IP-ID (16),
 /// exactly the composition the paper describes in §3.2.2.

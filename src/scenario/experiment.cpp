@@ -214,6 +214,10 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
     result.decision_records = dlog->entries();
     result.decision_switch_records = dlog->switches();
   }
+  if (net::FlightRecorder* fr = bed.flight_recorder()) {
+    result.packet_jsonl = fr->jsonl();
+    result.packet_records = fr->records();
+  }
   if (wgtt) {
     result.switches = wgtt->controller().switch_log();
     result.stop_retransmissions =

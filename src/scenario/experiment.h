@@ -96,6 +96,10 @@ struct DriveResult {
   std::string decision_jsonl;
   std::uint64_t decision_records = 0;
   std::uint64_t decision_switch_records = 0;
+  /// Per-packet flight-recorder log (JSONL; empty unless
+  /// testbed.enable_packet_log / packet_log_path is set).
+  std::string packet_jsonl;
+  std::uint64_t packet_records = 0;
   /// Host self-time per instrumented section (empty when
   /// testbed.enable_profiler is false).  Exported as the reports' "profile"
   /// block.

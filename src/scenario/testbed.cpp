@@ -30,6 +30,13 @@ Testbed::Testbed(TestbedConfig cfg)
                         ? std::make_unique<core::DecisionLog>()
                         : nullptr),
       decision_scope_(decision_log_.get()),
+      uid_scope_(&uid_alloc_),
+      flight_recorder_(
+          (cfg_.enable_packet_log || !cfg_.packet_log_path.empty())
+              ? std::make_unique<net::FlightRecorder>(
+                    net::FlightRecorderConfig{cfg_.seed, cfg_.packet_sample})
+              : nullptr),
+      flight_scope_(flight_recorder_.get()),
       telemetry_((cfg_.enable_telemetry || !cfg_.telemetry_path.empty())
                      ? std::make_unique<TelemetrySampler>(sched_,
                                                           cfg_.telemetry_period)
@@ -53,6 +60,9 @@ Testbed::~Testbed() {
   }
   if (decision_log_ && !cfg_.decision_log_path.empty()) {
     write_text_file(cfg_.decision_log_path, decision_log_->jsonl());
+  }
+  if (flight_recorder_ && !cfg_.packet_log_path.empty()) {
+    write_text_file(cfg_.packet_log_path, flight_recorder_->jsonl());
   }
 }
 
@@ -159,7 +169,10 @@ Time Testbed::transit_duration(double mph, double lead_in_m) const {
 // ---------------------------------------------------------------------------
 
 WgttNetwork::WgttNetwork(Testbed& bed, WgttNetworkConfig cfg)
-    : bed_(bed), cfg_(cfg) {
+    : bed_(bed),
+      cfg_(cfg),
+      client_rx_(&bed.sched()),
+      server_rx_(&bed.sched()) {
   const std::size_t n_aps = bed_.config().ap_x.size();
   std::vector<net::NodeId> ap_ids;
   for (std::size_t i = 0; i < n_aps; ++i) {
@@ -414,7 +427,10 @@ void WgttNetwork::wire_web_browse(apps::WebBrowseApp& app,
 // ---------------------------------------------------------------------------
 
 BaselineNetwork::BaselineNetwork(Testbed& bed, BaselineNetworkConfig cfg)
-    : bed_(bed), cfg_(cfg) {
+    : bed_(bed),
+      cfg_(cfg),
+      client_rx_(&bed.sched()),
+      server_rx_(&bed.sched()) {
   distribution_ = std::make_unique<baseline::Distribution>(
       bed_.sched(), bed_.backhaul(), cfg_.distribution_relearn);
   distribution_->on_uplink = [this](net::PacketPtr pkt) {

@@ -26,6 +26,7 @@
 #include "mac/medium.h"
 #include "mac/wifi_device.h"
 #include "net/backhaul.h"
+#include "net/flight_recorder.h"
 #include "scenario/telemetry.h"
 #include "sim/scheduler.h"
 #include "transport/tcp_connection.h"
@@ -105,6 +106,13 @@ struct TestbedConfig {
   bool enable_telemetry = false;
   std::string telemetry_path{};
   Time telemetry_period = Time::ms(100);
+  /// Per-packet flight recorder (JSONL, one record per lifecycle hop of a
+  /// sampled set of data packets).  Enabled when true or when
+  /// packet_log_path is set; the file (if any) is written on destruction.
+  /// packet_sample records 1-in-N data packets by seeded uid hash.
+  bool enable_packet_log = false;
+  std::string packet_log_path{};
+  std::uint32_t packet_sample = 1;
 };
 
 class Testbed {
@@ -132,6 +140,7 @@ class Testbed {
   /// when the corresponding TestbedConfig switch is off).
   prof::Profiler* profiler() { return profiler_.get(); }
   core::DecisionLog* decision_log() { return decision_log_.get(); }
+  net::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
   TelemetrySampler* telemetry() { return telemetry_.get(); }
   /// Per-section host self-time; empty when profiling is disabled.
   prof::ProfileSnapshot profile_snapshot() const;
@@ -172,6 +181,13 @@ class Testbed {
   prof::ScopedProfiler profiler_scope_;
   std::unique_ptr<core::DecisionLog> decision_log_;
   core::ScopedDecisionLog decision_scope_;
+  // Per-sim packet uids (always installed: parallel sweep workers sharing a
+  // process-global counter would make uids — and therefore flight-recorder
+  // output — depend on thread interleaving).
+  net::PacketUidAllocator uid_alloc_;
+  net::ScopedPacketUidAllocator uid_scope_;
+  std::unique_ptr<net::FlightRecorder> flight_recorder_;
+  net::ScopedFlightRecorder flight_scope_;
   sim::Scheduler sched_;
   std::unique_ptr<TelemetrySampler> telemetry_;  // after sched_: holds a ref
   Rng rng_;
@@ -193,10 +209,11 @@ class Testbed {
 class FlowRouter {
  public:
   using Handler = std::function<void(const net::PacketPtr&)>;
-  FlowRouter() {
+  explicit FlowRouter(sim::Scheduler* sched = nullptr) : sched_(sched) {
     if (auto* reg = metrics::MetricsRegistry::current()) {
       m_dropped_ = &reg->counter("net.flow_router_drops");
     }
+    recorder_ = net::FlightRecorder::current();
   }
   void register_flow(std::uint32_t flow_id, Handler h) {
     handlers_[flow_id] = std::move(h);
@@ -206,6 +223,11 @@ class FlowRouter {
     if (it == handlers_.end()) {
       ++dropped_;
       if (m_dropped_) m_dropped_->add();
+      if (recorder_ && sched_ && net::flight_recorded(pkt->type)) {
+        recorder_->record(pkt->uid, sched_->now(), net::Hop::kTransportDrop,
+                          pkt->dst, {{"flow", pkt->flow_id}},
+                          "no_flow_handler");
+      }
       WGTT_LOG(kDebug, "flow",
                "no handler for flow " << pkt->flow_id << ", dropping "
                                       << net::to_string(pkt->type) << " "
@@ -222,6 +244,8 @@ class FlowRouter {
   std::map<std::uint32_t, Handler> handlers_;
   std::uint64_t dropped_ = 0;
   metrics::Counter* m_dropped_ = nullptr;
+  sim::Scheduler* sched_ = nullptr;
+  net::FlightRecorder* recorder_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

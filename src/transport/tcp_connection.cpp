@@ -21,6 +21,7 @@ TcpConnection::TcpConnection(sim::Scheduler& sched, IpIdAllocator& ip_ids,
     m_retransmissions_ = &reg->counter("transport.tcp_retransmissions");
     m_timeouts_ = &reg->counter("transport.tcp_timeouts");
   }
+  recorder_ = net::FlightRecorder::current();
 }
 
 void TcpConnection::app_send(std::size_t bytes) {
@@ -68,7 +69,15 @@ void TcpConnection::send_segment(std::uint64_t seq_start,
   if (!inserted) {
     it->second.second = true;  // Karn: never sample a retransmitted range
   }
-  if (transmit_data) transmit_data(net::make_packet(std::move(p)));
+  net::PacketPtr out = net::make_packet(std::move(p));
+  if (recorder_) {
+    recorder_->record(out->uid, sched_.now(), net::Hop::kTransportSend,
+                      sender_,
+                      {{"flow", flow_id_},
+                       {"seq", static_cast<std::int64_t>(seq_start)},
+                       {"retx", is_retransmission ? 1 : 0}});
+  }
+  if (transmit_data) transmit_data(std::move(out));
 }
 
 void TcpConnection::arm_rto() {
@@ -121,6 +130,11 @@ void TcpConnection::enter_fast_recovery() {
 void TcpConnection::on_network_ack(const net::PacketPtr& pkt) {
   ++stats_.acks_received;
   const std::uint64_t ack = pkt->seq;
+  if (recorder_) {
+    recorder_->record(pkt->uid, sched_.now(), net::Hop::kTransportRx, sender_,
+                      {{"flow", flow_id_},
+                       {"ack", static_cast<std::int64_t>(ack)}});
+  }
 
   if (ack <= snd_una_) {
     if (ack == snd_una_ && flight_size() > 0) {
@@ -194,6 +208,13 @@ void TcpConnection::on_network_data(const net::PacketPtr& pkt) {
   const std::uint64_t payload = pkt->size_bytes - 52;
   const std::uint64_t end = start + payload;
 
+  if (recorder_) {
+    recorder_->record(pkt->uid, sched_.now(), net::Hop::kTransportRx,
+                      receiver_,
+                      {{"flow", flow_id_},
+                       {"seq", static_cast<std::int64_t>(start)},
+                       {"dup", end <= rcv_nxt_ ? 1 : 0}});
+  }
   if (end <= rcv_nxt_) {
     send_ack();  // stale duplicate: re-ack
     return;
@@ -232,7 +253,14 @@ void TcpConnection::send_ack() {
   p.ip_id = ip_ids_.next(receiver_);
   p.size_bytes = cfg_.ack_bytes;
   p.created = sched_.now();
-  if (transmit_ack) transmit_ack(net::make_packet(std::move(p)));
+  net::PacketPtr out = net::make_packet(std::move(p));
+  if (recorder_) {
+    recorder_->record(out->uid, sched_.now(), net::Hop::kTransportSend,
+                      receiver_,
+                      {{"flow", flow_id_},
+                       {"ack", static_cast<std::int64_t>(rcv_nxt_)}});
+  }
+  if (transmit_ack) transmit_ack(std::move(out));
 }
 
 }  // namespace wgtt::transport

@@ -15,6 +15,7 @@
 #include <functional>
 #include <map>
 
+#include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "transport/udp_flow.h"  // IpIdAllocator
@@ -128,6 +129,7 @@ class TcpConnection {
   // Instrumentation (null when the sim has no metrics context).
   metrics::Counter* m_retransmissions_ = nullptr;
   metrics::Counter* m_timeouts_ = nullptr;
+  net::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace wgtt::transport

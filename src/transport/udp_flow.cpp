@@ -8,6 +8,7 @@ UdpSender::UdpSender(sim::Scheduler& sched, IpIdAllocator& ip_ids,
   const double pps =
       cfg_.offered_load_bps / (static_cast<double>(cfg_.datagram_bytes) * 8.0);
   interval_ = Time::sec(1.0 / pps);
+  recorder_ = net::FlightRecorder::current();
 }
 
 void UdpSender::start() {
@@ -27,16 +28,33 @@ void UdpSender::emit() {
   p.ip_id = ip_ids_.next(cfg_.src);
   p.size_bytes = cfg_.datagram_bytes + 28;  // IP + UDP headers
   p.created = sched_.now();
-  if (transmit) transmit(net::make_packet(std::move(p)));
+  net::PacketPtr out = net::make_packet(std::move(p));
+  if (recorder_) {
+    recorder_->record(out->uid, sched_.now(), net::Hop::kTransportSend,
+                      cfg_.src,
+                      {{"flow", cfg_.flow_id},
+                       {"seq", static_cast<std::int64_t>(out->seq)}});
+  }
+  if (transmit) transmit(std::move(out));
   sched_.schedule(interval_, [this]() { emit(); });
 }
 
 UdpReceiver::UdpReceiver(sim::Scheduler& sched, Time throughput_bin)
-    : sched_(sched), series_(throughput_bin) {}
+    : sched_(sched), series_(throughput_bin) {
+  recorder_ = net::FlightRecorder::current();
+}
 
 void UdpReceiver::on_packet(const net::PacketPtr& pkt) {
   const std::uint64_t seq = pkt->seq;
   if (seq >= seen_.size()) seen_.resize(seq + 1024, false);
+  if (recorder_) {
+    recorder_->record(pkt->uid, sched_.now(), net::Hop::kTransportRx,
+                      pkt->dst,
+                      {{"flow", pkt->flow_id},
+                       {"seq", static_cast<std::int64_t>(seq)},
+                       {"dup", seen_[seq] ? 1 : 0}},
+                      seen_[seq] ? "duplicate" : nullptr);
+  }
   if (seen_[seq]) {
     ++duplicates_;
     return;

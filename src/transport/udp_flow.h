@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "util/stats.h"
@@ -56,6 +57,7 @@ class UdpSender {
   Time interval_;
   bool running_ = false;
   std::uint64_t next_seq_ = 0;
+  net::FlightRecorder* recorder_ = nullptr;
 };
 
 class UdpReceiver {
@@ -88,6 +90,7 @@ class UdpReceiver {
   std::vector<bool> seen_;
   bool trace_enabled_ = false;
   std::vector<std::pair<Time, std::uint64_t>> trace_;
+  net::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace wgtt::transport

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include "net/backhaul.h"
+#include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "transport/udp_flow.h"
 #include "util/rng.h"
 
 namespace wgtt::net {
@@ -154,6 +156,146 @@ TEST_F(BackhaulTest, BytesAccounted) {
   bh.send(encapsulate(make_packet(data_packet(1, 2, 500)), 1, 2));
   sched.run();
   EXPECT_EQ(bh.bytes_sent(), 500 + kTunnelOverheadBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Dedup key vs the IP-ID counter
+// ---------------------------------------------------------------------------
+
+TEST(PacketTest, DedupKeyIpIdWraparound) {
+  // The per-source IP-ID counter is 16 bits and wraps at 65535 -> 0, so the
+  // 48-bit src ++ IP-ID key repeats after 65536 packets from one source —
+  // which is exactly why the controller ages dedup entries out (§3.2.2).
+  transport::IpIdAllocator ids;
+  EXPECT_EQ(ids.next(kClientBase), 0u);
+  for (int i = 1; i < 65535; ++i) ids.next(kClientBase);
+  EXPECT_EQ(ids.next(kClientBase), 65535u);
+  EXPECT_EQ(ids.next(kClientBase), 0u);  // wrapped
+
+  Packet first = data_packet(kClientBase, kServerBase);
+  first.ip_id = 0;
+  Packet last = data_packet(kClientBase, kServerBase);
+  last.ip_id = 65535;
+  Packet wrapped = data_packet(kClientBase, kServerBase);
+  wrapped.ip_id = 0;
+  EXPECT_NE(dedup_key(first), dedup_key(last));
+  EXPECT_EQ(dedup_key(first), dedup_key(wrapped));
+}
+
+TEST(PacketTest, DedupKeyDistinguishesIpIdsOfOneSource) {
+  Packet a = data_packet(kClientBase, kServerBase);
+  Packet b = data_packet(kClientBase, kServerBase);
+  a.ip_id = 7;
+  b.ip_id = 8;
+  EXPECT_NE(dedup_key(a), dedup_key(b));
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive PacketType coverage (describe / to_string)
+// ---------------------------------------------------------------------------
+
+TEST(PacketTest, ToStringCoversEveryPacketType) {
+  for (std::size_t i = 0; i < kPacketTypeCount; ++i) {
+    const auto t = static_cast<PacketType>(i);
+    EXPECT_STRNE(to_string(t), "?") << "PacketType " << i << " unnamed";
+  }
+  EXPECT_STREQ(to_string(static_cast<PacketType>(kPacketTypeCount)), "?");
+}
+
+TEST(PacketTest, DescribeNamesEveryPacketType) {
+  for (std::size_t i = 0; i < kPacketTypeCount; ++i) {
+    Packet p = data_packet(kClientBase, kServerBase);
+    p.type = static_cast<PacketType>(i);
+    const std::string text = describe(p);
+    EXPECT_NE(text.find(to_string(p.type)), std::string::npos)
+        << "describe() output missing type name for PacketType " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+TEST(FlightRecorderTest, HopNamesAreExhaustive) {
+  for (std::size_t i = 0; i < kHopCount; ++i) {
+    EXPECT_STRNE(to_string(static_cast<Hop>(i)), "?") << "Hop " << i;
+  }
+  EXPECT_STREQ(to_string(static_cast<Hop>(kHopCount)), "?");
+}
+
+TEST(FlightRecorderTest, JsonlShapeIsFixedFieldOrder) {
+  FlightRecorder r;
+  r.record(7, Time::us(1500), Hop::kCtrlFanout, 0, {{"ap", 3}, {"index", 12}});
+  r.record(7, Time::us(2500), Hop::kApDrop, 4, {{"client", 100}}, "stale");
+  r.marker(Time::us(3000), Hop::kSwitchStart, 0, {{"client", 100}});
+  EXPECT_EQ(r.records(), 3u);
+  EXPECT_EQ(
+      r.jsonl(),
+      "{\"uid\":7,\"t_us\":1500.000,\"hop\":\"ctrl_fanout\",\"node\":0,"
+      "\"ap\":3,\"index\":12}\n"
+      "{\"uid\":7,\"t_us\":2500.000,\"hop\":\"ap_drop\",\"node\":4,"
+      "\"client\":100,\"cause\":\"stale\"}\n"
+      "{\"uid\":0,\"t_us\":3000.000,\"hop\":\"switch_start\",\"node\":0,"
+      "\"client\":100}\n");
+}
+
+TEST(FlightRecorderTest, SamplerIsSeededDeterministicAndKeepsMarkers) {
+  FlightRecorder r(FlightRecorderConfig{42, 4});
+  EXPECT_TRUE(r.sampled(0));  // markers always pass
+  std::size_t hits = 0;
+  for (std::uint64_t uid = 1; uid <= 4096; ++uid) {
+    const bool s = r.sampled(uid);
+    EXPECT_EQ(s, r.sampled(uid));  // stable per uid
+    hits += s;
+  }
+  // ~1 in 4 of a well-mixed hash; generous bounds, no flakiness.
+  EXPECT_GT(hits, 4096u / 8);
+  EXPECT_LT(hits, 4096u / 2);
+  // A different seed selects a different subset.
+  FlightRecorder other(FlightRecorderConfig{43, 4});
+  std::size_t differs = 0;
+  for (std::uint64_t uid = 1; uid <= 4096; ++uid) {
+    differs += r.sampled(uid) != other.sampled(uid);
+  }
+  EXPECT_GT(differs, 0u);
+  // Unsampled records write nothing.
+  FlightRecorder none(FlightRecorderConfig{42, 1 << 30});
+  std::uint64_t skipped = 1;
+  while (none.sampled(skipped)) ++skipped;
+  none.record(skipped, Time::us(1), Hop::kMacTx, 1);
+  EXPECT_EQ(none.records(), 0u);
+  EXPECT_TRUE(none.jsonl().empty());
+}
+
+TEST(FlightRecorderTest, ScopedInstallNestsAndNullKeepsCurrent) {
+  FlightRecorder* before = FlightRecorder::current();
+  FlightRecorder a, b;
+  {
+    ScopedFlightRecorder sa(&a);
+    EXPECT_EQ(FlightRecorder::current(), &a);
+    {
+      ScopedFlightRecorder keep(nullptr);
+      EXPECT_EQ(FlightRecorder::current(), &a);
+      ScopedFlightRecorder sb(&b);
+      EXPECT_EQ(FlightRecorder::current(), &b);
+    }
+    EXPECT_EQ(FlightRecorder::current(), &a);
+  }
+  EXPECT_EQ(FlightRecorder::current(), before);
+}
+
+TEST(PacketTest, ScopedUidAllocatorRestartsPerSim) {
+  PacketUidAllocator sim_a, sim_b;
+  {
+    ScopedPacketUidAllocator scope_a(&sim_a);
+    EXPECT_EQ(make_packet(data_packet(1, 2))->uid, 1u);
+    EXPECT_EQ(make_packet(data_packet(1, 2))->uid, 2u);
+    {
+      ScopedPacketUidAllocator scope_b(&sim_b);
+      EXPECT_EQ(make_packet(data_packet(1, 2))->uid, 1u);
+    }
+    EXPECT_EQ(make_packet(data_packet(1, 2))->uid, 3u);
+  }
 }
 
 }  // namespace
