@@ -14,6 +14,7 @@
 
 #include "scenario/report.h"
 #include "scenario/sweep.h"
+#include "sim/fault_plan.h"
 
 namespace wgtt::bench {
 
@@ -76,6 +77,12 @@ struct BenchArgs {
   bool packets = false;
   /// --packet-sample N: record 1-in-N sampled data packets (default 1).
   std::uint32_t packet_sample = 1;
+  /// --faults [SPEC]: inject infrastructure faults into the first run.
+  /// SPEC uses the FaultPlan grammar (EXPERIMENTS.md "Chaos sweeps"); with
+  /// no SPEC a deterministic chaos plan (intensity 1 fault/s) is generated
+  /// from the run's seed.
+  std::string faults_spec;
+  bool faults = false;
   /// --force: overwrite existing trace/telemetry/decision/packet files.
   bool force = false;
 
@@ -109,6 +116,24 @@ struct BenchArgs {
                                : packets_path,
           force, "packets");
       cfg.testbed.packet_sample = packet_sample;
+    }
+    if (faults) {
+      sim::FaultPlan plan;
+      if (faults_spec.empty()) {
+        const Time horizon =
+            cfg.duration > Time::zero() ? cfg.duration : Time::sec(10);
+        plan = sim::FaultPlan::chaos(
+            /*intensity=*/1.0, horizon,
+            static_cast<std::uint32_t>(cfg.testbed.ap_x.size()), cfg.seed);
+      } else {
+        std::string err;
+        if (!sim::FaultPlan::parse(faults_spec, plan, &err)) {
+          std::fprintf(stderr, "error: bad --faults spec: %s\n", err.c_str());
+          std::exit(2);
+        }
+      }
+      std::printf("faults:\n%s", plan.describe().c_str());
+      cfg.testbed.faults = std::move(plan);
     }
   }
 };
@@ -159,6 +184,14 @@ inline BenchArgs parse_args(int argc, char** argv) {
     } else if (std::strcmp(a, "--packet-sample") == 0 && i + 1 < argc) {
       const long v = std::strtol(argv[++i], nullptr, 10);
       if (v > 0) args.packet_sample = static_cast<std::uint32_t>(v);
+    } else if (std::strncmp(a, "--faults=", 9) == 0) {
+      args.faults = true;
+      args.faults_spec = a + 9;
+    } else if (std::strcmp(a, "--faults") == 0) {
+      args.faults = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.faults_spec = argv[++i];
+      }
     } else if (std::strcmp(a, "--force") == 0) {
       args.force = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
@@ -179,6 +212,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
           "flight-recorder JSONL; default PATH is PACKETS_<bench>.jsonl\n"
           "  --packet-sample N   flight-record 1-in-N data packets "
           "(default 1 = every packet; markers always recorded)\n"
+          "  --faults [SPEC]     inject infrastructure faults into the "
+          "first simulation; SPEC grammar per EXPERIMENTS.md (\"Chaos "
+          "sweeps\"), no SPEC = a seeded chaos plan\n"
           "  --force             overwrite existing output files\n",
           argv[0]);
       std::exit(0);

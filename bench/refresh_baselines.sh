@@ -21,6 +21,7 @@ baseline_dir="${repo_root}/bench/baselines"
 # Bench id -> committed baseline file.  Add a line per gated bench.
 benches=(
   "fig13_speed_sweep fig13.json"
+  "chaos_sweep chaos.json"
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release

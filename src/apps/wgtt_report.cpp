@@ -1,8 +1,9 @@
 // wgtt-report: analyzer for the BENCH_*.json reports the sweep benches emit.
 //
 //   wgtt-report show FILE
-//       Pretty-print one report: sweep header, per-run metrics table, and
-//       the aggregated host-time profile (where simulator CPU went).
+//       Pretty-print one report: sweep header, per-run metrics table, the
+//       fault-injection / controller-liveness counters (chaos sweeps only),
+//       and the aggregated host-time profile (where simulator CPU went).
 //
 //   wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]
 //       Compare two reports of the same bench.  Schema mismatches (different
@@ -17,9 +18,13 @@
 //   wgtt-report packets FILE [--limit N] [--switches]
 //       Analyze a per-packet flight-recorder JSONL (the --packets output of
 //       the benches): per-packet latency waterfalls, aggregate time-in-layer,
-//       and a drop/duplicate autopsy table.  With --switches, pairs the
-//       uid-0 switch_start/switch_done markers into switch windows and
-//       attributes every packet whose lifecycle stalled across one.
+//       and a drop/duplicate autopsy table.  Chaos runs additionally get a
+//       fault-window table: uid-0 fault_on/fault_off markers paired per
+//       (node, kind, peer), each window credited with the fault_injected
+//       drop records it caused.  With --switches, pairs the uid-0
+//       switch_start/switch_done markers into switch windows — liveness
+//       failovers are flagged reason=ap_suspect — and attributes every
+//       packet whose lifecycle stalled across one.
 //
 // Exit codes: 0 ok / warnings only, 1 performance regression, 2 schema or
 // usage error.
@@ -32,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fault_plan.h"
 #include "util/json.h"
 
 namespace {
@@ -120,6 +126,31 @@ int cmd_show(const std::string& path) {
                 run.number_or("wall_ms", 0.0));
   }
 
+  // Chaos sweeps carry fault.* and controller.liveness.* counters in each
+  // run's metrics snapshot; sum them so one glance shows how much adversity
+  // the sweep injected and how the controller coped.  Fault-free reports
+  // have none and skip the section.
+  std::map<std::string, double> chaos;
+  for (const JsonValue& run : runs) {
+    const JsonValue* metrics = run.find("metrics");
+    if (!metrics) continue;
+    const JsonValue* counters = metrics->find("counters");
+    if (!counters || !counters->is_object()) continue;
+    for (const auto& [name, v] : counters->as_object()) {
+      if (!v.is_number()) continue;
+      if (name.rfind("fault.", 0) == 0 ||
+          name.rfind("controller.liveness.", 0) == 0) {
+        chaos[name] += v.as_number();
+      }
+    }
+  }
+  if (!chaos.empty()) {
+    std::printf("\nchaos (fault + liveness counters, summed over runs):\n");
+    for (const auto& [name, v] : chaos) {
+      std::printf("  %-36s %.0f\n", name.c_str(), v);
+    }
+  }
+
   const ProfileTotals profile = aggregate_profile(report);
   if (!profile.sections.empty()) {
     // Top-N by exclusive self-time: the tail sections are timer noise and
@@ -179,6 +210,7 @@ const char* layer_of(const std::string& hop) {
   if (hop.rfind("ap_", 0) == 0) return "ap_queue";
   if (hop.rfind("mac_", 0) == 0) return "mac";
   if (hop.rfind("switch_", 0) == 0) return "switch";
+  if (hop.rfind("fault_", 0) == 0) return "fault";
   return "?";
 }
 
@@ -229,9 +261,27 @@ struct SwitchWindow {
   std::int64_t from = -1;
   std::int64_t to = -1;
   std::int64_t gap_us = 0;
+  bool failover = false;  // liveness-driven (reason=ap_suspect) switch
   std::size_t stalled_packets = 0;
   double max_stall_us = 0.0;
 };
+
+struct FaultWindow {
+  double on_us = 0.0;
+  double off_us = -1.0;  // < 0: never cleared before the log ended
+  std::int64_t node = -1;
+  std::int64_t kind = -1;
+  std::int64_t peer = 0;
+  std::size_t drops = 0;  // fault_injected drop records inside the window
+};
+
+const char* fault_kind_name(std::int64_t kind) {
+  using wgtt::sim::FaultKind;
+  if (kind < 0 || kind > static_cast<std::int64_t>(FaultKind::kCsiGarbage)) {
+    return "?";
+  }
+  return wgtt::sim::to_string(static_cast<FaultKind>(kind));
+}
 
 std::int64_t extra_or(const FlightRec& r, const char* key,
                       std::int64_t fallback) {
@@ -344,6 +394,61 @@ int cmd_packets(const std::string& path, std::size_t waterfall_limit,
     }
   }
 
+  // --- fault windows -----------------------------------------------------
+  // Chaos runs emit uid-0 fault_on/fault_off markers.  Pair them per
+  // (node, kind, peer) and credit each window with the fault_injected drop
+  // records landing inside it; fault-free logs skip the section entirely.
+  std::vector<FaultWindow> faults;
+  for (const FlightRec* m : markers) {
+    if (m->hop == "fault_on") {
+      FaultWindow w;
+      w.on_us = m->t_us;
+      w.node = m->node;
+      w.kind = extra_or(*m, "kind", -1);
+      w.peer = extra_or(*m, "peer", 0);
+      faults.push_back(w);
+    } else if (m->hop == "fault_off") {
+      const std::int64_t kind = extra_or(*m, "kind", -1);
+      const std::int64_t peer = extra_or(*m, "peer", 0);
+      // Close the most recent still-open window of the same identity; the
+      // injector never overlaps identical windows, so this is unambiguous.
+      for (auto it = faults.rbegin(); it != faults.rend(); ++it) {
+        if (it->off_us < 0.0 && it->node == m->node && it->kind == kind &&
+            it->peer == peer) {
+          it->off_us = m->t_us;
+          break;
+        }
+      }
+    }
+  }
+  if (!faults.empty()) {
+    std::size_t fault_drops = 0;
+    for (const FlightRec& r : recs) {
+      if (r.uid == 0 || r.cause != "fault_injected") continue;
+      ++fault_drops;
+      for (FaultWindow& w : faults) {
+        if (r.t_us >= w.on_us && (w.off_us < 0.0 || r.t_us < w.off_us)) {
+          ++w.drops;  // earliest covering window claims the drop
+          break;
+        }
+      }
+    }
+    std::printf("\nfault windows: %zu (%zu fault_injected drop record(s)):\n",
+                faults.size(), fault_drops);
+    std::printf("%12s %12s %-14s %5s %5s %7s\n", "on_us", "off_us", "kind",
+                "node", "peer", "drops");
+    for (const FaultWindow& w : faults) {
+      char off[32];
+      if (w.off_us < 0.0) {
+        std::snprintf(off, sizeof(off), "%12s", "open");
+      } else {
+        std::snprintf(off, sizeof(off), "%12.3f", w.off_us);
+      }
+      std::printf("%12.3f %s %-14s %5" PRId64 " %5" PRId64 " %7zu\n", w.on_us,
+                  off, fault_kind_name(w.kind), w.node, w.peer, w.drops);
+    }
+  }
+
   // --- switch-gap attribution --------------------------------------------
   if (switches) {
     std::vector<SwitchWindow> windows;
@@ -356,6 +461,7 @@ int cmd_packets(const std::string& path, std::size_t waterfall_limit,
         w.client = client;
         w.from = extra_or(*m, "from", -1);
         w.to = extra_or(*m, "to", -1);
+        w.failover = extra_or(*m, "failover", 0) != 0;
         open[client] = w;
       } else if (m->hop == "switch_done") {
         auto it = open.find(client);
@@ -388,14 +494,15 @@ int cmd_packets(const std::string& path, std::size_t waterfall_limit,
     std::printf("\nswitches: %zu completed window(s)%s\n", windows.size(),
                 open.empty() ? "" : " (+unfinished)");
     if (!windows.empty()) {
-      std::printf("%12s %12s %7s %5s %4s %4s %9s %13s\n", "start_us",
-                  "done_us", "gap_us", "client", "from", "to", "stalled",
-                  "max_stall_us");
+      std::printf("%12s %12s %7s %5s %4s %4s %-10s %9s %13s\n", "start_us",
+                  "done_us", "gap_us", "client", "from", "to", "reason",
+                  "stalled", "max_stall_us");
       for (const SwitchWindow& w : windows) {
         std::printf("%12.3f %12.3f %7" PRId64 " %5" PRId64 " %4" PRId64
-                    " %4" PRId64 " %9zu %13.3f\n",
+                    " %4" PRId64 " %-10s %9zu %13.3f\n",
                     w.start_us, w.done_us, w.gap_us, w.client, w.from, w.to,
-                    w.stalled_packets, w.max_stall_us);
+                    w.failover ? "ap_suspect" : "esnr", w.stalled_packets,
+                    w.max_stall_us);
       }
     }
   }

@@ -23,10 +23,9 @@ ApQueueStack::pop_fresh() {
     }
     ++stale_dropped_;
     if (recorder_) {
-      recorder_->record(item->second->uid, sched_.now(), net::Hop::kApDrop,
-                        device_.id(),
-                        {{"client", client_}, {"index", item->first}},
-                        "stale");
+      recorder_->drop(item->second->uid, sched_.now(), net::Hop::kApDrop,
+                      device_.id(), net::DropCause::kStale,
+                      {{"client", client_}, {"index", item->first}});
     }
   }
   return std::nullopt;
@@ -79,14 +78,46 @@ std::uint32_t ApQueueStack::deactivate() {
   kernel_flushed_ += kernel_.size();
   if (recorder_) {
     for (const auto& [index, pkt] : kernel_) {
-      recorder_->record(pkt->uid, sched_.now(), net::Hop::kApDrop,
-                        device_.id(), {{"client", client_}, {"index", index}},
-                        "kernel_flush");
+      recorder_->drop(pkt->uid, sched_.now(), net::Hop::kApDrop, device_.id(),
+                      net::DropCause::kKernelFlush,
+                      {{"client", client_}, {"index", index}});
     }
   }
   kernel_.clear();
   // NIC queue is left alone: the hardware keeps draining it over the air.
   return k;
+}
+
+std::size_t ApQueueStack::purge(net::DropCause cause) {
+  std::size_t purged = 0;
+  // Kernel stage: record and drop in place.
+  for (const auto& [index, pkt] : kernel_) {
+    ++purged;
+    if (recorder_) {
+      recorder_->drop(pkt->uid, sched_.now(), net::Hop::kApDrop, device_.id(),
+                      cause, {{"client", client_}, {"index", index}});
+    }
+  }
+  kernel_.clear();
+  // Cyclic stage: drain through pop() so occupancy bookkeeping stays right.
+  while (auto item = cyclic_.pop()) {
+    ++purged;
+    if (recorder_) {
+      recorder_->drop(item->second->uid, sched_.now(), net::Hop::kApDrop,
+                      device_.id(), cause,
+                      {{"client", client_}, {"index", item->first}});
+    }
+  }
+  cyclic_.clear();
+  active_ = false;
+  purged_ += purged;
+  if (tracer_) {
+    tracer_->instant("core", "stack_purge", sched_.now(),
+                     static_cast<std::int64_t>(device_.id()),
+                     {{"client", static_cast<double>(client_)},
+                      {"purged", static_cast<double>(purged)}});
+  }
+  return purged;
 }
 
 std::uint32_t ApQueueStack::next_nic_index() const {

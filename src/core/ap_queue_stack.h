@@ -60,6 +60,12 @@ class ApQueueStack {
   /// of the first unsent packet (the ioctl result, to ship in start(c, k)).
   std::uint32_t deactivate();
 
+  /// Fault path (AP crash / controller-link partition): drop *everything*
+  /// still buffered — kernel and cyclic stages — recording each packet with
+  /// `cause`, and deactivate.  Unlike deactivate(), no other AP is assumed
+  /// to hold copies; the drops are real.  Returns the number purged.
+  std::size_t purge(net::DropCause cause);
+
   /// Keep lower stages fed; invoked by the device refill callback and after
   /// every insertion while active.
   void pump();
@@ -77,6 +83,7 @@ class ApQueueStack {
   const CyclicQueue& cyclic() const { return cyclic_; }
   std::uint64_t kernel_flushed() const { return kernel_flushed_; }
   std::uint64_t stale_dropped() const { return stale_dropped_; }
+  std::uint64_t purged() const { return purged_; }
 
  private:
   /// Pull one packet off the cyclic ring, skipping previous-lap leftovers.
@@ -91,6 +98,7 @@ class ApQueueStack {
   bool active_ = false;
   std::uint64_t kernel_flushed_ = 0;
   std::uint64_t stale_dropped_ = 0;
+  std::uint64_t purged_ = 0;
   // Instrumentation (null when the sim has no metrics/trace context).
   metrics::Histogram* m_backlog_ = nullptr;
   metrics::Counter* m_activations_ = nullptr;

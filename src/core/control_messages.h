@@ -24,8 +24,15 @@ struct StopMsg {
   static constexpr std::size_t kWireBytes = 24;
 };
 
+/// Sentinel `first_unsent_index`: the predecessor AP is dead, so no ioctl
+/// k exists — the new AP resumes from its own cyclic-queue head.  Used by
+/// the controller's liveness failover (which sends start directly, skipping
+/// stop).  Outside the 12-bit index space, so it can never collide.
+constexpr std::uint32_t kResumeHeadIndex = 0xFFFFFFFFu;
+
 /// AP1 -> AP2: begin transmitting to `client` from cyclic index `k`
-/// (§3.1.2 step 2).
+/// (§3.1.2 step 2).  On failover the controller originates this message
+/// itself with `first_unsent_index = kResumeHeadIndex` and `from_ap = 0`.
 struct StartMsg {
   net::NodeId client = 0;
   std::uint32_t first_unsent_index = 0;  // k
@@ -80,6 +87,14 @@ struct ActiveApMsg {
   /// queue stack in place (no start(c, k) will arrive).
   bool bootstrap = false;
   static constexpr std::size_t kWireBytes = 16;
+};
+
+/// AP -> controller: periodic liveness beacon.  Sent at the controller's
+/// heartbeat period (<= the CSI-report cadence) whenever the AP is up; the
+/// controller's liveness monitor marks an AP suspect after missing K.
+struct HeartbeatMsg {
+  net::NodeId ap = 0;
+  static constexpr std::size_t kWireBytes = 12;
 };
 
 /// Over-the-air management bodies (client association handshake).

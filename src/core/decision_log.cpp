@@ -24,6 +24,8 @@ const char* to_string(DecisionReason r) {
     case DecisionReason::kIncumbentBest: return "incumbent_best";
     case DecisionReason::kBelowMargin: return "below_margin";
     case DecisionReason::kChallengerAhead: return "challenger_ahead";
+    case DecisionReason::kApSuspect: return "ap_suspect";
+    case DecisionReason::kAllSuspect: return "all_suspect";
   }
   return "?";
 }
@@ -79,6 +81,22 @@ void DecisionLog::append(const DecisionRecord& rec) {
   s += "]}\n";
   ++entries_;
   if (rec.outcome == DecisionOutcome::kSwitch) ++switches_;
+}
+
+void DecisionLog::append_liveness(const LivenessRecord& rec) {
+  std::string& s = out_;
+  s += "{\"t_us\":";
+  s += trace::Tracer::format_ts(rec.t);
+  s += ",\"kind\":\"liveness\",\"ap\":";
+  s += std::to_string(rec.ap);
+  s += ",\"event\":\"";
+  s += rec.event;
+  s += "\",\"flaps\":";
+  s += std::to_string(rec.flaps);
+  s += ",\"quarantine_us\":";
+  s += trace::Tracer::format_ts(rec.quarantine);
+  s += "}\n";
+  ++liveness_entries_;
 }
 
 DecisionLog* DecisionLog::current() { return t_current_decision_log; }

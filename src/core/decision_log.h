@@ -39,7 +39,13 @@ enum class DecisionReason {
   kIncumbentBest,   // keep: the incumbent has the maximal median
   kBelowMargin,     // keep: challenger ahead but under switch_margin_db
   kChallengerAhead, // switch: challenger beats incumbent (+margin)
+  kApSuspect,       // switch: liveness failover off a dead/suspect AP
+  kAllSuspect,      // defer: every candidate AP is suspect/quarantined
 };
+
+/// One past the last DecisionReason value.  Keep in sync when adding a
+/// reason; the exhaustive-coverage unit test fails loudly if this lags.
+constexpr std::size_t kDecisionReasonCount = 9;
 
 const char* to_string(DecisionOutcome o);
 const char* to_string(DecisionReason r);
@@ -63,6 +69,18 @@ struct DecisionRecord {
   std::vector<DecisionCandidate> candidates;  // sorted by AP id
 };
 
+/// AP liveness lifecycle event (fault-tolerance extension).  Serialized as
+/// its own JSONL line with "kind":"liveness", so existing decision-record
+/// consumers that key on "client" skip them untouched.
+struct LivenessRecord {
+  Time t;
+  net::NodeId ap = 0;
+  /// "suspect" | "quarantined" | "reinstated"
+  const char* event = "";
+  std::uint32_t flaps = 0;    // suspect transitions seen for this AP so far
+  Time quarantine;            // backoff window (quarantined events only)
+};
+
 class DecisionLog {
  public:
   DecisionLog() = default;
@@ -72,7 +90,11 @@ class DecisionLog {
   /// Serialize `rec` as one JSONL line and append it.
   void append(const DecisionRecord& rec);
 
+  /// Serialize an AP liveness event as one JSONL line and append it.
+  void append_liveness(const LivenessRecord& rec);
+
   std::size_t entries() const { return entries_; }
+  std::size_t liveness_entries() const { return liveness_entries_; }
   std::uint64_t switches() const { return switches_; }
   /// The accumulated JSONL document (one '\n'-terminated object per line).
   const std::string& jsonl() const { return out_; }
@@ -84,6 +106,7 @@ class DecisionLog {
  private:
   std::string out_;
   std::size_t entries_ = 0;
+  std::size_t liveness_entries_ = 0;
   std::uint64_t switches_ = 0;  // records with outcome kSwitch
 };
 

@@ -31,6 +31,47 @@ WgttAp::WgttAp(sim::Scheduler& sched, net::Backhaul& backhaul,
   device_.on_management = [this](net::PacketPtr pkt, const mac::RxMeta& meta) {
     on_management(std::move(pkt), meta);
   };
+  // Fault wiring: only when this sim injects faults does the AP register a
+  // crash callback and start heartbeating (fault-free runs schedule nothing).
+  injector_ = net::FaultInjector::current();
+  if (injector_ != nullptr) {
+    injector_->on_ap_fault(cfg_.id, [this](bool down) { on_fault(down); });
+    sched_.schedule(cfg_.heartbeat_period, [this]() { heartbeat_tick(); });
+  }
+}
+
+void WgttAp::on_fault(bool down) {
+  down_ = down;
+  device_.set_down(down);
+  if (down) {
+    ++stats_.fault_crashes;
+    // Crash semantics: every queued packet dies with the AP — cyclic and
+    // kernel queues both, each recorded with the fault_injected drop cause.
+    for (auto& [client, st] : stacks_) {
+      (void)client;
+      stats_.crash_purged_packets += st->purge(net::DropCause::kFaultInjected);
+    }
+    WGTT_LOG(kInfo, "ap", "ap " << cfg_.id << " crashed");
+  } else {
+    // Recovery: associations survive (sta_info is replicated state), queues
+    // restart empty; the controller's fan-out refills them.
+    WGTT_LOG(kInfo, "ap", "ap " << cfg_.id << " recovered");
+  }
+}
+
+void WgttAp::heartbeat_tick() {
+  if (!down_) {
+    ++stats_.heartbeats_sent;
+    net::Packet p;
+    p.type = net::PacketType::kHeartbeat;
+    p.size_bytes = HeartbeatMsg::kWireBytes;
+    HeartbeatMsg msg;
+    msg.ap = cfg_.id;
+    p.payload = msg;
+    send_to(cfg_.controller, std::move(p));
+  }
+  // Keep ticking while down so heartbeats resume the instant the AP does.
+  sched_.schedule(cfg_.heartbeat_period, [this]() { heartbeat_tick(); });
 }
 
 Time WgttAp::control_delay() {
@@ -76,6 +117,16 @@ void WgttAp::send_to(net::NodeId dst, net::Packet fields) {
 
 void WgttAp::on_backhaul_frame(const net::TunneledPacket& frame) {
   net::PacketPtr inner = net::decapsulate(frame);
+  if (down_) {
+    // A crashed AP consumes nothing: data dies (with a drop record for the
+    // autopsy), control vanishes — the sender's timeout machinery copes.
+    if (recorder_ && net::flight_recorded(inner->type)) {
+      recorder_->drop(inner->uid, sched_.now(), net::Hop::kApDrop, cfg_.id,
+                      net::DropCause::kFaultInjected,
+                      {{"client", inner->dst}, {"index", inner->index}});
+    }
+    return;
+  }
   switch (inner->type) {
     case net::PacketType::kData:
       handle_downlink_data(std::move(inner));
@@ -120,9 +171,9 @@ void WgttAp::handle_downlink_data(net::PacketPtr pkt) {
     // Shouldn't normally happen: the controller only forwards for
     // associated clients.  Drop rather than queue for a stranger.
     if (recorder_) {
-      recorder_->record(pkt->uid, sched_.now(), net::Hop::kApDrop, cfg_.id,
-                        {{"client", client}, {"index", pkt->index}},
-                        "unknown_client");
+      recorder_->drop(pkt->uid, sched_.now(), net::Hop::kApDrop, cfg_.id,
+                      net::DropCause::kUnknownClient,
+                      {{"client", client}, {"index", pkt->index}});
     }
     return;
   }
@@ -166,7 +217,13 @@ void WgttAp::handle_stop(const StopMsg& msg) {
 void WgttAp::handle_start(const StartMsg& msg) {
   ++stats_.starts_handled;
   active_ap_[msg.client] = cfg_.id;
-  stack(msg.client).activate(msg.first_unsent_index);
+  ApQueueStack& st = stack(msg.client);
+  // Failover start: the predecessor AP is dead, so no first-unsent index
+  // exists — resume from our own cyclic head (everything buffered, unsent).
+  const std::uint32_t k = msg.first_unsent_index == kResumeHeadIndex
+                              ? st.cyclic().head()
+                              : msg.first_unsent_index;
+  st.activate(k);
 
   net::Packet p;
   p.type = net::PacketType::kSwitchAck;
@@ -220,13 +277,35 @@ void WgttAp::on_frame_heard(const mac::RxMeta& meta) {
   }
   // Every decoded client frame yields a CSI report to the controller.
   ++stats_.csi_reports_sent;
+  phy::Csi csi = meta.csi;
+  if (injector_ != nullptr) {
+    // CSI extraction faults corrupt the *reporting* path (the firmware-side
+    // tool wedging), not the radio itself.
+    switch (injector_->csi_mode(cfg_.id)) {
+      case net::CsiFaultMode::kFreeze: {
+        auto it = last_csi_.find(meta.transmitter);
+        if (it != last_csi_.end()) csi = it->second;
+        break;
+      }
+      case net::CsiFaultMode::kGarbage: {
+        Rng& rng = injector_->rng();
+        for (double& snr : csi.subcarrier_snr_db) {
+          snr = rng.uniform(-10.0, 40.0);
+        }
+        break;
+      }
+      case net::CsiFaultMode::kNormal:
+        last_csi_[meta.transmitter] = csi;
+        break;
+    }
+  }
   net::Packet p;
   p.type = net::PacketType::kCsiReport;
   p.size_bytes = CsiReportMsg::kWireBytes;
   CsiReportMsg msg;
   msg.ap = cfg_.id;
   msg.client = meta.transmitter;
-  msg.csi = meta.csi;
+  msg.csi = csi;
   p.payload = msg;
   send_to(cfg_.controller, std::move(p));
 }

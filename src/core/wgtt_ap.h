@@ -25,7 +25,9 @@
 #include "core/control_messages.h"
 #include "mac/wifi_device.h"
 #include "net/backhaul.h"
+#include "net/fault_injector.h"
 #include "net/flight_recorder.h"
+#include "phy/csi.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
@@ -58,6 +60,10 @@ struct WgttApConfig {
   /// Feed the controller-grade ESNR of every heard client frame into this
   /// AP's rate controller (only meaningful with EsnrRateControl radios).
   bool feed_esnr_to_rate_control = false;
+  /// Liveness heartbeat cadence (mirrors ControllerConfig::heartbeat_period;
+  /// the network wiring keeps the two in sync).  Heartbeats are only sent
+  /// when a net::FaultInjector is installed.
+  Time heartbeat_period = Time::ms(10);
 };
 
 struct WgttApStats {
@@ -70,6 +76,10 @@ struct WgttApStats {
   std::uint64_t stops_handled = 0;
   std::uint64_t starts_handled = 0;
   std::uint64_t kernel_packets_flushed = 0;
+  // Fault tolerance (all zero without an installed FaultInjector):
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t fault_crashes = 0;        // crash onsets seen
+  std::uint64_t crash_purged_packets = 0; // queued packets lost to crashes
 };
 
 class WgttAp {
@@ -84,6 +94,8 @@ class WgttAp {
 
   /// True if this AP currently transmits to `client`.
   bool active_for(net::NodeId client) const;
+  /// True while an injected ap_crash fault holds this AP down.
+  bool down() const { return down_; }
   /// Queue-stack introspection (microbenchmarks / tests).
   const ApQueueStack* stack_for(net::NodeId client) const;
 
@@ -97,6 +109,8 @@ class WgttAp {
   void handle_ba_forward(const BaForwardMsg& msg);
 
   void on_frame_heard(const mac::RxMeta& meta);
+  void on_fault(bool down);
+  void heartbeat_tick();
   void on_uplink_deliver(net::PacketPtr pkt, const mac::RxMeta& meta);
   void on_overheard_block_ack(const mac::BlockAckInfo& ba,
                               const mac::RxMeta& meta);
@@ -127,6 +141,11 @@ class WgttAp {
   std::uint16_t next_aid_ = 1;
   WgttApStats stats_;
   net::FlightRecorder* recorder_ = nullptr;
+  // Fault wiring (null/false/empty unless a FaultInjector is installed).
+  net::FaultInjector* injector_ = nullptr;
+  bool down_ = false;
+  /// Last genuine CSI per client, replayed while a csi_freeze fault holds.
+  std::map<net::NodeId, phy::Csi> last_csi_;
 };
 
 }  // namespace wgtt::core

@@ -34,6 +34,25 @@ WgttController::WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
   });
   // Periodic AP-selection pass.
   sched_.schedule(cfg_.selection_period, [this]() { run_selection(); });
+
+  // Liveness monitor: armed only when the sim injects faults, so fault-free
+  // runs schedule no extra events and create no extra metrics.
+  injector_ = net::FaultInjector::current();
+  if (injector_ != nullptr) {
+    for (net::NodeId ap : ap_ids_) {
+      ApHealth h;
+      h.last_heartbeat = sched_.now();
+      ap_health_.emplace(ap, h);
+    }
+    if (auto* reg = metrics::MetricsRegistry::current()) {
+      m_suspects_ = &reg->counter("controller.liveness.suspects");
+      m_failovers_ = &reg->counter("controller.liveness.failovers");
+      m_quarantines_ = &reg->counter("controller.liveness.quarantines");
+      m_live_aps_ = &reg->gauge("controller.liveness.live_aps");
+      m_live_aps_->set(static_cast<double>(ap_ids_.size()));
+    }
+    sched_.schedule(cfg_.heartbeat_period, [this]() { liveness_tick(); });
+  }
 }
 
 void WgttController::send_to(net::NodeId dst, net::Packet fields) {
@@ -88,6 +107,11 @@ void WgttController::on_backhaul_frame(const net::TunneledPacket& frame) {
         handle_client_joined(*msg);
       }
       return;
+    case net::PacketType::kHeartbeat:
+      if (const auto* msg = net::payload_as<HeartbeatMsg>(*inner)) {
+        handle_heartbeat(*msg);
+      }
+      return;
     case net::PacketType::kData:
     case net::PacketType::kTcpAck:
       handle_uplink_data(std::move(inner), frame.outer_src);
@@ -113,6 +137,18 @@ void WgttController::handle_csi_report(const CsiReportMsg& msg) {
   const double esnr = phy::selection_esnr_db(msg.csi);
   st.selector->add_reading(msg.ap, sched_.now(), esnr);
   st.selector->prune(sched_.now());
+  if (injector_ != nullptr) {
+    // Frozen-CSI detector: a faulty AP replaying its last report produces a
+    // run of bit-identical ESNRs; real fading never holds a double exactly
+    // constant across reports.
+    CsiRepeat& r = st.csi_repeat[msg.ap];
+    if (r.repeats > 0 && esnr == r.last_esnr) {
+      ++r.repeats;
+    } else {
+      r.last_esnr = esnr;
+      r.repeats = 1;
+    }
+  }
 }
 
 void WgttController::handle_client_joined(const ClientJoinedMsg& msg) {
@@ -129,11 +165,10 @@ void WgttController::handle_uplink_data(net::PacketPtr pkt,
     ++stats_.uplink_duplicates;
     if (m_dedup_hits_) m_dedup_hits_->add();
     if (recorder_) {
-      recorder_->record(pkt->uid, sched_.now(), net::Hop::kDedupSuppress,
-                        net::kControllerId,
-                        {{"ap", from_ap},
-                         {"ip_id", pkt->ip_id}},
-                        "duplicate");
+      recorder_->drop(pkt->uid, sched_.now(), net::Hop::kDedupSuppress,
+                      net::kControllerId, net::DropCause::kDuplicate,
+                      {{"ap", from_ap},
+                       {"ip_id", pkt->ip_id}});
     }
     return;
   }
@@ -246,6 +281,15 @@ void WgttController::run_selection() {
       }
       continue;
     }
+    // A dead incumbent cannot complete the stop handshake: route stranded
+    // clients through the failover path (bypasses hysteresis, starts the new
+    // AP directly) instead of racing the liveness tick with ordinary
+    // switches whose stop(c) would be sent into the void.
+    if (injector_ != nullptr && !ap_live(st.active_ap)) {
+      st.selector->prune(now);
+      attempt_failover(client, st, now);
+      continue;
+    }
     if (now - st.last_switch < cfg_.switch_hysteresis) {
       if (decision_log_) {
         log_decision(client, st, now, DecisionOutcome::kDefer,
@@ -256,7 +300,11 @@ void WgttController::run_selection() {
     }
     st.selector->prune(now);
 
-    const net::NodeId best = st.selector->select(now);
+    // With faults possible, exclude suspect/quarantined APs and frozen-CSI
+    // candidates; without an injector this is exactly the paper's argmax.
+    const net::NodeId best = injector_ != nullptr
+                                 ? select_live(st, client, now)
+                                 : st.selector->select(now);
     if (best == 0) {
       if (decision_log_) {
         log_decision(client, st, now, DecisionOutcome::kKeep,
@@ -329,9 +377,22 @@ void WgttController::send_stop(net::NodeId client, ClientState& st) {
   st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {
     auto it = clients_.find(client);
     if (it == clients_.end() || !it->second.switch_in_flight) return;
+    ClientState& cs = it->second;
+    if (injector_ != nullptr && cs.stop_retx >= cfg_.max_control_retries) {
+      // Bounded retry: the stop target (or the start relay behind it) is not
+      // answering — abandon instead of retransmitting into a dead AP forever.
+      // The liveness monitor will fail the client over once the AP is marked
+      // suspect.
+      cs.switch_in_flight = false;
+      ++stats_.abandoned_switches;
+      WGTT_LOG(kWarn, "controller",
+               "abandoning switch for client " << client << " after "
+                                               << cs.stop_retx << " retries");
+      return;
+    }
     ++stats_.stop_retransmissions;
-    ++it->second.stop_retx;
-    send_stop(client, it->second);
+    ++cs.stop_retx;
+    send_stop(client, cs);
   });
 }
 
@@ -377,9 +438,233 @@ void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
 
   st.active_ap = msg.new_ap;
   st.switch_in_flight = false;
+  st.failover_in_flight = false;
   st.last_switch = sched_.now();
   broadcast_active(msg.client, msg.new_ap, /*bootstrap=*/false);
   if (on_switch) on_switch(rec);
+}
+
+// ---------------------------------------------------------------------------
+// Liveness monitoring + failover (active only with a FaultInjector installed)
+// ---------------------------------------------------------------------------
+
+void WgttController::handle_heartbeat(const HeartbeatMsg& msg) {
+  ++stats_.heartbeats_received;
+  auto it = ap_health_.find(msg.ap);
+  if (it == ap_health_.end()) return;
+  ApHealth& h = it->second;
+  if (h.state == ApHealth::State::kSuspect) {
+    // The AP came back after being declared suspect: it flapped.  Quarantine
+    // it with exponential backoff so an unstable AP cannot keep re-capturing
+    // clients the moment it blips up.
+    h.state = ApHealth::State::kQuarantine;
+    const Time window = quarantine_for(h.flaps);
+    h.quarantined_until = sched_.now() + window;
+    ++stats_.liveness_quarantines;
+    if (m_quarantines_) m_quarantines_->add();
+    log_liveness(msg.ap, "quarantined", h.flaps, window);
+  }
+  h.last_heartbeat = sched_.now();
+  h.heard = true;
+}
+
+bool WgttController::ap_live(net::NodeId ap) const {
+  auto it = ap_health_.find(ap);
+  return it == ap_health_.end() || it->second.state == ApHealth::State::kLive;
+}
+
+bool WgttController::csi_frozen(const ClientState& st, net::NodeId ap) const {
+  auto it = st.csi_repeat.find(ap);
+  return it != st.csi_repeat.end() &&
+         it->second.repeats >= cfg_.stale_csi_repeats;
+}
+
+Time WgttController::quarantine_for(std::uint32_t flaps) const {
+  // base * 2^(flaps-1), saturating at quarantine_cap (ns arithmetic; the
+  // shift is bounded by the early exit, so no overflow before the cap).
+  std::int64_t ns = cfg_.quarantine_base.to_ns();
+  const std::int64_t cap = cfg_.quarantine_cap.to_ns();
+  for (std::uint32_t i = 1; i < flaps && ns < cap; ++i) ns <<= 1;
+  return Time::ns(std::min(ns, cap));
+}
+
+net::NodeId WgttController::select_live(const ClientState& st,
+                                        net::NodeId client, Time now) {
+  (void)client;
+  net::NodeId best = 0;
+  double best_median = -1e300;
+  for (net::NodeId ap : st.selector->aps_in_range(now)) {
+    const auto m = st.selector->median(ap, now);
+    if (!m) continue;
+    if (!ap_live(ap)) continue;
+    if (csi_frozen(st, ap)) {
+      ++stats_.stale_csi_exclusions;
+      continue;
+    }
+    if (*m > best_median) {
+      best_median = *m;
+      best = ap;
+    }
+  }
+  return best;
+}
+
+void WgttController::liveness_tick() {
+  const Time now = sched_.now();
+  const Time deadline = Time::ns(cfg_.heartbeat_period.to_ns() *
+                                 static_cast<std::int64_t>(cfg_.liveness_misses));
+  for (auto& [ap, h] : ap_health_) {
+    switch (h.state) {
+      case ApHealth::State::kLive:
+        if (h.heard && now - h.last_heartbeat > deadline) {
+          h.state = ApHealth::State::kSuspect;
+          ++h.flaps;
+          ++stats_.liveness_suspects;
+          if (m_suspects_) m_suspects_->add();
+          log_liveness(ap, "suspect", h.flaps, Time::zero());
+          if (tracer_) {
+            tracer_->instant("core", "ap_suspect", now,
+                             static_cast<std::int64_t>(net::kControllerId),
+                             {{"ap", static_cast<double>(ap)},
+                              {"flaps", static_cast<double>(h.flaps)}});
+          }
+        }
+        break;
+      case ApHealth::State::kSuspect:
+        break;  // leaves via a heartbeat (-> quarantine)
+      case ApHealth::State::kQuarantine:
+        if (now >= h.quarantined_until) {
+          h.state = ApHealth::State::kLive;
+          // Grace: grant the full miss budget before re-suspecting.
+          h.last_heartbeat = now;
+          log_liveness(ap, "reinstated", h.flaps, Time::zero());
+        }
+        break;
+    }
+  }
+  if (m_live_aps_) {
+    std::size_t live = 0;
+    for (const auto& [ap, h] : ap_health_) {
+      if (h.state == ApHealth::State::kLive) ++live;
+    }
+    m_live_aps_->set(static_cast<double>(live));
+  }
+  // Stranded clients: the serving AP went suspect/quarantined mid-dwell.
+  // Fail over immediately, bypassing hysteresis — and keep retrying every
+  // tick while no live candidate exists.
+  for (auto& [client, st] : clients_) {
+    if (st.active_ap != 0 && !st.switch_in_flight && st.selector &&
+        !ap_live(st.active_ap)) {
+      attempt_failover(client, st, now);
+    }
+  }
+  sched_.schedule(cfg_.heartbeat_period, [this]() { liveness_tick(); });
+}
+
+void WgttController::attempt_failover(net::NodeId client, ClientState& st,
+                                      Time now) {
+  net::NodeId target = select_live(st, client, now);
+  if (target == 0 || target == st.active_ap) {
+    // No live AP has an eligible median: a dwell on a dead AP silences the
+    // client's uplink, so every ESNR window goes stale within ~W of the
+    // crash.  Last resort: the live AP with the best last-known reading for
+    // this client — a stale guess beats certain starvation on a dead AP.
+    target = 0;
+    double best_esnr = -1e300;
+    for (const auto& [ap, rep] : st.csi_repeat) {
+      if (ap == st.active_ap || !ap_live(ap) || csi_frozen(st, ap)) continue;
+      if (rep.last_esnr > best_esnr) {
+        best_esnr = rep.last_esnr;
+        target = ap;
+      }
+    }
+  }
+  if (target == 0 || target == st.active_ap) {
+    if (decision_log_) {
+      log_decision(client, st, now, DecisionOutcome::kDefer,
+                   DecisionReason::kAllSuspect, /*chosen=*/0, Time::zero());
+    }
+    return;
+  }
+  if (decision_log_) {
+    log_decision(client, st, now, DecisionOutcome::kSwitch,
+                 DecisionReason::kApSuspect, target, Time::zero());
+  }
+  ++stats_.liveness_failovers;
+  if (m_failovers_) m_failovers_->add();
+  ++stats_.switches_initiated;
+  st.switch_in_flight = true;
+  st.failover_in_flight = true;
+  st.switch_id = next_switch_id_++;
+  st.switch_target = target;
+  st.switch_started = now;
+  st.stop_retx = 0;
+  if (tracer_) {
+    tracer_->instant("core", "switch_start", now,
+                     static_cast<std::int64_t>(net::kControllerId),
+                     {{"client", static_cast<double>(client)},
+                      {"from", static_cast<double>(st.active_ap)},
+                      {"to", static_cast<double>(target)}});
+  }
+  if (recorder_) {
+    recorder_->marker(now, net::Hop::kSwitchStart, net::kControllerId,
+                      {{"client", client},
+                       {"from", st.active_ap},
+                       {"to", target},
+                       {"failover", 1}});
+  }
+  send_failover_start(client, st);
+}
+
+void WgttController::send_failover_start(net::NodeId client, ClientState& st) {
+  // The predecessor AP is presumed dead: skip stop(c) and originate the
+  // start ourselves with the resume-from-head sentinel (§3.1.2 adapted).
+  net::Packet p;
+  p.type = net::PacketType::kStart;
+  p.size_bytes = StartMsg::kWireBytes;
+  StartMsg msg;
+  msg.client = client;
+  msg.first_unsent_index = kResumeHeadIndex;
+  msg.switch_id = st.switch_id;
+  msg.from_ap = 0;
+  p.payload = msg;
+  send_to(st.switch_target, std::move(p));
+
+  st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {
+    auto it = clients_.find(client);
+    if (it == clients_.end() || !it->second.switch_in_flight) return;
+    ClientState& cs = it->second;
+    if (cs.stop_retx >= cfg_.max_control_retries) {
+      // The failover target is unreachable too.  Clear the FSM so the next
+      // liveness tick can re-select (possibly a different AP).
+      cs.switch_in_flight = false;
+      cs.failover_in_flight = false;
+      ++stats_.abandoned_switches;
+      WGTT_LOG(kWarn, "controller",
+               "abandoning failover for client " << client << " after "
+                                                 << cs.stop_retx
+                                                 << " retries");
+      return;
+    }
+    ++stats_.stop_retransmissions;
+    ++cs.stop_retx;
+    send_failover_start(client, cs);
+  });
+}
+
+void WgttController::log_liveness(net::NodeId ap, const char* event,
+                                  std::uint32_t flaps, Time quarantine) {
+  WGTT_LOG(kInfo, "liveness",
+           "ap=" << ap << " " << event << " flaps=" << flaps);
+  if (decision_log_) {
+    LivenessRecord rec;
+    rec.t = sched_.now();
+    rec.ap = ap;
+    rec.event = event;
+    rec.flaps = flaps;
+    rec.quarantine = quarantine;
+    decision_log_->append_liveness(rec);
+  }
 }
 
 void WgttController::broadcast_active(net::NodeId client, net::NodeId ap,

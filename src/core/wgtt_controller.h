@@ -27,6 +27,7 @@
 #include "core/decision_log.h"
 #include "core/dedup.h"
 #include "net/backhaul.h"
+#include "net/fault_injector.h"
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
@@ -53,6 +54,24 @@ struct ControllerConfig {
   /// fanning out to every in-range AP — removes the pre-placed backlog the
   /// start(c, k) handover depends on.
   bool fanout_active_only = false;
+
+  // -- fault tolerance (armed only when a net::FaultInjector is installed;
+  //    fault-free runs never evaluate any of these) ------------------------
+  /// AP heartbeat cadence; must be <= the CSI report cadence so liveness
+  /// reacts no slower than selection data goes stale.
+  Time heartbeat_period = Time::ms(10);
+  /// Consecutive missed heartbeats before an AP is marked suspect.
+  std::size_t liveness_misses = 3;
+  /// Quarantine backoff for a flapping AP: base * 2^(flaps-1), capped.
+  Time quarantine_base = Time::ms(200);
+  Time quarantine_cap = Time::sec(5);
+  /// Bounded control-message retries (stop / failover start): after this
+  /// many retransmissions the switch is abandoned instead of retrying
+  /// forever into a dead AP.
+  std::size_t max_control_retries = 4;
+  /// Consecutive byte-identical ESNR readings from one (client, AP) pair
+  /// before the AP's CSI is considered frozen and excluded from selection.
+  std::size_t stale_csi_repeats = 8;
 };
 
 struct SwitchRecord {
@@ -74,6 +93,13 @@ struct ControllerStats {
   std::uint64_t switches_completed = 0;
   std::uint64_t stop_retransmissions = 0;
   SampleSet switch_latency_ms;           // stop sent -> ack received
+  // Fault tolerance (all zero without an installed FaultInjector):
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t liveness_suspects = 0;     // live -> suspect transitions
+  std::uint64_t liveness_failovers = 0;    // switches initiated off dead APs
+  std::uint64_t liveness_quarantines = 0;  // flapping APs put in backoff
+  std::uint64_t abandoned_switches = 0;    // control retries exhausted
+  std::uint64_t stale_csi_exclusions = 0;  // frozen-CSI selection vetoes
 };
 
 class WgttController {
@@ -104,6 +130,12 @@ class WgttController {
   const ControllerConfig& config() const { return cfg_; }
 
  private:
+  /// Per-(client, AP) frozen-CSI detector state (stale-CSI defense).
+  struct CsiRepeat {
+    double last_esnr = 0.0;
+    std::size_t repeats = 0;
+  };
+
   struct ClientState {
     net::NodeId active_ap = 0;
     std::unique_ptr<MedianEsnrSelector> selector;  // per-client windows
@@ -116,6 +148,19 @@ class WgttController {
     Time switch_started;
     unsigned stop_retx = 0;
     sim::EventId retx_event;
+    bool failover_in_flight = false;  // current switch is a liveness failover
+    std::map<net::NodeId, CsiRepeat> csi_repeat;  // only fed when injector on
+  };
+
+  /// Liveness monitor state per AP (fault tolerance; only maintained when a
+  /// FaultInjector is installed).
+  struct ApHealth {
+    enum class State { kLive, kSuspect, kQuarantine };
+    State state = State::kLive;
+    Time last_heartbeat = Time::zero();
+    bool heard = false;            // at least one heartbeat ever received
+    std::uint32_t flaps = 0;       // suspect transitions (backoff exponent)
+    Time quarantined_until = Time::zero();
   };
 
   void on_backhaul_frame(const net::TunneledPacket& frame);
@@ -123,6 +168,20 @@ class WgttController {
   void handle_switch_ack(const SwitchAckMsg& msg);
   void handle_client_joined(const ClientJoinedMsg& msg);
   void handle_uplink_data(net::PacketPtr pkt, net::NodeId from_ap);
+  void handle_heartbeat(const HeartbeatMsg& msg);
+
+  // -- liveness / failover (no-ops unless a FaultInjector is installed) ----
+  void liveness_tick();
+  bool ap_live(net::NodeId ap) const;
+  /// Selection with degraded candidates excluded: suspect/quarantined APs
+  /// and APs whose CSI for this client looks frozen.
+  net::NodeId select_live(const ClientState& st, net::NodeId client, Time now);
+  bool csi_frozen(const ClientState& st, net::NodeId ap) const;
+  void attempt_failover(net::NodeId client, ClientState& st, Time now);
+  void send_failover_start(net::NodeId client, ClientState& st);
+  Time quarantine_for(std::uint32_t flaps) const;
+  void log_liveness(net::NodeId ap, const char* event, std::uint32_t flaps,
+                    Time quarantine);
 
   void run_selection();
   void log_decision(net::NodeId client, const ClientState& st, Time now,
@@ -144,10 +203,20 @@ class WgttController {
   std::uint32_t next_switch_id_ = 1;
   ControllerStats stats_;
   std::vector<SwitchRecord> switch_log_;
+  // Liveness monitor (populated only when a FaultInjector is installed;
+  // empty otherwise, so fault-free runs never touch it).
+  std::map<net::NodeId, ApHealth> ap_health_;
+  net::FaultInjector* injector_ = nullptr;
   // Instrumentation (null when the sim has no metrics/trace context).
   metrics::Counter* m_switches_ = nullptr;
   metrics::Counter* m_dedup_hits_ = nullptr;
   metrics::Histogram* m_switch_latency_ms_ = nullptr;
+  // Liveness instruments (created only when a FaultInjector is installed,
+  // keeping the fault-free metrics snapshot byte-identical).
+  metrics::Counter* m_suspects_ = nullptr;
+  metrics::Counter* m_failovers_ = nullptr;
+  metrics::Counter* m_quarantines_ = nullptr;
+  metrics::Gauge* m_live_aps_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   DecisionLog* decision_log_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;

@@ -146,16 +146,15 @@ bool WifiDevice::has_room(net::NodeId peer) const {
   return it->second.queue.size() < cfg_.hw_queue_limit;
 }
 
-std::size_t WifiDevice::flush_queue(net::NodeId peer) {
+std::size_t WifiDevice::flush_queue(net::NodeId peer, net::DropCause cause) {
   auto it = peers_.find(peer);
   if (it == peers_.end()) return 0;
   const std::size_t n = it->second.queue.size();
   if (recorder_) {
     for (const Mpdu& m : it->second.queue) {
       if (!net::flight_recorded(m.pkt->type)) continue;
-      recorder_->record(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacDrop,
-                        self_, {{"peer", peer}, {"seq", m.seq}},
-                        "handover_flush");
+      recorder_->drop(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacDrop,
+                      self_, cause, {{"peer", peer}, {"seq", m.seq}});
     }
   }
   it->second.queue.clear();
@@ -163,6 +162,25 @@ std::size_t WifiDevice::flush_queue(net::NodeId peer) {
     it->second.quench_pending = true;
   }
   return n;
+}
+
+void WifiDevice::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (!down) {
+    // Recovery: restart transmission if anything queued while we were dark
+    // (management frames survive the crash flush).
+    maybe_start_tx();
+    return;
+  }
+  // Crash: everything still queued is lost with the radio.  The in-flight
+  // exchange (if any) is quenched via the flush, so its unacked MPDUs are
+  // dropped rather than re-queued when it resolves.
+  for (auto& [peer, st] : peers_) {
+    if (!st.queue.empty() || (in_flight_ && in_flight_->peer == peer)) {
+      flush_queue(peer, net::DropCause::kFaultInjected);
+    }
+  }
 }
 
 void WifiDevice::set_refill_handler(net::NodeId peer,
@@ -185,7 +203,7 @@ void WifiDevice::update_peer_esnr(net::NodeId peer, double esnr_db,
 }
 
 void WifiDevice::maybe_start_tx() {
-  if (in_flight_ || tx_armed_ || mgmt_in_flight_) return;
+  if (down_ || in_flight_ || tx_armed_ || mgmt_in_flight_) return;
   if (!mgmt_queue_.empty()) {
     start_mgmt_tx();
     return;
@@ -606,12 +624,13 @@ void WifiDevice::finish_exchange_with_ba(PendingExchange ex) {
     if (quench || ++m.retries > cfg_.retry_limit) {
       ++stats_.mpdus_dropped;
       if (recorder_ && net::flight_recorded(m.pkt->type)) {
-        recorder_->record(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacDrop,
-                          self_,
-                          {{"peer", ex.peer},
-                           {"seq", m.seq},
-                           {"retries", m.retries}},
-                          quench ? "quench" : "retry_limit");
+        recorder_->drop(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacDrop,
+                        self_,
+                        quench ? net::DropCause::kQuench
+                               : net::DropCause::kRetryLimit,
+                        {{"peer", ex.peer},
+                         {"seq", m.seq},
+                         {"retries", m.retries}});
       }
       if (on_mpdu_dropped) on_mpdu_dropped(ex.peer, m.pkt);
       continue;

@@ -141,8 +141,13 @@ class WifiDevice {
   /// Retune to another channel; the radio is deaf for `retune_pause`.
   void set_channel(unsigned ch, Time retune_pause = Time::ms(3));
   /// True if the radio can decode a frame whose payload lands at `t`
-  /// (same-channel gating is the caller's job; this covers retuning).
-  bool can_receive(Time t) const { return t >= retuning_until_; }
+  /// (same-channel gating is the caller's job; this covers retuning and a
+  /// fault-injected crash).
+  bool can_receive(Time t) const { return !down_ && t >= retuning_until_; }
+  /// Fault injection: a crashed radio neither transmits nor receives.  Going
+  /// down flushes every per-peer queue with the fault cause.
+  void set_down(bool down);
+  bool down() const { return down_; }
   bool monitor_enabled() const { return monitor_enabled_; }
   /// The paper disables the monitor interface on the currently-associated
   /// AP (its AP-mode interface already sees the client's frames).
@@ -175,7 +180,10 @@ class WifiDevice {
   std::size_t queue_depth(net::NodeId peer) const;
   bool has_room(net::NodeId peer) const;
   /// Drop all *queued* (not in-flight) MPDUs for `peer`; returns the count.
-  std::size_t flush_queue(net::NodeId peer);
+  /// `cause` labels the flight-recorder drop records (handover flush by
+  /// default; fault_injected when a crash empties the radio).
+  std::size_t flush_queue(net::NodeId peer,
+                          net::DropCause cause = net::DropCause::kHandoverFlush);
   /// Callback invoked whenever the hardware queue for `peer` has room —
   /// upper queue stages use it to keep the NIC fed (pull model).
   void set_refill_handler(net::NodeId peer, std::function<void()> fn);
@@ -261,6 +269,7 @@ class WifiDevice {
   unsigned cw_;
   net::NodeId last_served_peer_ = 0;  // round-robin cursor
   Time retuning_until_ = Time::zero();
+  bool down_ = false;  // fault-injected crash: radio silent both ways
   net::NodeId keepalive_peer_ = 0;
   std::deque<MgmtTx> mgmt_queue_;
   bool mgmt_in_flight_ = false;

@@ -12,6 +12,7 @@ Backhaul::Backhaul(sim::Scheduler& sched, BackhaulConfig cfg, Rng rng)
     m_bytes_ = &reg->counter("net.backhaul_bytes");
   }
   recorder_ = FlightRecorder::current();
+  injector_ = FaultInjector::current();
 }
 
 void Backhaul::attach(NodeId node, DeliverFn on_receive) {
@@ -34,25 +35,41 @@ void Backhaul::send(TunneledPacket frame) {
   auto it = nodes_.find(frame.outer_dst);
   // Note the evaluation order matches the original short-circuit: the loss
   // coin is only tossed for attached destinations (RNG stream unchanged).
-  const char* drop_cause = nullptr;
+  bool dropped = false;
+  DropCause drop_cause = DropCause::kUnattached;
   if (it == nodes_.end()) {
-    drop_cause = "unattached";
+    dropped = true;
+    drop_cause = DropCause::kUnattached;
   } else if (cfg_.loss_rate > 0.0 && rng_.bernoulli(cfg_.loss_rate)) {
-    drop_cause = "loss";
+    dropped = true;
+    drop_cause = DropCause::kLoss;
   }
-  if (drop_cause != nullptr) {
+  // Injected link faults come last so they never perturb the loss-coin
+  // stream, and their coins come from the injector's own RNG.
+  LinkImpairment fault;
+  if (!dropped && injector_ != nullptr) {
+    fault = injector_->link(frame.outer_src, frame.outer_dst);
+    if (fault.blocked ||
+        (fault.drop_rate > 0.0 && injector_->coin(fault.drop_rate))) {
+      dropped = true;
+      drop_cause = DropCause::kFaultInjected;
+    }
+  }
+  if (dropped) {
     ++frames_dropped_;
     if (rec) {
-      recorder_->record(frame.inner->uid, sched_.now(), Hop::kBackhaulDrop,
-                        frame.outer_src, {{"dst", frame.outer_dst}},
-                        drop_cause);
+      recorder_->drop(frame.inner->uid, sched_.now(), Hop::kBackhaulDrop,
+                      frame.outer_src, drop_cause, {{"dst", frame.outer_dst}});
     }
     return;
   }
   ++frames_sent_;
   bytes_sent_ += frame.wire_bytes;
 
-  Time arrival = sched_.now() + delivery_delay(frame.wire_bytes);
+  // Fault-injected latency spikes stack on top of the normal delay model
+  // (after delivery_delay so the jitter draw is undisturbed).
+  Time arrival =
+      sched_.now() + delivery_delay(frame.wire_bytes) + fault.extra_latency;
   // FIFO per (src, dst): never deliver earlier than a previously sent frame.
   auto key = std::make_pair(frame.outer_src, frame.outer_dst);
   auto [prev, inserted] = last_delivery_.try_emplace(key, arrival);

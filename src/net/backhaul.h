@@ -12,6 +12,7 @@
 #include <map>
 #include <utility>
 
+#include "net/fault_injector.h"
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
@@ -63,6 +64,9 @@ class Backhaul {
   metrics::Histogram* m_latency_us_ = nullptr;
   metrics::Counter* m_bytes_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
+  // Fault injection (null outside chaos runs): per-frame link impairment
+  // queries; drop coins come from the injector's stream, not rng_.
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace wgtt::net

@@ -26,6 +26,25 @@ const char* to_string(Hop h) {
     case Hop::kApActivate: return "ap_activate";
     case Hop::kSwitchStart: return "switch_start";
     case Hop::kSwitchDone: return "switch_done";
+    case Hop::kFaultOn: return "fault_on";
+    case Hop::kFaultOff: return "fault_off";
+  }
+  return "?";
+}
+
+const char* to_string(DropCause c) {
+  switch (c) {
+    case DropCause::kNoFlowHandler: return "no_flow_handler";
+    case DropCause::kUnattached: return "unattached";
+    case DropCause::kLoss: return "loss";
+    case DropCause::kDuplicate: return "duplicate";
+    case DropCause::kStale: return "stale";
+    case DropCause::kKernelFlush: return "kernel_flush";
+    case DropCause::kUnknownClient: return "unknown_client";
+    case DropCause::kHandoverFlush: return "handover_flush";
+    case DropCause::kQuench: return "quench";
+    case DropCause::kRetryLimit: return "retry_limit";
+    case DropCause::kFaultInjected: return "fault_injected";
   }
   return "?";
 }
@@ -54,6 +73,17 @@ bool FlightRecorder::sampled(std::uint64_t uid) const {
 }
 
 void FlightRecorder::record(std::uint64_t uid, Time t, Hop hop, NodeId node,
+                            std::initializer_list<FlightArg> args) {
+  append(uid, t, hop, node, args, nullptr);
+}
+
+void FlightRecorder::drop(std::uint64_t uid, Time t, Hop hop, NodeId node,
+                          DropCause cause,
+                          std::initializer_list<FlightArg> args) {
+  append(uid, t, hop, node, args, to_string(cause));
+}
+
+void FlightRecorder::append(std::uint64_t uid, Time t, Hop hop, NodeId node,
                             std::initializer_list<FlightArg> args,
                             const char* cause) {
   if (!sampled(uid)) return;
@@ -85,7 +115,7 @@ void FlightRecorder::record(std::uint64_t uid, Time t, Hop hop, NodeId node,
 
 void FlightRecorder::marker(Time t, Hop hop, NodeId node,
                             std::initializer_list<FlightArg> args) {
-  record(0, t, hop, node, args);
+  append(0, t, hop, node, args, nullptr);
 }
 
 FlightRecorder* FlightRecorder::current() { return t_current_flight_recorder; }

@@ -59,10 +59,33 @@ enum class Hop : std::uint8_t {
   kApActivate,     // marker: stack activated at start(c, k)
   kSwitchStart,    // marker: controller initiated a switch
   kSwitchDone,     // marker: switch ack received, new AP active
+  kFaultOn,        // marker: a FaultInjector window opened on this node/link
+  kFaultOff,       // marker: the fault window closed
 };
-constexpr std::size_t kHopCount = 20;
+constexpr std::size_t kHopCount = 22;
 
 const char* to_string(Hop h);
+
+/// Why a packet left the pipeline before delivery.  Drop/suppress hops carry
+/// exactly one of these — a compile-time enum (not a free-form string) so a
+/// new drop site cannot ship without a cause and `wgtt-report packets` can
+/// enumerate the full autopsy vocabulary.
+enum class DropCause : std::uint8_t {
+  kNoFlowHandler,  // delivered to a flow nobody registered (miswired run)
+  kUnattached,     // backhaul destination has no handler attached
+  kLoss,           // backhaul random loss (BackhaulConfig::loss_rate)
+  kDuplicate,      // controller dedup suppressed an uplink copy
+  kStale,          // cyclic-queue packet older than max_packet_age
+  kKernelFlush,    // kernel queue flushed on stack deactivation
+  kUnknownClient,  // AP received a downlink for a client it never saw
+  kHandoverFlush,  // NIC queue flushed when the client moved to another AP
+  kQuench,         // in-flight exchange abandoned after a handover flush
+  kRetryLimit,     // MPDU exhausted its MAC retry budget
+  kFaultInjected,  // destroyed by an injected infrastructure fault
+};
+constexpr std::size_t kDropCauseCount = 11;
+
+const char* to_string(DropCause c);
 
 /// One integer "extra" field on a record (key must be a static string and
 /// must not collide with uid/t_us/hop/node/cause).
@@ -93,11 +116,16 @@ class FlightRecorder {
   /// independent of arrival order.  uid 0 (markers) is always sampled.
   bool sampled(std::uint64_t uid) const;
 
-  /// Append one lifecycle record for `uid` (no-op unless sampled).  `cause`
-  /// must be a static string naming why, for drop/suppress hops.
+  /// Append one lifecycle record for `uid` (no-op unless sampled).  For
+  /// drop/suppress hops use drop() instead — it makes the cause mandatory.
   void record(std::uint64_t uid, Time t, Hop hop, NodeId node,
-              std::initializer_list<FlightArg> args = {},
-              const char* cause = nullptr);
+              std::initializer_list<FlightArg> args = {});
+
+  /// Append a terminal record for `uid` with a mandatory cause.  Every site
+  /// that removes a packet from the pipeline (transport/backhaul/AP/MAC
+  /// drops, dedup suppression) must go through this overload.
+  void drop(std::uint64_t uid, Time t, Hop hop, NodeId node, DropCause cause,
+            std::initializer_list<FlightArg> args = {});
 
   /// Append a uid-0 marker record (switch/activation events); never sampled
   /// away, so switch attribution works at any sampling rate.
@@ -114,6 +142,9 @@ class FlightRecorder {
   static FlightRecorder* current();
 
  private:
+  void append(std::uint64_t uid, Time t, Hop hop, NodeId node,
+              std::initializer_list<FlightArg> args, const char* cause);
+
   FlightRecorderConfig cfg_;
   std::string out_;
   std::size_t records_ = 0;

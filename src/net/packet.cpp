@@ -18,6 +18,7 @@ const char* to_string(PacketType t) {
     case PacketType::kActiveAp: return "ACTIVE_AP";
     case PacketType::kBeacon: return "BEACON";
     case PacketType::kMgmt: return "MGMT";
+    case PacketType::kHeartbeat: return "HEARTBEAT";
   }
   return "?";
 }

@@ -42,11 +42,12 @@ enum class PacketType : std::uint8_t {
   kActiveAp,    // controller -> APs: who currently serves a client
   kBeacon,      // AP -> air: 802.11 beacon (baseline discovery)
   kMgmt,        // authentication / (re)association frames
+  kHeartbeat,   // AP -> controller: liveness beacon (fault tolerance)
 };
 
 /// One past the last PacketType value.  Keep in sync when adding a type;
 /// the exhaustive-switch unit test fails loudly if this lags the enum.
-constexpr std::size_t kPacketTypeCount = 11;
+constexpr std::size_t kPacketTypeCount = 12;
 
 const char* to_string(PacketType t);
 

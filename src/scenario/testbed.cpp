@@ -37,6 +37,12 @@ Testbed::Testbed(TestbedConfig cfg)
                     net::FlightRecorderConfig{cfg_.seed, cfg_.packet_sample})
               : nullptr),
       flight_scope_(flight_recorder_.get()),
+      fault_injector_(cfg_.faults.empty()
+                          ? nullptr
+                          : std::make_unique<net::FaultInjector>(
+                                sched_, cfg_.faults,
+                                Rng(cfg_.seed).fork("faults"))),
+      fault_scope_(fault_injector_.get()),
       telemetry_((cfg_.enable_telemetry || !cfg_.telemetry_path.empty())
                      ? std::make_unique<TelemetrySampler>(sched_,
                                                           cfg_.telemetry_period)
@@ -219,6 +225,7 @@ WgttNetwork::WgttNetwork(Testbed& bed, WgttNetworkConfig cfg)
     ap_cfg.nic_drain_window = cfg_.nic_drain_window;
     ap_cfg.feed_esnr_to_rate_control =
         cfg_.rate_control == RateControlKind::kEsnr;
+    ap_cfg.heartbeat_period = cfg_.controller.heartbeat_period;
     aps_.emplace(id, std::make_unique<core::WgttAp>(bed_.sched(),
                                                     bed_.backhaul(), dev,
                                                     ap_cfg));

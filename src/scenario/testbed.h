@@ -26,8 +26,10 @@
 #include "mac/medium.h"
 #include "mac/wifi_device.h"
 #include "net/backhaul.h"
+#include "net/fault_injector.h"
 #include "net/flight_recorder.h"
 #include "scenario/telemetry.h"
+#include "sim/fault_plan.h"
 #include "sim/scheduler.h"
 #include "transport/tcp_connection.h"
 #include "transport/udp_flow.h"
@@ -113,6 +115,14 @@ struct TestbedConfig {
   bool enable_packet_log = false;
   std::string packet_log_path{};
   std::uint32_t packet_sample = 1;
+  /// Deterministic infrastructure fault schedule (chaos testing).  When
+  /// non-empty the Testbed owns a net::FaultInjector driven by a dedicated
+  /// RNG stream forked from `seed`, and installs it as the constructing
+  /// thread's context-current injector; components then arm their
+  /// degradation paths (heartbeats, liveness monitoring, failover).  When
+  /// empty — the default — no injector exists, nothing extra is scheduled,
+  /// and runs are byte-identical to builds without this feature.
+  sim::FaultPlan faults{};
 };
 
 class Testbed {
@@ -141,6 +151,7 @@ class Testbed {
   prof::Profiler* profiler() { return profiler_.get(); }
   core::DecisionLog* decision_log() { return decision_log_.get(); }
   net::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
+  net::FaultInjector* fault_injector() { return fault_injector_.get(); }
   TelemetrySampler* telemetry() { return telemetry_.get(); }
   /// Per-section host self-time; empty when profiling is disabled.
   prof::ProfileSnapshot profile_snapshot() const;
@@ -189,6 +200,10 @@ class Testbed {
   std::unique_ptr<net::FlightRecorder> flight_recorder_;
   net::ScopedFlightRecorder flight_scope_;
   sim::Scheduler sched_;
+  // After sched_ (schedules its fault events at construction), before every
+  // component that caches FaultInjector::current().
+  std::unique_ptr<net::FaultInjector> fault_injector_;
+  net::ScopedFaultInjector fault_scope_;
   std::unique_ptr<TelemetrySampler> telemetry_;  // after sched_: holds a ref
   Rng rng_;
   phy::ErrorModel error_model_;
@@ -224,9 +239,9 @@ class FlowRouter {
       ++dropped_;
       if (m_dropped_) m_dropped_->add();
       if (recorder_ && sched_ && net::flight_recorded(pkt->type)) {
-        recorder_->record(pkt->uid, sched_->now(), net::Hop::kTransportDrop,
-                          pkt->dst, {{"flow", pkt->flow_id}},
-                          "no_flow_handler");
+        recorder_->drop(pkt->uid, sched_->now(), net::Hop::kTransportDrop,
+                        pkt->dst, net::DropCause::kNoFlowHandler,
+                        {{"flow", pkt->flow_id}});
       }
       WGTT_LOG(kDebug, "flow",
                "no handler for flow " << pkt->flow_id << ", dropping "

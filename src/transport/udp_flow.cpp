@@ -48,12 +48,19 @@ void UdpReceiver::on_packet(const net::PacketPtr& pkt) {
   const std::uint64_t seq = pkt->seq;
   if (seq >= seen_.size()) seen_.resize(seq + 1024, false);
   if (recorder_) {
-    recorder_->record(pkt->uid, sched_.now(), net::Hop::kTransportRx,
-                      pkt->dst,
+    if (seen_[seq]) {
+      recorder_->drop(pkt->uid, sched_.now(), net::Hop::kTransportRx,
+                      pkt->dst, net::DropCause::kDuplicate,
                       {{"flow", pkt->flow_id},
                        {"seq", static_cast<std::int64_t>(seq)},
-                       {"dup", seen_[seq] ? 1 : 0}},
-                      seen_[seq] ? "duplicate" : nullptr);
+                       {"dup", 1}});
+    } else {
+      recorder_->record(pkt->uid, sched_.now(), net::Hop::kTransportRx,
+                        pkt->dst,
+                        {{"flow", pkt->flow_id},
+                         {"seq", static_cast<std::int64_t>(seq)},
+                         {"dup", 0}});
+    }
   }
   if (seen_[seq]) {
     ++duplicates_;

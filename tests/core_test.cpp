@@ -370,6 +370,31 @@ TEST(DedupTest, InterleavedCopiesFromThreeApsPassExactlyOnce) {
   EXPECT_EQ(d.duplicates_dropped(), 100u);
 }
 
+TEST(DedupTest, LateCopiesAfterAPartitionHealsAreStillSuppressed) {
+  // A partitioned AP buffers its tunnel traffic; when the backhaul heals,
+  // stale copies of uplinks the controller forwarded long ago arrive in a
+  // burst.  Copies inside the dedup window must still be suppressed; only a
+  // copy older than the window slips through (the window is the documented
+  // suppression bound, sized far under the IP-ID wrap period).
+  Deduplicator d(Time::sec(2));
+  // First copies arrive via a healthy AP at t = 0 .. 2 ms.
+  for (std::uint16_t id = 0; id < 20; ++id) {
+    EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, id),
+                                Time::us(100 * id)));
+  }
+  // The partition heals 1.9 s later and the stale copies flood in; all of
+  // them are still inside the window and every one is swallowed.
+  for (std::uint16_t id = 0; id < 20; ++id) {
+    EXPECT_TRUE(d.is_duplicate(uplink(net::kClientBase, id),
+                               Time::ms(1900) + Time::us(10 * id)))
+        << "late copy of IP-ID " << id << " leaked upstream";
+  }
+  EXPECT_EQ(d.duplicates_dropped(), 20u);
+  // A straggler beyond the window reads as new: its key expired, and at
+  // line rate the IP-ID would legitimately be reused by then.
+  EXPECT_FALSE(d.is_duplicate(uplink(net::kClientBase, 0), Time::sec(3)));
+}
+
 TEST(DedupTest, IpIdWraparoundIsNotADuplicate) {
   // IP-ID is 16-bit and wraps; 65535 followed by 0 are distinct packets,
   // and a straggler copy of the pre-wrap packet is still caught.

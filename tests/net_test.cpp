@@ -223,10 +223,19 @@ TEST(FlightRecorderTest, HopNamesAreExhaustive) {
   EXPECT_STREQ(to_string(static_cast<Hop>(kHopCount)), "?");
 }
 
+TEST(FlightRecorderTest, DropCauseNamesAreExhaustive) {
+  for (std::size_t i = 0; i < kDropCauseCount; ++i) {
+    EXPECT_STRNE(to_string(static_cast<DropCause>(i)), "?")
+        << "DropCause " << i << " unnamed";
+  }
+  EXPECT_STREQ(to_string(static_cast<DropCause>(kDropCauseCount)), "?");
+}
+
 TEST(FlightRecorderTest, JsonlShapeIsFixedFieldOrder) {
   FlightRecorder r;
   r.record(7, Time::us(1500), Hop::kCtrlFanout, 0, {{"ap", 3}, {"index", 12}});
-  r.record(7, Time::us(2500), Hop::kApDrop, 4, {{"client", 100}}, "stale");
+  r.drop(7, Time::us(2500), Hop::kApDrop, 4, DropCause::kStale,
+         {{"client", 100}});
   r.marker(Time::us(3000), Hop::kSwitchStart, 0, {{"client", 100}});
   EXPECT_EQ(r.records(), 3u);
   EXPECT_EQ(

@@ -176,6 +176,58 @@ TEST(SchedulerTest, ManyStaleCancelsStayRejected) {
   EXPECT_EQ(s.events_pending(), 0u);
 }
 
+TEST(SchedulerTest, BulkCancellationAcrossMaximalOutOfOrderWindow) {
+  // Adversarial schedule for the popped-seq tracking: event times descend as
+  // seqs ascend, so the queue pops in exactly reverse seq order and the
+  // low-water mark cannot advance past 0 until the very last (lowest-seq)
+  // event pops.  The sparse popped-ahead set must therefore hold the whole
+  // half-run window while a bulk cancellation lands in the middle of it.
+  Scheduler s;
+  constexpr int kN = 257;
+  std::vector<EventId> ids(kN);
+  int fired = 0;
+  for (int i = 0; i < kN; ++i) {
+    ids[static_cast<std::size_t>(i)] =
+        s.schedule(Time::ms(kN - i), [&]() { ++fired; });
+  }
+
+  // Fire the first half: times 1..128 ms, i.e. seqs kN down to kN-127 — all
+  // strictly above the (stuck) low-water mark.
+  s.run_until(Time::ms(128));
+  EXPECT_EQ(fired, 128);
+  for (int i = kN - 128; i < kN; ++i) {
+    EXPECT_FALSE(s.cancel(ids[static_cast<std::size_t>(i)])) << i;
+  }
+
+  // Bulk-cancel half of the still-pending events, interleaved with the
+  // popped window above; each id cancels exactly once.
+  int cancelled = 0;
+  for (int i = 0; i < kN - 128; i += 2) {
+    EXPECT_TRUE(s.cancel(ids[static_cast<std::size_t>(i)])) << i;
+    ++cancelled;
+  }
+  EXPECT_FALSE(s.cancel(ids[0]));
+  EXPECT_EQ(s.events_pending(),
+            static_cast<std::size_t>(kN - 128 - cancelled));
+
+  // Draining the queue pops every remaining seq (cancelled ones skipped),
+  // collapsing the popped-ahead set back into the low-water mark.
+  s.run();
+  EXPECT_EQ(fired, kN - cancelled);
+  EXPECT_EQ(s.events_pending(), 0u);
+  for (const EventId& id : ids) EXPECT_FALSE(s.cancel(id));
+
+  // Fresh events after the collapse still allocate, cancel, and fire
+  // normally.
+  bool again = false;
+  EventId fresh = s.schedule(Time::ms(1), [&]() { again = true; });
+  EXPECT_TRUE(s.cancel(fresh));
+  EXPECT_FALSE(s.cancel(fresh));
+  s.schedule(Time::ms(2), [&]() { again = true; });
+  s.run();
+  EXPECT_TRUE(again);
+}
+
 TEST(SchedulerTest, ScheduleAtAbsoluteTime) {
   Scheduler s;
   Time seen;
