@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  args.apply_policy(configs);
   args.apply_outputs(configs.front(), "ablations");
 
   const scenario::SweepRunner runner(args.sweep);

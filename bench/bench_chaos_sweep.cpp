@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
+  args.apply_policy(configs);
   args.apply_outputs(configs.front(), "chaos_sweep");
 
   const scenario::SweepRunner runner(args.sweep);

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  args.apply_policy(configs);
   args.apply_outputs(configs.front(), "fig13_speed_sweep");
 
   const scenario::SweepRunner runner(args.sweep);

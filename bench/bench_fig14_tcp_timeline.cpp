@@ -38,10 +38,12 @@ std::size_t col_by_suffix(const scenario::TelemetryTable& table,
 }
 
 void print_run(const char* name, scenario::SystemType sys,
+               const bench::BenchArgs& args,
                const std::string& telemetry_path,
                const std::string& packets_path, std::uint32_t packet_sample) {
   scenario::DriveScenarioConfig cfg;
   cfg.system = sys;
+  args.apply_policy(cfg);
   cfg.traffic = scenario::TrafficType::kTcpDownlink;
   cfg.speed_mph = 15.0;
   cfg.seed = 42;
@@ -105,10 +107,10 @@ int main(int argc, char** argv) {
                                   : args.packets_path,
         args.force, "packets");
   }
-  print_run("WGTT", scenario::SystemType::kWgtt, csv_path, packets_path,
+  print_run("WGTT", scenario::SystemType::kWgtt, args, csv_path, packets_path,
             args.packet_sample);
-  print_run("Enhanced 802.11r", scenario::SystemType::kEnhanced80211r, {}, {},
-            1);
+  print_run("Enhanced 802.11r", scenario::SystemType::kEnhanced80211r, args,
+            {}, {}, 1);
   std::printf("\npaper: WGTT switches ~5x/s and holds ~5 Mb/s steadily; the\n"
               "baseline rises then collapses to zero with a TCP timeout\n"
               "mid-transit.\n");

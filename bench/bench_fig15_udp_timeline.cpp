@@ -37,9 +37,11 @@ std::size_t col_by_suffix(const scenario::TelemetryTable& table,
 }
 
 void print_run(const char* name, scenario::SystemType sys,
+               const bench::BenchArgs& args,
                const std::string& telemetry_path) {
   scenario::DriveScenarioConfig cfg;
   cfg.system = sys;
+  args.apply_policy(cfg);
   cfg.traffic = scenario::TrafficType::kUdpDownlink;
   cfg.udp_offered_mbps = 15.0;
   cfg.speed_mph = 15.0;
@@ -90,8 +92,9 @@ int main(int argc, char** argv) {
                                     : args.telemetry_path,
         args.force, "telemetry");
   }
-  print_run("WGTT", scenario::SystemType::kWgtt, csv_path);
-  print_run("Enhanced 802.11r", scenario::SystemType::kEnhanced80211r, {});
+  print_run("WGTT", scenario::SystemType::kWgtt, args, csv_path);
+  print_run("Enhanced 802.11r", scenario::SystemType::kEnhanced80211r, args,
+            {});
   std::printf("\npaper: WGTT switches frequently and keeps a stable rate;\n"
               "Enhanced 802.11r switches only ~3 times in 10 s with low,\n"
               "unstable throughput.\n");

@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
+  args.apply_policy(configs);
   args.apply_outputs(configs.front(), "fig22_hysteresis");
 
   const scenario::SweepRunner runner(args.sweep);

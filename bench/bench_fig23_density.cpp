@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
+  args.apply_policy(configs);
   args.apply_outputs(configs.front(), "fig23_density");
 
   const scenario::SweepRunner runner(args.sweep);

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
     cfg.seed = 42;
     configs.push_back(cfg);
   }
+  args.apply_policy(configs);
   args.apply_outputs(configs.front(), "scaleout");
 
   const scenario::SweepRunner runner(args.sweep);

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
     cfg.seed = 5;
     configs.push_back(cfg);
   }
+  args.apply_policy(configs);
   args.apply_outputs(configs.front(), "table1_switch_time");
 
   const scenario::SweepRunner runner(args.sweep);

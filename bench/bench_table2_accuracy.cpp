@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
       configs.push_back(cfg);
     }
   }
+  args.apply_policy(configs);
   args.apply_outputs(configs.front(), "table2_accuracy");
 
   const scenario::SweepRunner runner(args.sweep);

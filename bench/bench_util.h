@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/handoff_policy.h"
 #include "scenario/report.h"
 #include "scenario/sweep.h"
 #include "sim/fault_plan.h"
@@ -83,8 +84,29 @@ struct BenchArgs {
   /// from the run's seed.
   std::string faults_spec;
   bool faults = false;
+  /// --policy SPEC: run every WGTT simulation under this handoff policy
+  /// ("name[:key=val,...]"; see core/handoff_policy.h).  Validated at parse
+  /// time — a bad spec exits 2 before any simulation runs.
+  core::PolicySpec policy;
+  bool policy_set = false;
   /// --force: overwrite existing trace/telemetry/decision/packet files.
   bool force = false;
+
+  /// Apply the --policy override to every config of a sweep.  Baseline
+  /// (802.11r) runs ignore the controller config, so this is safe to apply
+  /// unconditionally.
+  template <typename DriveConfig>
+  void apply_policy(std::vector<DriveConfig>& configs) const {
+    if (!policy_set) return;
+    for (DriveConfig& cfg : configs) cfg.wgtt.controller.policy = policy;
+    std::printf("policy: %s\n", policy.to_string().c_str());
+  }
+
+  /// Single-run variant (timeline benches): silent, call per config.
+  template <typename DriveConfig>
+  void apply_policy(DriveConfig& cfg) const {
+    if (policy_set) cfg.wgtt.controller.policy = policy;
+  }
 
   /// Apply the requested --trace/--telemetry/--decisions outputs to the
   /// config of one run (benches instrument the first simulation of their
@@ -192,15 +214,33 @@ inline BenchArgs parse_args(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         args.faults_spec = argv[++i];
       }
+    } else if (std::strncmp(a, "--policy=", 9) == 0 ||
+               (std::strcmp(a, "--policy") == 0 && i + 1 < argc)) {
+      const char* spec = a[8] == '=' ? a + 9 : argv[++i];
+      std::string err;
+      if (!core::parse_policy_spec(spec, args.policy, &err)) {
+        std::fprintf(stderr, "error: bad --policy spec \"%s\": %s\n", spec,
+                     err.c_str());
+        std::fprintf(stderr, "known policies:");
+        for (const std::string& n : core::policy_names()) {
+          std::fprintf(stderr, " %s", n.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        std::exit(2);
+      }
+      args.policy_set = true;
     } else if (std::strcmp(a, "--force") == 0) {
       args.force = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       std::printf(
-          "usage: %s [--jobs N] [--trace [PATH]] [--telemetry [PATH]] "
-          "[--decisions [PATH]] [--packets [PATH]] [--packet-sample N] "
-          "[--force]\n"
+          "usage: %s [--jobs N] [--policy SPEC] [--trace [PATH]] "
+          "[--telemetry [PATH]] [--decisions [PATH]] [--packets [PATH]] "
+          "[--packet-sample N] [--force]\n"
           "  --jobs N            worker threads for the sweep (default: "
           "WGTT_SWEEP_JOBS env or hardware concurrency)\n"
+          "  --policy SPEC       handoff policy for every WGTT run, "
+          "\"name[:key=val,...]\" (median_esnr, predictive, "
+          "make_before_break, bicast)\n"
           "  --trace [PATH]      write a Chrome trace-event JSON "
           "(chrome://tracing, Perfetto) of the bench's first "
           "simulation; default PATH is TRACE_<bench>.json\n"

@@ -22,6 +22,7 @@ baseline_dir="${repo_root}/bench/baselines"
 benches=(
   "fig13_speed_sweep fig13.json"
   "chaos_sweep chaos.json"
+  "policy_tournament tournament.json"
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release

@@ -114,11 +114,12 @@ int cmd_show(const std::string& path) {
   }
 
   const auto& runs = report.find("runs")->as_array();
-  std::printf("\n%-28s %10s %8s %9s %9s %10s\n", "run", "goodput", "loss",
-              "accuracy", "switches", "wall_ms");
+  std::printf("\n%-28s %-22s %10s %8s %9s %9s %10s\n", "run", "policy",
+              "goodput", "loss", "accuracy", "switches", "wall_ms");
   for (const JsonValue& run : runs) {
-    std::printf("%-28s %10.2f %8.3f %9.3f %9d %10.1f\n",
+    std::printf("%-28s %-22s %10.2f %8.3f %9.3f %9d %10.1f\n",
                 run.string_or("label", "?").c_str(),
+                run.string_or("policy", "-").c_str(),
                 run.number_or("goodput_mbps", 0.0),
                 run.number_or("udp_loss_rate", 0.0),
                 run.number_or("switching_accuracy", 0.0),
@@ -576,6 +577,18 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
       std::fprintf(stderr,
                    "wgtt-report: run %zu label mismatch: \"%s\" vs \"%s\"\n",
                    i, bl.c_str(), cl.c_str());
+      return 2;
+    }
+    // Comparing runs produced by different handoff policies is apples to
+    // oranges: goodput/switch deltas would be policy differences, not
+    // regressions.  (Pre-policy reports lack the field; "" matches "".)
+    const std::string bp = base_runs[i].string_or("policy", "");
+    const std::string cp = cur_runs[i].string_or("policy", "");
+    if (bp != cp) {
+      std::fprintf(
+          stderr,
+          "wgtt-report: run \"%s\" policy mismatch: \"%s\" vs \"%s\"\n",
+          bl.c_str(), bp.c_str(), cp.c_str());
       return 2;
     }
   }

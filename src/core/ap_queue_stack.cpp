@@ -62,7 +62,7 @@ void ApQueueStack::activate(std::uint32_t start_index) {
   pump();
 }
 
-std::uint32_t ApQueueStack::deactivate() {
+std::uint32_t ApQueueStack::deactivate(bool requeue_kernel) {
   active_ = false;
   const std::uint32_t k = next_nic_index();
   if (m_backlog_) m_backlog_->record(static_cast<double>(total_backlog()));
@@ -72,6 +72,19 @@ std::uint32_t ApQueueStack::deactivate() {
                      {{"client", static_cast<double>(client_)},
                       {"k", static_cast<double>(k)},
                       {"backlog", static_cast<double>(total_backlog())}});
+  }
+  if (requeue_kernel) {
+    // Quench path (start-first overlap styles): this AP remains a live
+    // fallback in the shared BSSID, so the kernel stage rewinds instead of
+    // flushing — the packets return to their cyclic slots and the head
+    // returns to k.  A later start-first resume from this AP's own head
+    // then lands exactly on its true first-unsent index, which is what
+    // makes the next overlap window retransmit the same packets the
+    // incumbent is sending (the deliberate bicast duplication).
+    for (auto& [index, pkt] : kernel_) cyclic_.insert(index, std::move(pkt));
+    kernel_.clear();
+    cyclic_.set_head(k);
+    return k;
   }
   // Flush the kernel stage back into oblivion: the next AP's cyclic queue
   // already holds these packets, so local copies would only be duplicates.

@@ -58,7 +58,10 @@ class ApQueueStack {
 
   /// stop(c): pause refills and flush the kernel stage.  Returns the index
   /// of the first unsent packet (the ioctl result, to ship in start(c, k)).
-  std::uint32_t deactivate();
+  /// With `requeue_kernel` (the start-first quench path) the kernel stage
+  /// is rewound into the cyclic ring instead of flushed, so a later
+  /// resume-from-head restarts at the true first-unsent index.
+  std::uint32_t deactivate(bool requeue_kernel = false);
 
   /// Fault path (AP crash / controller-link partition): drop *everything*
   /// still buffered — kernel and cyclic stages — recording each packet with

@@ -21,6 +21,9 @@ struct StopMsg {
   net::NodeId client = 0;
   net::NodeId next_ap = 0;
   std::uint32_t switch_id = 0;
+  /// Start-first handoff styles (make-before-break / bicast): `next_ap` is
+  /// already transmitting, so deactivate and flush but relay no start(c, k).
+  bool quench = false;
   static constexpr std::size_t kWireBytes = 24;
 };
 
@@ -86,6 +89,14 @@ struct ActiveApMsg {
   /// First activation after association: the named AP must activate its
   /// queue stack in place (no start(c, k) will arrive).
   bool bootstrap = false;
+  /// This switch used a start-first style (make-before-break / bicast): the
+  /// outgoing AP is deliberately still transmitting until its quench lands.
+  /// It should shadow its remaining downlink frames (deliver them under its
+  /// own id, not the shared BSSID) so the client sees a second independent
+  /// transmitter and its IP-layer dedup absorbs the duplicates.  Failover
+  /// broadcasts leave this false: a falsely-suspected incumbent keeps the
+  /// shared-BSSID behaviour.
+  bool overlap = false;
   static constexpr std::size_t kWireBytes = 16;
 };
 

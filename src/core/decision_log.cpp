@@ -55,7 +55,9 @@ void DecisionLog::append(const DecisionRecord& rec) {
   s += std::to_string(rec.incumbent);
   s += ",\"chosen\":";
   s += std::to_string(rec.chosen);
-  s += ",\"outcome\":\"";
+  s += ",\"policy\":\"";
+  s += rec.policy;
+  s += "\",\"outcome\":\"";
   s += to_string(rec.outcome);
   s += "\",\"reason\":\"";
   s += to_string(rec.reason);

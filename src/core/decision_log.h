@@ -62,6 +62,9 @@ struct DecisionRecord {
   net::NodeId client = 0;
   net::NodeId incumbent = 0;  // active AP at evaluation time (0 = none)
   net::NodeId chosen = 0;     // argmax-median AP (0 when none eligible)
+  /// HandoffPolicy that produced this decision (stable name; "" in bare
+  /// unit-test records).  Serialized as the record's "policy" field.
+  const char* policy = "";
   DecisionOutcome outcome = DecisionOutcome::kKeep;
   DecisionReason reason = DecisionReason::kNoCandidate;
   double margin_db = 0.0;        // configured switch margin

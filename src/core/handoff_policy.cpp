@@ -1,0 +1,313 @@
+#include "core/handoff_policy.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace wgtt::core {
+
+double MobilityHint::speed_mps() const {
+  return std::sqrt(vx * vx + vy * vy + vz * vz);
+}
+
+const char* to_string(SwitchStyle s) {
+  switch (s) {
+    case SwitchStyle::kStopStart: return "stop_start";
+    case SwitchStyle::kStartFirst: return "start_first";
+    case SwitchStyle::kBicast: return "bicast";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+double PolicySpec::param(const std::string& key, double fallback) const {
+  for (const auto& kv : params) {
+    if (kv.first == key) return kv.second;
+  }
+  return fallback;
+}
+
+bool PolicySpec::has_param(const std::string& key) const {
+  for (const auto& kv : params) {
+    if (kv.first == key) return true;
+  }
+  return false;
+}
+
+std::string PolicySpec::to_string() const {
+  std::string out = name;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += i == 0 ? ":" : ",";
+    out += params[i].first;
+    out += "=";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", params[i].second);
+    out += buf;
+  }
+  return out;
+}
+
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> names = {
+      "median_esnr", "predictive", "make_before_break", "bicast"};
+  return names;
+}
+
+bool parse_policy_spec(const std::string& text, PolicySpec& spec,
+                       std::string* err) {
+  PolicySpec out;
+  const std::size_t colon = text.find(':');
+  out.name = text.substr(0, colon);
+  bool known = false;
+  for (const std::string& n : policy_names()) known |= n == out.name;
+  if (!known) {
+    if (err) {
+      *err = "unknown policy '" + out.name + "' (known:";
+      for (const std::string& n : policy_names()) *err += " " + n;
+      *err += ")";
+    }
+    return false;
+  }
+  if (colon != std::string::npos) {
+    std::string rest = text.substr(colon + 1);
+    std::size_t pos = 0;
+    while (pos <= rest.size()) {
+      const std::size_t comma = rest.find(',', pos);
+      const std::string kv = rest.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      const std::size_t eq = kv.find('=');
+      if (kv.empty() || eq == 0 || eq == std::string::npos) {
+        if (err) *err = "bad policy param '" + kv + "' (expected key=value)";
+        return false;
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string val = kv.substr(eq + 1);
+      char* end = nullptr;
+      const double v = std::strtod(val.c_str(), &end);
+      if (val.empty() || end == nullptr || *end != '\0') {
+        if (err) *err = "bad numeric value in policy param '" + kv + "'";
+        return false;
+      }
+      out.params.emplace_back(key, v);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  spec = std::move(out);
+  return true;
+}
+
+bool policy_duplicates_downlink(const PolicySpec& spec) {
+  return spec.name == "make_before_break" || spec.name == "bicast";
+}
+
+// ---------------------------------------------------------------------------
+// median_esnr — the paper's §3.1.1 algorithm, extracted verbatim
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The pre-refactor controller pass body: hysteresis gate, prune, liveness-
+/// filtered argmax, incumbent/margin checks.  Shared by every policy that
+/// keeps the paper's selection rule and only changes the switching style.
+PolicyDecision median_decide(const PolicyInput& in, Time hysteresis,
+                             double margin_db) {
+  if (in.now - in.last_switch < hysteresis) {
+    return PolicyDecision::defer(DecisionReason::kHysteresis,
+                                 hysteresis - (in.now - in.last_switch));
+  }
+  in.windows.prune(in.now);
+
+  // With faults possible, exclude suspect/quarantined APs and frozen-CSI
+  // candidates; without an injector this is exactly the paper's argmax.
+  const net::NodeId best =
+      in.env.fault_aware() ? in.env.select_live() : in.windows.select(in.now);
+  if (best == 0) {
+    return PolicyDecision::keep(DecisionReason::kNoCandidate, 0);
+  }
+  if (best == in.incumbent) {
+    return PolicyDecision::keep(DecisionReason::kIncumbentBest, best);
+  }
+  const auto best_median = in.windows.median(best, in.now);
+  const auto active_median = in.windows.median(in.incumbent, in.now);
+  if (active_median && *best_median < *active_median + margin_db) {
+    return PolicyDecision::keep(DecisionReason::kBelowMargin, best);
+  }
+  return PolicyDecision::switch_to(best);
+}
+
+class MedianEsnrPolicy final : public HandoffPolicy {
+ public:
+  MedianEsnrPolicy(Time hysteresis, double margin_db)
+      : hysteresis_(hysteresis), margin_db_(margin_db) {}
+  const char* name() const override { return "median_esnr"; }
+  PolicyDecision decide(const PolicyInput& in) override {
+    return median_decide(in, hysteresis_, margin_db_);
+  }
+
+ private:
+  Time hysteresis_;
+  double margin_db_;
+};
+
+// ---------------------------------------------------------------------------
+// predictive — median ESNR corroborated by trajectory geometry
+// ---------------------------------------------------------------------------
+
+class PredictivePolicy final : public HandoffPolicy {
+ public:
+  PredictivePolicy(Time hysteresis, double margin_db, double hysteresis_scale,
+                   double min_speed_mps)
+      : hysteresis_(hysteresis),
+        margin_db_(margin_db),
+        hysteresis_scale_(hysteresis_scale),
+        min_speed_mps_(min_speed_mps) {}
+  const char* name() const override { return "predictive"; }
+
+  PolicyDecision decide(const PolicyInput& in) override {
+    const net::NodeId predicted = predict_next_ap(in);
+    in.windows.prune(in.now);
+    const net::NodeId best = in.env.fault_aware() ? in.env.select_live()
+                                                  : in.windows.select(in.now);
+
+    // Hysteresis: when the window argmax agrees with where the trajectory
+    // says the client is headed, the switch is corroborated — commit after
+    // a fraction of the usual settle time.  Disagreement (or no hint) gets
+    // the full window, so fading spikes are still ridden out.
+    const bool corroborated = best != 0 && best == predicted;
+    const Time hyst =
+        corroborated
+            ? Time::ns(static_cast<std::int64_t>(
+                  static_cast<double>(hysteresis_.to_ns()) * hysteresis_scale_))
+            : hysteresis_;
+    PolicyDecision d;
+    if (in.now - in.last_switch < hyst) {
+      d = PolicyDecision::defer(DecisionReason::kHysteresis,
+                                hyst - (in.now - in.last_switch));
+    } else if (best == 0) {
+      d = PolicyDecision::keep(DecisionReason::kNoCandidate, 0);
+    } else if (best == in.incumbent) {
+      d = PolicyDecision::keep(DecisionReason::kIncumbentBest, best);
+    } else {
+      const auto best_median = in.windows.median(best, in.now);
+      const auto active_median = in.windows.median(in.incumbent, in.now);
+      if (active_median && *best_median < *active_median + margin_db_) {
+        d = PolicyDecision::keep(DecisionReason::kBelowMargin, best);
+      } else {
+        d = PolicyDecision::switch_to(best);
+      }
+    }
+    // Pre-arm the predicted AP regardless of the verdict: its cyclic queue
+    // fills with fan-out copies before its CSI puts it in the range set, so
+    // the eventual start(c, k) finds the backlog already in place.
+    d.prearm = predicted;
+    return d;
+  }
+
+ private:
+  /// Nearest AP site strictly ahead along the velocity vector (along-track
+  /// projection), or 0 when the client is parked / unhinted / past the end.
+  net::NodeId predict_next_ap(const PolicyInput& in) const {
+    const MobilityHint hint = in.env.mobility();
+    if (!hint.valid) return 0;
+    const double speed = hint.speed_mps();
+    if (speed < min_speed_mps_) return 0;
+    net::NodeId next = 0;
+    double next_dist = 1e300;
+    for (const ApSite& site : in.env.ap_sites()) {
+      const double along = ((site.x - hint.x) * hint.vx +
+                            (site.y - hint.y) * hint.vy) /
+                           speed;
+      if (along <= 0.5 || along >= next_dist) continue;  // behind / farther
+      if (site.ap == in.incumbent) continue;
+      next_dist = along;
+      next = site.ap;
+    }
+    return next;
+  }
+
+  Time hysteresis_;
+  double margin_db_;
+  double hysteresis_scale_;
+  double min_speed_mps_;
+};
+
+// ---------------------------------------------------------------------------
+// make_before_break / bicast — paper selection rule, overlap switching
+// ---------------------------------------------------------------------------
+
+class MakeBeforeBreakPolicy final : public HandoffPolicy {
+ public:
+  MakeBeforeBreakPolicy(Time hysteresis, double margin_db)
+      : hysteresis_(hysteresis), margin_db_(margin_db) {}
+  const char* name() const override { return "make_before_break"; }
+  PolicyDecision decide(const PolicyInput& in) override {
+    PolicyDecision d = median_decide(in, hysteresis_, margin_db_);
+    if (d.outcome == DecisionOutcome::kSwitch) d.style = SwitchStyle::kStartFirst;
+    return d;
+  }
+
+ private:
+  Time hysteresis_;
+  double margin_db_;
+};
+
+class BicastPolicy final : public HandoffPolicy {
+ public:
+  BicastPolicy(Time hysteresis, double margin_db, Time hold)
+      : hysteresis_(hysteresis), margin_db_(margin_db), hold_(hold) {}
+  const char* name() const override { return "bicast"; }
+  PolicyDecision decide(const PolicyInput& in) override {
+    PolicyDecision d = median_decide(in, hysteresis_, margin_db_);
+    if (d.outcome == DecisionOutcome::kSwitch) {
+      d.style = SwitchStyle::kBicast;
+      d.bicast_hold = hold_;
+    }
+    return d;
+  }
+
+ private:
+  Time hysteresis_;
+  double margin_db_;
+  Time hold_;
+};
+
+}  // namespace
+
+std::unique_ptr<HandoffPolicy> make_handoff_policy(const PolicySpec& spec,
+                                                   const PolicyTuning& tuning) {
+  // Use the controller default verbatim unless overridden: a float ms->ns
+  // round-trip of an unmodified default could perturb it by a nanosecond.
+  const Time hysteresis =
+      spec.has_param("hysteresis_ms")
+          ? Time::ns(static_cast<std::int64_t>(
+                spec.param("hysteresis_ms", 0.0) * 1e6))
+          : tuning.switch_hysteresis;
+  const double margin = spec.param("margin_db", tuning.switch_margin_db);
+  if (spec.name == "predictive") {
+    return std::make_unique<PredictivePolicy>(
+        hysteresis, margin, spec.param("hysteresis_scale", 0.5),
+        spec.param("min_speed_mps", 0.5));
+  }
+  if (spec.name == "make_before_break") {
+    return std::make_unique<MakeBeforeBreakPolicy>(hysteresis, margin);
+  }
+  if (spec.name == "bicast") {
+    return std::make_unique<BicastPolicy>(
+        hysteresis, margin,
+        Time::ns(static_cast<std::int64_t>(spec.param("hold_ms", 30.0) * 1e6)));
+  }
+  if (spec.name != "median_esnr") {
+    WGTT_LOG(kWarn, "policy",
+             "unknown handoff policy '" << spec.name
+                                        << "', using median_esnr");
+  }
+  return std::make_unique<MedianEsnrPolicy>(hysteresis, margin);
+}
+
+}  // namespace wgtt::core

@@ -1,0 +1,204 @@
+// Pluggable handoff policies (the AP-selection seam).
+//
+// The paper's contribution is one specific policy — median ESNR over a
+// 10 ms window with time hysteresis (§3.1.1) — but the question it answers
+// ("which AP should serve this client *now*?") admits a family of answers.
+// HandoffPolicy extracts that question from the controller: per selection
+// pass and per client, the controller hands the policy the client's CSI
+// windows, the incumbent, a liveness view, and a mobility hint, and the
+// policy returns keep / switch / defer with a machine-readable reason plus
+// the switching *style* (stop-then-start, start-then-stop, or bicast).
+//
+// Policies shipped here:
+//   median_esnr        the paper's algorithm, bit-identical to the
+//                      pre-refactor controller (pinned by the golden-trace,
+//                      packet, and chaos byte-identity suites);
+//   predictive         median ESNR plus MobilityModel velocity: pre-arms
+//                      the next AP along the trajectory (extra fan-out
+//                      copy) and relaxes hysteresis when the ESNR argmax
+//                      agrees with the geometric prediction;
+//   make_before_break  mass-transit style (PAPERS.md: Ramani & Savage
+//                      SyncScan lineage): start the challenger first, then
+//                      quench the incumbent once the ack confirms — the
+//                      client absorbs the duplicate overlap;
+//   bicast             start-then-stop plus a hold window during which the
+//                      incumbent keeps transmitting alongside the new AP —
+//                      sustained duplication absorbed by a client-side
+//                      core::Deduplicator.
+//
+// The controller keeps everything a policy must not own: the switch FSM,
+// failover off dead incumbents, the stop/start/ack protocol, and the
+// decision audit log.  Policies are per-client instances (they may carry
+// state), created by make_handoff_policy from a PolicySpec parsed out of
+// "name[:key=val,...]" strings (--policy on every sweep bench).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ap_selector.h"
+#include "core/decision_log.h"
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace wgtt::core {
+
+/// Best-effort client kinematics sampled from the scenario's MobilityModel
+/// (plain doubles: core cannot depend on channel/).  `valid` is false when
+/// the scenario registered no provider for the client.
+struct MobilityHint {
+  bool valid = false;
+  double x = 0.0, y = 0.0, z = 0.0;     // position (m)
+  double vx = 0.0, vy = 0.0, vz = 0.0;  // velocity (m/s)
+  double speed_mps() const;
+};
+
+/// Roadside AP site (for trajectory prediction).  Filled by the scenario
+/// layer from the testbed geometry; empty in bare-controller unit tests.
+struct ApSite {
+  net::NodeId ap = 0;
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+/// How the controller executes a switch this policy requested.
+enum class SwitchStyle {
+  /// §3.1.2: stop(c) the incumbent, which relays start(c, k) — the paper's
+  /// protocol, zero duplication, one control round-trip of silence.
+  kStopStart,
+  /// Make-before-break: start the challenger directly (resume-from-head),
+  /// quench the incumbent only after the ack.  Overlap duplicates are
+  /// absorbed by the client-side dedup layer.
+  kStartFirst,
+  /// kStartFirst plus a bicast hold: the incumbent keeps transmitting for
+  /// `PolicyDecision::bicast_hold` after the ack before being quenched.
+  kBicast,
+};
+
+const char* to_string(SwitchStyle s);
+
+/// One policy verdict for one client at one selection pass.
+struct PolicyDecision {
+  DecisionOutcome outcome = DecisionOutcome::kKeep;
+  DecisionReason reason = DecisionReason::kNoCandidate;
+  /// The argmax candidate (what the decision log records as "chosen"); the
+  /// switch target when outcome is kSwitch.  0 when no candidate exists.
+  net::NodeId target = 0;
+  Time hysteresis_remaining;  // > 0 only for kHysteresis deferrals
+  SwitchStyle style = SwitchStyle::kStopStart;
+  /// Extra AP to include in the downlink fan-out (predictive pre-arm);
+  /// 0 = none.  Persisted by the controller until the next pass.
+  net::NodeId prearm = 0;
+  /// Incumbent overlap window after the ack (style kBicast only).
+  Time bicast_hold;
+
+  static PolicyDecision keep(DecisionReason r, net::NodeId chosen) {
+    PolicyDecision d;
+    d.outcome = DecisionOutcome::kKeep;
+    d.reason = r;
+    d.target = chosen;
+    return d;
+  }
+  static PolicyDecision defer(DecisionReason r, Time remaining) {
+    PolicyDecision d;
+    d.outcome = DecisionOutcome::kDefer;
+    d.reason = r;
+    d.hysteresis_remaining = remaining;
+    return d;
+  }
+  static PolicyDecision switch_to(net::NodeId target,
+                                  SwitchStyle s = SwitchStyle::kStopStart) {
+    PolicyDecision d;
+    d.outcome = DecisionOutcome::kSwitch;
+    d.reason = DecisionReason::kChallengerAhead;
+    d.target = target;
+    d.style = s;
+    return d;
+  }
+};
+
+/// The controller-side view a policy consults while deciding.  Scoped to
+/// one (client, pass): the controller rebinds it before every decide().
+class PolicyEnv {
+ public:
+  virtual ~PolicyEnv() = default;
+  /// True when a FaultInjector is installed (liveness filtering armed).
+  virtual bool fault_aware() const = 0;
+  /// Liveness-filtered window argmax for the current client: excludes
+  /// suspect/quarantined APs and frozen-CSI candidates, counting the
+  /// exclusions in the controller's stats.  Only meaningful when
+  /// fault_aware(); 0 when no live candidate is eligible.
+  virtual net::NodeId select_live() = 0;
+  virtual bool ap_live(net::NodeId ap) const = 0;
+  /// Kinematics hint for the current client (invalid when the scenario
+  /// registered no mobility provider).
+  virtual MobilityHint mobility() const = 0;
+  /// Roadside AP sites (may be empty in bare-controller tests).
+  virtual const std::vector<ApSite>& ap_sites() const = 0;
+};
+
+/// Per-pass inputs.  `windows` is the client's CSI window selector; decide()
+/// is expected to prune() it exactly once before reading medians (matching
+/// the pre-refactor controller's pass structure).
+struct PolicyInput {
+  net::NodeId client = 0;
+  net::NodeId incumbent = 0;
+  Time now;
+  Time last_switch;
+  MedianEsnrSelector& windows;
+  PolicyEnv& env;
+};
+
+class HandoffPolicy {
+ public:
+  virtual ~HandoffPolicy() = default;
+  /// Stable identifier recorded in the decision log and bench reports.
+  virtual const char* name() const = 0;
+  virtual PolicyDecision decide(const PolicyInput& in) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Spec parsing + factory
+// ---------------------------------------------------------------------------
+
+/// Parsed "name[:key=val,...]" policy selector.  Defaults to the paper's
+/// algorithm, so a default-constructed spec reproduces the pre-refactor
+/// controller byte for byte.
+struct PolicySpec {
+  std::string name = "median_esnr";
+  std::vector<std::pair<std::string, double>> params;
+
+  double param(const std::string& key, double fallback) const;
+  bool has_param(const std::string& key) const;
+  /// Canonical "name" / "name:k=v,..." rendering (reports, labels).
+  std::string to_string() const;
+};
+
+/// Parse "name[:key=val,...]" into `spec`.  Returns false (with a message
+/// in *err when non-null) on grammar errors or unknown policy names.
+bool parse_policy_spec(const std::string& text, PolicySpec& spec,
+                       std::string* err = nullptr);
+
+/// Known policy names, for --help text and validation.
+const std::vector<std::string>& policy_names();
+
+/// True when `spec` intentionally delivers duplicate downlink frames to the
+/// client (start-first / bicast overlap) and the scenario must interpose a
+/// client-side Deduplicator.
+bool policy_duplicates_downlink(const PolicySpec& spec);
+
+/// Controller-level defaults a policy inherits unless overridden by params.
+struct PolicyTuning {
+  Time switch_hysteresis = Time::ms(40);
+  double switch_margin_db = 0.0;
+};
+
+/// Create a per-client policy instance.  Unknown names fall back to
+/// median_esnr with a warning (benches validate specs up front and exit
+/// instead).
+std::unique_ptr<HandoffPolicy> make_handoff_policy(const PolicySpec& spec,
+                                                   const PolicyTuning& tuning);
+
+}  // namespace wgtt::core

@@ -189,8 +189,18 @@ void WgttAp::handle_stop(const StopMsg& msg) {
   // the same path: the stack is already inactive, so next_nic_index()
   // re-derives the same k and start(c, k) is simply re-sent.
   sched_.schedule(cfg_.ioctl_delay, [this, msg]() {
+    // A quench that raced a restart: the controller re-selected this AP and
+    // its start(c) was processed first.  We are the active transmitter again
+    // — obeying the stale quench would silence the client's only AP.
+    if (msg.quench && active_for(msg.client)) return;
     ApQueueStack& st = stack(msg.client);
-    const std::uint32_t k = st.active() ? st.deactivate() : st.next_nic_index();
+    // Quench deactivations (start-first styles) rewind the kernel stage into
+    // the cyclic ring instead of flushing it: this AP stays a live fallback
+    // and its next resume-from-head must restart at the true first-unsent
+    // index.  Relay stops keep the paper's flush semantics — the successor
+    // resumes from the relayed k, so local copies are pure duplicates.
+    const std::uint32_t k = st.active() ? st.deactivate(msg.quench)
+                                        : st.next_nic_index();
     stats_.kernel_packets_flushed = st.kernel_flushed();
     active_ap_[msg.client] = msg.next_ap;
 
@@ -199,8 +209,17 @@ void WgttAp::handle_stop(const StopMsg& msg) {
     // owns those indices, and lingering retries would interfere with it.
     sched_.schedule(cfg_.nic_drain_window, [this, client = msg.client]() {
       if (!active_for(client)) device_.flush_queue(client);
+      // End of any overlap window: the frames drained above were the last
+      // shadow-stream transmissions (no-op outside start-first styles).
+      device_.set_shadow_stream(client, false);
     });
 
+    // Quench (start-first handoff styles): the successor already activated
+    // via a controller-originated start, so there is nobody to relay to.
+    if (msg.quench) {
+      ++stats_.quench_stops_handled;
+      return;
+    }
     net::Packet p;
     p.type = net::PacketType::kStart;
     p.size_bytes = StartMsg::kWireBytes;
@@ -217,9 +236,14 @@ void WgttAp::handle_stop(const StopMsg& msg) {
 void WgttAp::handle_start(const StartMsg& msg) {
   ++stats_.starts_handled;
   active_ap_[msg.client] = cfg_.id;
+  // Becoming the active member of the BSSID again ends any shadow window
+  // left over from a prior overlap switch away from this AP.
+  device_.set_shadow_stream(msg.client, false);
   ApQueueStack& st = stack(msg.client);
-  // Failover start: the predecessor AP is dead, so no first-unsent index
-  // exists — resume from our own cyclic head (everything buffered, unsent).
+  // Resume-from-head starts (failover and start-first styles): no
+  // first-unsent index was relayed, so restart from our own cyclic head —
+  // which quench deactivations keep rewound to this AP's true first-unsent
+  // position.
   const std::uint32_t k = msg.first_unsent_index == kResumeHeadIndex
                               ? st.cyclic().head()
                               : msg.first_unsent_index;
@@ -241,6 +265,22 @@ void WgttAp::handle_active_ap(const ActiveApMsg& msg) {
   if (msg.bootstrap && msg.active_ap == cfg_.id) {
     ApQueueStack& st = stack(msg.client);
     if (!st.active()) st.activate(st.cyclic().head());
+  }
+  // Overlap switch styles (make-before-break / bicast): we are the outgoing
+  // AP and deliberately still transmitting until the quench lands.  Drop out
+  // of the shared-BSSID illusion for this client — our remaining downlink
+  // frames deliver under our own id as the reorder stream, so the client
+  // sees a second independent transmitter (as in a classic double
+  // association) and its IP-layer dedup, not the shared BA reorder buffer,
+  // absorbs the duplicate copies.  Failover broadcasts have overlap unset,
+  // so a falsely-suspected incumbent is unaffected.
+  if (msg.overlap && msg.active_ap != cfg_.id) {
+    auto it = stacks_.find(msg.client);
+    if (it != stacks_.end() && it->second->active()) {
+      device_.set_shadow_stream(msg.client, true);
+    }
+  } else if (msg.active_ap == cfg_.id) {
+    device_.set_shadow_stream(msg.client, false);
   }
 }
 

@@ -74,6 +74,7 @@ struct WgttApStats {
   std::uint64_t forwarded_bas_applied = 0;
   std::uint64_t forwarded_bas_duplicate = 0;
   std::uint64_t stops_handled = 0;
+  std::uint64_t quench_stops_handled = 0;  // start-first styles: no relay
   std::uint64_t starts_handled = 0;
   std::uint64_t kernel_packets_flushed = 0;
   // Fault tolerance (all zero without an installed FaultInjector):

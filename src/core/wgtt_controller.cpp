@@ -81,9 +81,36 @@ WgttController::ClientState& WgttController::client_state(
   if (!st.selector) {
     st.selector = std::make_unique<MedianEsnrSelector>(
         cfg_.selection_window, cfg_.min_readings, cfg_.use_latest_reading);
+    st.policy = make_handoff_policy(
+        cfg_.policy, PolicyTuning{cfg_.switch_hysteresis,
+                                  cfg_.switch_margin_db});
   }
   return st;
 }
+
+/// Binds the controller's fault-tolerance view and the scenario's mobility
+/// feed to one (client, selection pass) for HandoffPolicy::decide.
+struct WgttController::PolicyEnvImpl final : PolicyEnv {
+  PolicyEnvImpl(WgttController& c, ClientState& s, net::NodeId cl, Time t)
+      : self(c), st(s), client(cl), now(t) {}
+  bool fault_aware() const override { return self.injector_ != nullptr; }
+  net::NodeId select_live() override {
+    return self.select_live(st, client, now);
+  }
+  bool ap_live(net::NodeId ap) const override { return self.ap_live(ap); }
+  MobilityHint mobility() const override {
+    auto it = self.mobility_.find(client);
+    return it == self.mobility_.end() ? MobilityHint{} : it->second(now);
+  }
+  const std::vector<ApSite>& ap_sites() const override {
+    return self.cfg_.ap_sites;
+  }
+
+  WgttController& self;
+  ClientState& st;
+  net::NodeId client;
+  Time now;
+};
 
 // ---------------------------------------------------------------------------
 // Backhaul ingress
@@ -204,6 +231,7 @@ void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
   st.selector->prune(sched_.now());
   const bool rec = recorder_ && net::flight_recorded(shared->type);
   bool active_covered = false;
+  bool prearm_covered = false;
   if (!cfg_.fanout_active_only) {
     for (net::NodeId ap : st.selector->aps_in_range(sched_.now())) {
       if (rec) {
@@ -216,6 +244,25 @@ void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
       backhaul_.send(net::encapsulate(shared, net::kControllerId, ap));
       ++stats_.downlink_copies;
       if (ap == st.active_ap) active_covered = true;
+      if (ap == st.prearm_ap) prearm_covered = true;
+    }
+    // Policy pre-arm (predictive): the next AP along the trajectory buffers
+    // copies before its CSI puts it in the range set, so a future
+    // start(c, k) finds the backlog already in place.
+    if (st.prearm_ap != 0 && !prearm_covered &&
+        st.prearm_ap != st.active_ap) {
+      if (rec) {
+        recorder_->record(shared->uid, sched_.now(), net::Hop::kCtrlFanout,
+                          net::kControllerId,
+                          {{"ap", st.prearm_ap},
+                           {"index", shared->index},
+                           {"active", 0},
+                           {"prearm", 1}});
+      }
+      backhaul_.send(
+          net::encapsulate(shared, net::kControllerId, st.prearm_ap));
+      ++stats_.downlink_copies;
+      ++stats_.prearm_copies;
     }
   }
   if (!active_covered) {
@@ -244,6 +291,7 @@ void WgttController::log_decision(net::NodeId client, const ClientState& st,
   rec.client = client;
   rec.incumbent = st.active_ap;
   rec.chosen = chosen;
+  rec.policy = st.policy ? st.policy->name() : "";
   rec.outcome = outcome;
   rec.reason = reason;
   rec.margin_db = cfg_.switch_margin_db;
@@ -290,62 +338,38 @@ void WgttController::run_selection() {
       attempt_failover(client, st, now);
       continue;
     }
-    if (now - st.last_switch < cfg_.switch_hysteresis) {
-      if (decision_log_) {
-        log_decision(client, st, now, DecisionOutcome::kDefer,
-                     DecisionReason::kHysteresis, /*chosen=*/0,
-                     cfg_.switch_hysteresis - (now - st.last_switch));
-      }
-      continue;
-    }
-    st.selector->prune(now);
-
-    // With faults possible, exclude suspect/quarantined APs and frozen-CSI
-    // candidates; without an injector this is exactly the paper's argmax.
-    const net::NodeId best = injector_ != nullptr
-                                 ? select_live(st, client, now)
-                                 : st.selector->select(now);
-    if (best == 0) {
-      if (decision_log_) {
-        log_decision(client, st, now, DecisionOutcome::kKeep,
-                     DecisionReason::kNoCandidate, /*chosen=*/0, Time::zero());
-      }
-      continue;
-    }
-    if (best == st.active_ap) {
-      if (decision_log_) {
-        log_decision(client, st, now, DecisionOutcome::kKeep,
-                     DecisionReason::kIncumbentBest, best, Time::zero());
-      }
-      continue;
-    }
-    const auto best_median = st.selector->median(best, now);
-    const auto active_median = st.selector->median(st.active_ap, now);
-    if (active_median &&
-        *best_median < *active_median + cfg_.switch_margin_db) {
-      if (decision_log_) {
-        log_decision(client, st, now, DecisionOutcome::kKeep,
-                     DecisionReason::kBelowMargin, best, Time::zero());
-      }
-      continue;
-    }
+    // The keep/switch/defer question itself is delegated to the client's
+    // HandoffPolicy (median_esnr by default — the paper's §3.1.1 rule,
+    // reproduced decision for decision).  The policy prunes the windows and
+    // reads medians; the controller keeps the FSM, protocol, and audit log.
+    PolicyEnvImpl env(*this, st, client, now);
+    const PolicyDecision d = st.policy->decide(
+        PolicyInput{client, st.active_ap, now, st.last_switch,
+                    *st.selector, env});
+    st.prearm_ap =
+        (d.prearm != 0 && d.prearm != st.active_ap) ? d.prearm : 0;
     if (decision_log_) {
-      log_decision(client, st, now, DecisionOutcome::kSwitch,
-                   DecisionReason::kChallengerAhead, best, Time::zero());
+      log_decision(client, st, now, d.outcome, d.reason, d.target,
+                   d.hysteresis_remaining);
     }
-    initiate_switch(client, st, best);
+    if (d.outcome == DecisionOutcome::kSwitch) {
+      initiate_switch(client, st, d.target, d.style, d.bicast_hold);
+    }
   }
   sched_.schedule(cfg_.selection_period, [this]() { run_selection(); });
 }
 
 void WgttController::initiate_switch(net::NodeId client, ClientState& st,
-                                     net::NodeId target) {
+                                     net::NodeId target, SwitchStyle style,
+                                     Time bicast_hold) {
   ++stats_.switches_initiated;
   st.switch_in_flight = true;
   st.switch_id = next_switch_id_++;
   st.switch_target = target;
   st.switch_started = sched_.now();
   st.stop_retx = 0;
+  st.switch_style = style;
+  st.bicast_hold = bicast_hold;
   if (tracer_) {
     tracer_->instant("core", "switch_start", sched_.now(),
                      static_cast<std::int64_t>(net::kControllerId),
@@ -359,7 +383,14 @@ void WgttController::initiate_switch(net::NodeId client, ClientState& st,
                        {"from", st.active_ap},
                        {"to", target}});
   }
-  send_stop(client, st);
+  if (style == SwitchStyle::kStopStart) {
+    send_stop(client, st);
+  } else {
+    // Make-before-break / bicast: the challenger starts first; the incumbent
+    // keeps transmitting until quenched after the ack.
+    ++stats_.direct_starts;
+    send_direct_start(client, st);
+  }
 }
 
 void WgttController::send_stop(net::NodeId client, ClientState& st) {
@@ -394,6 +425,60 @@ void WgttController::send_stop(net::NodeId client, ClientState& st) {
     ++cs.stop_retx;
     send_stop(client, cs);
   });
+}
+
+void WgttController::send_direct_start(net::NodeId client, ClientState& st) {
+  // Unlike stop(c)-relayed starts there is no first-unsent index (no ioctl
+  // ran at the incumbent): the challenger resumes from its own cyclic head.
+  // Quench deactivations rewind the head to the true first-unsent index, so
+  // a challenger that held this client before restarts exactly where it
+  // stopped — overlapping the incumbent's current range, the deliberate
+  // duplication the client-side dedup layer absorbs.
+  net::Packet p;
+  p.type = net::PacketType::kStart;
+  p.size_bytes = StartMsg::kWireBytes;
+  StartMsg msg;
+  msg.client = client;
+  msg.first_unsent_index = kResumeHeadIndex;
+  msg.switch_id = st.switch_id;
+  msg.from_ap = 0;
+  p.payload = msg;
+  send_to(st.switch_target, std::move(p));
+
+  st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {
+    auto it = clients_.find(client);
+    if (it == clients_.end() || !it->second.switch_in_flight) return;
+    ClientState& cs = it->second;
+    if (cs.stop_retx >= cfg_.max_control_retries) {
+      // The challenger is not answering; the incumbent was never stopped, so
+      // abandoning simply leaves the client where it was.
+      cs.switch_in_flight = false;
+      ++stats_.abandoned_switches;
+      WGTT_LOG(kWarn, "controller",
+               "abandoning start-first switch for client "
+                   << client << " after " << cs.stop_retx << " retries");
+      return;
+    }
+    ++stats_.stop_retransmissions;
+    ++cs.stop_retx;
+    send_direct_start(client, cs);
+  });
+}
+
+void WgttController::send_quench(net::NodeId ap, net::NodeId client,
+                                 net::NodeId new_ap,
+                                 std::uint32_t switch_id) {
+  ++stats_.quench_stops;
+  net::Packet p;
+  p.type = net::PacketType::kStop;
+  p.size_bytes = StopMsg::kWireBytes;
+  StopMsg msg;
+  msg.client = client;
+  msg.next_ap = new_ap;
+  msg.switch_id = switch_id;
+  msg.quench = true;  // the successor is already active: no start relay
+  p.payload = msg;
+  send_to(ap, std::move(p));
 }
 
 void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
@@ -436,11 +521,44 @@ void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
                        {"gap_us", (rec.completed - rec.initiated).to_ns() / 1000}});
   }
 
+  const net::NodeId old_ap = st.active_ap;
+  const SwitchStyle style = st.switch_style;
   st.active_ap = msg.new_ap;
   st.switch_in_flight = false;
   st.failover_in_flight = false;
   st.last_switch = sched_.now();
-  broadcast_active(msg.client, msg.new_ap, /*bootstrap=*/false);
+  st.switch_style = SwitchStyle::kStopStart;
+  if (style != SwitchStyle::kStopStart && old_ap != 0 &&
+      old_ap != msg.new_ap) {
+    // Start-first styles never sent stop(c): quench the incumbent now —
+    // immediately for make-before-break, after the overlap window for
+    // bicast (during which both APs transmit and the client de-duplicates).
+    if (style == SwitchStyle::kBicast && st.bicast_hold > Time::zero()) {
+      ++stats_.bicast_windows;
+      sched_.schedule(st.bicast_hold,
+                      [this, old_ap, client = msg.client,
+                       new_ap = msg.new_ap, id = msg.switch_id]() {
+                        // The hold can outlive the next selection round.  If
+                        // the incumbent has been (or is being) re-selected as
+                        // the active AP, a late quench would silence the very
+                        // AP the client now depends on — skip it; the switch
+                        // that re-chose it quenches the other side.
+                        auto cit = clients_.find(client);
+                        if (cit != clients_.end() &&
+                            (cit->second.active_ap == old_ap ||
+                             (cit->second.switch_in_flight &&
+                              cit->second.switch_target == old_ap))) {
+                          ++stats_.quenches_skipped;
+                          return;
+                        }
+                        send_quench(old_ap, client, new_ap, id);
+                      });
+    } else {
+      send_quench(old_ap, msg.client, msg.new_ap, msg.switch_id);
+    }
+  }
+  broadcast_active(msg.client, msg.new_ap, /*bootstrap=*/false,
+                   /*overlap=*/style != SwitchStyle::kStopStart);
   if (on_switch) on_switch(rec);
 }
 
@@ -599,6 +717,9 @@ void WgttController::attempt_failover(net::NodeId client, ClientState& st,
   st.switch_target = target;
   st.switch_started = now;
   st.stop_retx = 0;
+  // The incumbent is dead: plain stop-start semantics (no quench on ack),
+  // whatever style the policy last used.
+  st.switch_style = SwitchStyle::kStopStart;
   if (tracer_) {
     tracer_->instant("core", "switch_start", now,
                      static_cast<std::int64_t>(net::kControllerId),
@@ -668,7 +789,7 @@ void WgttController::log_liveness(net::NodeId ap, const char* event,
 }
 
 void WgttController::broadcast_active(net::NodeId client, net::NodeId ap,
-                                      bool bootstrap) {
+                                      bool bootstrap, bool overlap) {
   for (net::NodeId dest : ap_ids_) {
     net::Packet p;
     p.type = net::PacketType::kActiveAp;
@@ -677,6 +798,7 @@ void WgttController::broadcast_active(net::NodeId client, net::NodeId ap,
     msg.client = client;
     msg.active_ap = ap;
     msg.bootstrap = bootstrap;
+    msg.overlap = overlap;
     p.payload = msg;
     send_to(dest, std::move(p));
   }

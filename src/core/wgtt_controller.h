@@ -26,6 +26,7 @@
 #include "core/control_messages.h"
 #include "core/decision_log.h"
 #include "core/dedup.h"
+#include "core/handoff_policy.h"
 #include "net/backhaul.h"
 #include "net/fault_injector.h"
 #include "net/flight_recorder.h"
@@ -72,6 +73,14 @@ struct ControllerConfig {
   /// Consecutive byte-identical ESNR readings from one (client, AP) pair
   /// before the AP's CSI is considered frozen and excluded from selection.
   std::size_t stale_csi_repeats = 8;
+
+  // -- handoff policy ------------------------------------------------------
+  /// Which HandoffPolicy answers the per-client keep/switch/defer question.
+  /// The default reproduces the paper's median-ESNR algorithm byte for byte.
+  PolicySpec policy{};
+  /// Roadside AP sites for trajectory-predicting policies.  Filled by the
+  /// scenario layer from the testbed geometry; empty in bare unit tests.
+  std::vector<ApSite> ap_sites{};
 };
 
 struct SwitchRecord {
@@ -100,6 +109,12 @@ struct ControllerStats {
   std::uint64_t liveness_quarantines = 0;  // flapping APs put in backoff
   std::uint64_t abandoned_switches = 0;    // control retries exhausted
   std::uint64_t stale_csi_exclusions = 0;  // frozen-CSI selection vetoes
+  // Handoff-policy extensions (all zero under the default median policy):
+  std::uint64_t prearm_copies = 0;         // extra fan-out to pre-armed APs
+  std::uint64_t direct_starts = 0;         // start-first switch initiations
+  std::uint64_t quench_stops = 0;          // post-ack incumbent quenches
+  std::uint64_t bicast_windows = 0;        // overlap windows opened
+  std::uint64_t quenches_skipped = 0;      // stale quenches suppressed
 };
 
 class WgttController {
@@ -125,6 +140,14 @@ class WgttController {
   /// Median-ESNR table for a client (diagnostics / AP-selection tests).
   std::optional<double> median_esnr(net::NodeId client, net::NodeId ap) const;
 
+  /// Kinematics feed for trajectory-predicting policies: sampled on demand
+  /// during the selection pass.  Plain doubles, so the scenario layer can
+  /// adapt any channel::MobilityModel without a core -> channel dependency.
+  using MobilityProvider = std::function<MobilityHint(Time)>;
+  void set_mobility_provider(net::NodeId client, MobilityProvider provider) {
+    mobility_[client] = std::move(provider);
+  }
+
   const ControllerStats& stats() const { return stats_; }
   const std::vector<SwitchRecord>& switch_log() const { return switch_log_; }
   const ControllerConfig& config() const { return cfg_; }
@@ -139,6 +162,7 @@ class WgttController {
   struct ClientState {
     net::NodeId active_ap = 0;
     std::unique_ptr<MedianEsnrSelector> selector;  // per-client windows
+    std::unique_ptr<HandoffPolicy> policy;         // per-client instance
     std::uint32_t next_index = 0;     // cyclic downlink index counter
     Time last_switch = Time::zero();  // hysteresis anchor
     // Switch FSM: at most one outstanding switch per client (§3.1.2 fn. 2).
@@ -149,6 +173,11 @@ class WgttController {
     unsigned stop_retx = 0;
     sim::EventId retx_event;
     bool failover_in_flight = false;  // current switch is a liveness failover
+    /// How the in-flight switch hands over (policy-chosen; §3.1.2 default).
+    SwitchStyle switch_style = SwitchStyle::kStopStart;
+    Time bicast_hold;                 // incumbent overlap (kBicast only)
+    /// Extra fan-out target requested by the policy (0 = none).
+    net::NodeId prearm_ap = 0;
     std::map<net::NodeId, CsiRepeat> csi_repeat;  // only fed when injector on
   };
 
@@ -183,14 +212,28 @@ class WgttController {
   void log_liveness(net::NodeId ap, const char* event, std::uint32_t flaps,
                     Time quarantine);
 
+  /// PolicyEnv adapter handed to HandoffPolicy::decide (defined in the
+  /// .cpp): binds the controller's liveness view and mobility providers to
+  /// one (client, pass).
+  struct PolicyEnvImpl;
+
   void run_selection();
   void log_decision(net::NodeId client, const ClientState& st, Time now,
                     DecisionOutcome outcome, DecisionReason reason,
                     net::NodeId chosen, Time hysteresis_remaining);
-  void initiate_switch(net::NodeId client, ClientState& st,
-                       net::NodeId target);
+  void initiate_switch(net::NodeId client, ClientState& st, net::NodeId target,
+                       SwitchStyle style = SwitchStyle::kStopStart,
+                       Time bicast_hold = Time::zero());
   void send_stop(net::NodeId client, ClientState& st);
-  void broadcast_active(net::NodeId client, net::NodeId ap, bool bootstrap);
+  /// Start-first styles: originate start(c, resume-from-head) at the target
+  /// without stopping the incumbent (it is quenched after the ack).
+  void send_direct_start(net::NodeId client, ClientState& st);
+  /// Tell `ap` to stop transmitting to `client` with no handover relay (the
+  /// successor is already active).
+  void send_quench(net::NodeId ap, net::NodeId client, net::NodeId new_ap,
+                   std::uint32_t switch_id);
+  void broadcast_active(net::NodeId client, net::NodeId ap, bool bootstrap,
+                        bool overlap = false);
   ClientState& client_state(net::NodeId client);
   void send_to(net::NodeId dst, net::Packet fields);
 
@@ -199,6 +242,7 @@ class WgttController {
   std::vector<net::NodeId> ap_ids_;
   ControllerConfig cfg_;
   std::map<net::NodeId, ClientState> clients_;
+  std::map<net::NodeId, MobilityProvider> mobility_;
   Deduplicator dedup_;
   std::uint32_t next_switch_id_ = 1;
   ControllerStats stats_;

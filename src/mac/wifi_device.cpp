@@ -202,6 +202,22 @@ void WifiDevice::update_peer_esnr(net::NodeId peer, double esnr_db,
   if (esnr_rc) esnr_rc->update_esnr(esnr_db, now);
 }
 
+void WifiDevice::set_shadow_stream(net::NodeId peer, bool on) {
+  // find(), not peer_state(): clearing shadow for a peer this radio never
+  // queued for must not materialize per-peer MAC state.
+  auto it = peers_.find(peer);
+  if (it != peers_.end()) {
+    it->second.shadow_stream = on;
+  } else if (on) {
+    peer_state(peer).shadow_stream = true;
+  }
+}
+
+bool WifiDevice::shadow_stream(net::NodeId peer) const {
+  auto it = peers_.find(peer);
+  return it != peers_.end() && it->second.shadow_stream;
+}
+
 void WifiDevice::maybe_start_tx() {
   if (down_ || in_flight_ || tx_armed_ || mgmt_in_flight_) return;
   if (!mgmt_queue_.empty()) {
@@ -350,13 +366,17 @@ void WifiDevice::evaluate_receptions(PendingExchange& ex, Time data_time,
       meta.csi = csi;
       meta.addressed = true;
       meta.mcs_index = ex.mcs->index;
+      // Overlap windows deliver under our own id, not the shared BSSID, so
+      // the client's reorder buffer treats us as an independent transmitter
+      // and duplicate copies surface at the IP layer (set_shadow_stream()).
+      const net::NodeId stream = shadow_stream(ex.peer) ? self_ : cfg_.bssid;
       for (const Mpdu& m : ex.aggregate) {
         if (rng_.bernoulli(em.delivery_probability(*ex.mcs, esnr,
                                                    m.pkt->size_bytes))) {
           ba.bitmap.set(seq_distance(ba.start_seq, m.seq));
           client_got_any = true;
           ctx_.sched().schedule_at(
-              deliver_at, [client, stream = cfg_.bssid, seq = m.seq,
+              deliver_at, [client, stream, seq = m.seq,
                            pkt = m.pkt, meta]() {
                 client->deliver_upward(stream, seq, pkt, meta);
               });

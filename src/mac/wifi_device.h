@@ -209,6 +209,17 @@ class WifiDevice {
   /// Minstrel radios).
   void update_peer_esnr(net::NodeId peer, double esnr_db, Time now);
 
+  /// AP-side, WGTT overlap windows (start-first / bicast): while another AP
+  /// is the active member of the shared BSSID, this radio's downlink frames
+  /// to `peer` are delivered under this device's own id as the reorder
+  /// stream instead of the BSSID.  The client then sees a second independent
+  /// transmitter — as in a classic make-before-break double association —
+  /// so the duplicate copies reach the IP layer (where dedup absorbs them)
+  /// rather than being silently swallowed by the shared-BSSID BA reorder
+  /// buffer, which holds the same index-derived sequence numbers.
+  void set_shadow_stream(net::NodeId peer, bool on);
+  bool shadow_stream(net::NodeId peer) const;
+
   const DeviceStats& stats() const { return stats_; }
 
  private:
@@ -220,6 +231,9 @@ class WifiDevice {
     /// Set by flush_queue(): failures of the exchange already in flight are
     /// dropped rather than re-queued (the peer has been handed over).
     bool quench_pending = false;
+    /// Overlap-window delivery under our own id instead of the shared BSSID
+    /// (see set_shadow_stream()).
+    bool shadow_stream = false;
   };
   struct PendingExchange {
     net::NodeId peer = 0;

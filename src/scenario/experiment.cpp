@@ -224,6 +224,7 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
         wgtt->controller().stats().stop_retransmissions;
     result.uplink_duplicates_removed =
         wgtt->controller().stats().uplink_duplicates;
+    result.downlink_duplicates_removed = wgtt->client_duplicates_removed();
     result.switch_latencies_ms =
         wgtt->controller().stats().switch_latency_ms.samples();
   }

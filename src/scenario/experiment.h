@@ -82,6 +82,9 @@ struct DriveResult {
   std::vector<core::SwitchRecord> switches;
   std::uint64_t stop_retransmissions = 0;
   std::uint64_t uplink_duplicates_removed = 0;
+  /// Downlink duplicates absorbed at the clients (nonzero only under
+  /// start-first / bicast handoff policies).
+  std::uint64_t downlink_duplicates_removed = 0;
   std::vector<double> switch_latencies_ms;
   /// Every instrument the sim recorded (empty when testbed.enable_metrics
   /// is false).  Exported into the bench reports' "metrics" section.

@@ -28,6 +28,9 @@ RunReport make_run_report(std::string label, const DriveScenarioConfig& cfg,
   r.label = std::move(label);
   r.system = to_string(cfg.system);
   r.traffic = to_string(cfg.traffic);
+  r.policy = cfg.system == SystemType::kWgtt
+                 ? cfg.wgtt.controller.policy.to_string()
+                 : "client_roam";
   r.speed_mph = cfg.speed_mph;
   r.seed = cfg.seed;
   r.num_clients = cfg.num_clients;
@@ -69,6 +72,7 @@ std::string SweepReport::to_json() const {
     w.field("label", r.label);
     w.field("system", r.system);
     w.field("traffic", r.traffic);
+    w.field("policy", r.policy);
     w.field("speed_mph", r.speed_mph);
     w.field("seed", r.seed);
     w.field("num_clients", r.num_clients);

@@ -27,6 +27,11 @@ struct RunReport {
   // Config axes.
   std::string system;
   std::string traffic;
+  /// Handoff policy (canonical spec, e.g. "median_esnr" or
+  /// "bicast:hold_ms=20") for WGTT runs; "client_roam" for the 802.11r
+  /// baselines, whose clients pick their own AP.  wgtt-report diff refuses
+  /// to compare runs whose policies differ.
+  std::string policy;
   double speed_mph = 0.0;
   std::uint64_t seed = 0;
   std::size_t num_clients = 1;

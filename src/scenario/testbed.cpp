@@ -184,6 +184,18 @@ WgttNetwork::WgttNetwork(Testbed& bed, WgttNetworkConfig cfg)
   for (std::size_t i = 0; i < n_aps; ++i) {
     ap_ids.push_back(static_cast<net::NodeId>(i + 1));
   }
+  // Roadside geometry for trajectory-predicting handoff policies.
+  cfg_.controller.ap_sites.clear();
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    cfg_.controller.ap_sites.push_back(core::ApSite{
+        static_cast<net::NodeId>(i + 1), bed_.config().ap_x[i],
+        bed_.config().ap_y, bed_.config().ap_z});
+  }
+  if (core::policy_duplicates_downlink(cfg_.controller.policy)) {
+    if (auto* reg = metrics::MetricsRegistry::current()) {
+      m_client_dedup_ = &reg->counter("client.dedup_hits");
+    }
+  }
   controller_ = std::make_unique<core::WgttController>(
       bed_.sched(), bed_.backhaul(), ap_ids, cfg_.controller);
   controller_->on_uplink = [this](net::PacketPtr pkt) {
@@ -258,6 +270,7 @@ void WgttNetwork::scan_tick(net::NodeId client) {
 
 net::NodeId WgttNetwork::add_client(
     std::shared_ptr<const channel::MobilityModel> mob, Time associate_at) {
+  std::shared_ptr<const channel::MobilityModel> mob_ref = mob;
   const net::NodeId id = bed_.add_client(std::move(mob), kWgttBssid);
   mac::WifiDevice& dev = bed_.client_device(id);
   dev.set_keepalive_peer(kWgttBssid);
@@ -266,9 +279,45 @@ net::NodeId WgttNetwork::add_client(
     bed_.sched().schedule(cfg_.scan_report_period,
                           [this, id]() { scan_tick(id); });
   }
-  dev.on_deliver = [this](net::PacketPtr pkt, const mac::RxMeta&) {
-    client_rx_.deliver(pkt);
-  };
+  // Kinematics hints for trajectory-predicting policies (plain doubles so
+  // core never depends on channel/).
+  controller_->set_mobility_provider(id, [mob_ref](Time t) {
+    core::MobilityHint h;
+    const channel::Vec3 p = mob_ref->position(t);
+    const channel::Vec3 v = mob_ref->velocity(t);
+    h.valid = true;
+    h.x = p.x; h.y = p.y; h.z = p.z;
+    h.vx = v.x; h.vy = v.y; h.vz = v.z;
+    return h;
+  });
+  if (core::policy_duplicates_downlink(cfg_.controller.policy)) {
+    // Start-first / bicast handoffs deliver overlap duplicates over the
+    // air; absorb them at the client exactly as the controller does for
+    // uplink fan-in (§3.2.3, same (src, IP-ID) key).
+    auto dedup = std::make_shared<core::Deduplicator>(Time::sec(2));
+    client_dedups_[id] = dedup;
+    dev.on_deliver = [this, id, dedup](net::PacketPtr pkt,
+                                       const mac::RxMeta&) {
+      if (core::Deduplicator::needs_dedup(*pkt) &&
+          dedup->is_duplicate(*pkt, bed_.sched().now())) {
+        if (m_client_dedup_) m_client_dedup_->add();
+        // Resolved per delivery: the flight recorder is installed after the
+        // testbed is built, so a construction-time capture would be null.
+        if (auto* recorder = net::FlightRecorder::current()) {
+          recorder->drop(pkt->uid, bed_.sched().now(),
+                         net::Hop::kDedupSuppress, id,
+                         net::DropCause::kDuplicate,
+                         {{"ip_id", pkt->ip_id}});
+        }
+        return;
+      }
+      client_rx_.deliver(pkt);
+    };
+  } else {
+    dev.on_deliver = [this](net::PacketPtr pkt, const mac::RxMeta&) {
+      client_rx_.deliver(pkt);
+    };
+  }
   // Schedule the association handshake; retry until it succeeds.
   std::function<void()> try_associate = [this, id, &dev]() {
     const net::NodeId target =
@@ -315,6 +364,15 @@ void WgttNetwork::retry_associate(net::NodeId client) {
                           });
                         }
                       });
+}
+
+std::uint64_t WgttNetwork::client_duplicates_removed() const {
+  std::uint64_t total = 0;
+  for (const auto& [client, dedup] : client_dedups_) {
+    (void)client;
+    total += dedup->duplicates_dropped();
+  }
+  return total;
 }
 
 void WgttNetwork::client_uplink(net::NodeId client, net::PacketPtr pkt) {

@@ -324,6 +324,9 @@ class WgttNetwork {
   /// Channel the AP with this id operates on.
   unsigned ap_channel(net::NodeId ap) const;
   bool multi_channel() const { return !cfg_.ap_channels.empty(); }
+  /// Downlink duplicates absorbed at the clients (start-first / bicast
+  /// policies interpose a per-client Deduplicator; 0 for stop-start).
+  std::uint64_t client_duplicates_removed() const;
 
  private:
   void retry_associate(net::NodeId client);
@@ -337,6 +340,10 @@ class WgttNetwork {
   std::map<net::NodeId, std::unique_ptr<core::WgttAp>> aps_;
   FlowRouter client_rx_;
   FlowRouter server_rx_;
+  /// Client-side downlink dedup (only populated when the configured policy
+  /// intentionally duplicates: make_before_break / bicast overlap windows).
+  std::map<net::NodeId, std::shared_ptr<core::Deduplicator>> client_dedups_;
+  metrics::Counter* m_client_dedup_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

@@ -73,6 +73,61 @@ TEST(MobilityTest, WaypointVelocity) {
   EXPECT_DOUBLE_EQ(m.velocity(Time::sec(50)).x, 0.0);  // stopped at the end
 }
 
+// PredictivePolicy steers on these hints, so the boundary semantics are
+// load-bearing: exactly at an interior waypoint the velocity must belong to
+// the segment being *entered* (segments are half-open [a, b)), and outside
+// the schedule the client is parked.
+TEST(MobilityTest, WaypointVelocityAtSegmentBoundaries) {
+  WaypointMobility m({{Time::sec(0), {0, 0, 0}},
+                      {Time::sec(10), {10, 0, 0}},     // 1 m/s east
+                      {Time::sec(20), {10, 20, 0}}});  // 2 m/s north
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(0)).x, 1.0);
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(0)).y, 0.0);
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(10)).x, 0.0);
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(10)).y, 2.0);
+  // Parked before the first and from the last waypoint on.
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(0) - Time::ms(1)).norm(), 0.0);
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(20)).norm(), 0.0);
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(25)).norm(), 0.0);
+}
+
+// Duplicate-time waypoints (a teleport / stop marker) must not divide by the
+// zero segment span: position snaps to the later waypoint, velocity stays
+// finite, and the jump's path length still accumulates.
+TEST(MobilityTest, WaypointZeroLengthSegment) {
+  WaypointMobility m({{Time::sec(0), {0, 0, 0}},
+                      {Time::sec(10), {10, 0, 0}},
+                      {Time::sec(10), {12, 0, 0}},
+                      {Time::sec(20), {12, 5, 0}}});
+  EXPECT_DOUBLE_EQ(m.position(Time::sec(10)).x, 12.0);
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(10)).x, 0.0);
+  EXPECT_DOUBLE_EQ(m.velocity(Time::sec(10)).y, 0.5);
+  EXPECT_TRUE(std::isfinite(m.velocity(Time::sec(10)).norm()));
+  EXPECT_DOUBLE_EQ(m.distance_travelled(Time::sec(10)), 12.0);
+  EXPECT_DOUBLE_EQ(m.distance_travelled(Time::sec(20)), 17.0);
+  // A trailing zero-length segment parks the client at the final position.
+  WaypointMobility tail({{Time::sec(0), {0, 0, 0}},
+                         {Time::sec(5), {5, 0, 0}},
+                         {Time::sec(5), {6, 0, 0}}});
+  EXPECT_DOUBLE_EQ(tail.position(Time::sec(5)).x, 6.0);
+  EXPECT_DOUBLE_EQ(tail.velocity(Time::sec(5)).norm(), 0.0);
+}
+
+// speed_mps is defined as |velocity| for every model — the predictive
+// policy's along-track projection assumes the two agree.
+TEST(MobilityTest, SpeedMpsMatchesVelocityNorm) {
+  WaypointMobility m(
+      {{Time::sec(0), {0, 0, 0}}, {Time::sec(10), {30, 40, 0}}});
+  EXPECT_DOUBLE_EQ(m.speed_mps(Time::sec(5)), 5.0);
+  EXPECT_DOUBLE_EQ(m.speed_mps(Time::sec(5)),
+                   m.velocity(Time::sec(5)).norm());
+  EXPECT_DOUBLE_EQ(m.speed_mps(Time::sec(15)), 0.0);  // clamped: parked
+  LinearMobility lin({0, 0, 0}, {3, 4, 0});
+  EXPECT_DOUBLE_EQ(lin.speed_mps(Time::sec(7)), 5.0);
+  StaticMobility st({1, 1, 1});
+  EXPECT_DOUBLE_EQ(st.speed_mps(Time::sec(1)), 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Antennas
 // ---------------------------------------------------------------------------

@@ -1,0 +1,374 @@
+// Handoff-policy suite (ctest label: policy).
+//
+// Locks down the HandoffPolicy seam from three sides: the PolicySpec
+// grammar and factory, each shipped policy's decision logic against a fake
+// PolicyEnv (hysteresis gates, margin checks, switch styles, trajectory
+// prediction), and full drives proving (a) an explicit median_esnr spec
+// replays the default controller byte for byte, (b) the overlap policies
+// (make_before_break, bicast) really deliver duplicate downlink frames that
+// the client-side Deduplicator absorbs, and (c) every policy stamps its
+// name into the decision log and the bench reports.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ap_selector.h"
+#include "core/handoff_policy.h"
+#include "scenario/experiment.h"
+#include "scenario/report.h"
+#include "util/time.h"
+
+namespace wgtt {
+namespace {
+
+using core::DecisionOutcome;
+using core::DecisionReason;
+using core::HandoffPolicy;
+using core::MedianEsnrSelector;
+using core::PolicyDecision;
+using core::PolicyInput;
+using core::PolicySpec;
+using core::PolicyTuning;
+using core::SwitchStyle;
+
+// ---------------------------------------------------------------------------
+// PolicySpec grammar + factory
+// ---------------------------------------------------------------------------
+
+TEST(PolicySpecTest, ParsesNameAndParams) {
+  PolicySpec spec;
+  ASSERT_TRUE(core::parse_policy_spec("median_esnr", spec));
+  EXPECT_EQ(spec.name, "median_esnr");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.to_string(), "median_esnr");
+
+  ASSERT_TRUE(core::parse_policy_spec("bicast:hold_ms=20", spec));
+  EXPECT_EQ(spec.name, "bicast");
+  EXPECT_DOUBLE_EQ(spec.param("hold_ms", 0.0), 20.0);
+  EXPECT_TRUE(spec.has_param("hold_ms"));
+  EXPECT_FALSE(spec.has_param("margin_db"));
+  EXPECT_EQ(spec.to_string(), "bicast:hold_ms=20");
+
+  ASSERT_TRUE(core::parse_policy_spec(
+      "predictive:hysteresis_scale=0.25,min_speed_mps=1", spec));
+  EXPECT_EQ(spec.name, "predictive");
+  EXPECT_DOUBLE_EQ(spec.param("hysteresis_scale", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(spec.param("min_speed_mps", 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(spec.param("absent", 7.0), 7.0);
+}
+
+TEST(PolicySpecTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",                      // empty name
+      "bogus",                 // unknown policy
+      "bicast:hold_ms",        // param without '='
+      "bicast:=5",             // param without a key
+      "bicast:hold_ms=abc",    // non-numeric value
+      "bicast:hold_ms=5,",     // trailing empty param
+      "median_esnr:a=1,,b=2",  // empty param in the middle
+  };
+  for (const char* text : bad) {
+    PolicySpec spec;
+    std::string err;
+    EXPECT_FALSE(core::parse_policy_spec(text, spec, &err)) << text;
+    EXPECT_FALSE(err.empty()) << text;
+  }
+}
+
+TEST(PolicySpecTest, KnownNamesAndDuplicationFlags) {
+  const auto& names = core::policy_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    PolicySpec spec;
+    EXPECT_TRUE(core::parse_policy_spec(name, spec)) << name;
+    const auto policy = core::make_handoff_policy(spec, PolicyTuning{});
+    EXPECT_EQ(policy->name(), name);
+  }
+  PolicySpec spec;
+  EXPECT_FALSE(core::policy_duplicates_downlink(spec));  // median_esnr
+  spec.name = "predictive";
+  EXPECT_FALSE(core::policy_duplicates_downlink(spec));
+  spec.name = "make_before_break";
+  EXPECT_TRUE(core::policy_duplicates_downlink(spec));
+  spec.name = "bicast";
+  EXPECT_TRUE(core::policy_duplicates_downlink(spec));
+}
+
+TEST(PolicySpecTest, FactoryFallsBackToMedianOnUnknownName) {
+  PolicySpec spec;
+  spec.name = "not_a_policy";  // benches validate; the factory stays lenient
+  const auto policy = core::make_handoff_policy(spec, PolicyTuning{});
+  EXPECT_STREQ(policy->name(), "median_esnr");
+}
+
+TEST(MobilityHintTest, SpeedIsVelocityNorm) {
+  core::MobilityHint hint;
+  EXPECT_DOUBLE_EQ(hint.speed_mps(), 0.0);
+  hint.vx = 3.0;
+  hint.vy = 4.0;
+  EXPECT_DOUBLE_EQ(hint.speed_mps(), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Decision logic against a fake environment
+// ---------------------------------------------------------------------------
+
+class FakeEnv final : public core::PolicyEnv {
+ public:
+  bool fault_aware() const override { return false; }
+  net::NodeId select_live() override { return 0; }
+  bool ap_live(net::NodeId) const override { return true; }
+  core::MobilityHint mobility() const override { return hint; }
+  const std::vector<core::ApSite>& ap_sites() const override { return sites; }
+
+  core::MobilityHint hint;
+  std::vector<core::ApSite> sites;
+};
+
+/// Two in-window readings per AP, so `esnr` is the AP's median.
+void feed(MedianEsnrSelector& sel, Time now, net::NodeId ap, double esnr) {
+  sel.add_reading(ap, now - Time::ms(2), esnr);
+  sel.add_reading(ap, now - Time::ms(1), esnr);
+}
+
+std::unique_ptr<HandoffPolicy> make(const std::string& text,
+                                    Time hysteresis = Time::ms(40),
+                                    double margin_db = 0.0) {
+  PolicySpec spec;
+  EXPECT_TRUE(core::parse_policy_spec(text, spec)) << text;
+  return core::make_handoff_policy(spec,
+                                   PolicyTuning{hysteresis, margin_db});
+}
+
+TEST(MedianPolicyTest, DecisionSequenceMatchesPaperPass) {
+  const Time now = Time::ms(100);
+  FakeEnv env;
+  MedianEsnrSelector sel;
+  auto policy = make("median_esnr");
+
+  // Inside the hysteresis window: defer with the remaining time.
+  PolicyDecision d = policy->decide(
+      PolicyInput{7, 1, now, now - Time::ms(10), sel, env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kDefer);
+  EXPECT_EQ(d.reason, DecisionReason::kHysteresis);
+  EXPECT_EQ(d.hysteresis_remaining, Time::ms(30));
+
+  // No readings at all: keep with no candidate.
+  d = policy->decide(PolicyInput{7, 1, now, Time::zero(), sel, env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kKeep);
+  EXPECT_EQ(d.reason, DecisionReason::kNoCandidate);
+
+  // Incumbent is the argmax: keep.
+  feed(sel, now, 1, 20.0);
+  feed(sel, now, 2, 10.0);
+  d = policy->decide(PolicyInput{7, 1, now, Time::zero(), sel, env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kKeep);
+  EXPECT_EQ(d.reason, DecisionReason::kIncumbentBest);
+  EXPECT_EQ(d.target, 1u);
+
+  // Challenger ahead: switch, stop-then-start style.
+  MedianEsnrSelector sel2;
+  feed(sel2, now, 1, 10.0);
+  feed(sel2, now, 2, 12.0);
+  d = policy->decide(PolicyInput{7, 1, now, Time::zero(), sel2, env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kSwitch);
+  EXPECT_EQ(d.reason, DecisionReason::kChallengerAhead);
+  EXPECT_EQ(d.target, 2u);
+  EXPECT_EQ(d.style, SwitchStyle::kStopStart);
+  EXPECT_EQ(d.prearm, 0u);
+
+  // The same challenger under a 3 dB margin: not ahead enough.
+  auto guarded = make("median_esnr:margin_db=3");
+  d = guarded->decide(PolicyInput{7, 1, now, Time::zero(), sel2, env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kKeep);
+  EXPECT_EQ(d.reason, DecisionReason::kBelowMargin);
+  EXPECT_EQ(d.target, 2u);
+}
+
+TEST(OverlapPolicyTest, SwitchStylesAndBicastHold) {
+  const Time now = Time::ms(100);
+  FakeEnv env;
+  MedianEsnrSelector sel;
+  feed(sel, now, 1, 10.0);
+  feed(sel, now, 2, 12.0);
+  const PolicyInput in{7, 1, now, Time::zero(), sel, env};
+
+  PolicyDecision d = make("make_before_break")->decide(in);
+  EXPECT_EQ(d.outcome, DecisionOutcome::kSwitch);
+  EXPECT_EQ(d.style, SwitchStyle::kStartFirst);
+  EXPECT_EQ(d.bicast_hold, Time::zero());
+
+  d = make("bicast")->decide(in);
+  EXPECT_EQ(d.outcome, DecisionOutcome::kSwitch);
+  EXPECT_EQ(d.style, SwitchStyle::kBicast);
+  EXPECT_EQ(d.bicast_hold, Time::ms(30));  // default hold
+
+  d = make("bicast:hold_ms=50")->decide(in);
+  EXPECT_EQ(d.bicast_hold, Time::ms(50));
+
+  // Keep decisions never carry an overlap style.
+  MedianEsnrSelector keep_sel;
+  feed(keep_sel, now, 1, 20.0);
+  d = make("bicast")->decide(PolicyInput{7, 1, now, Time::zero(), keep_sel,
+                                         env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kKeep);
+  EXPECT_EQ(d.style, SwitchStyle::kStopStart);
+}
+
+TEST(PredictivePolicyTest, PredictsNextSiteAlongTrack) {
+  const Time now = Time::ms(100);
+  FakeEnv env;
+  env.sites = {{1, 0.0, 0.0, 3.0}, {2, 10.0, 0.0, 3.0}, {3, 20.0, 0.0, 3.0}};
+  env.hint.valid = true;
+  env.hint.x = 2.0;
+  env.hint.vx = 5.0;  // heading +x: AP 2 is next, AP 1 is behind
+  MedianEsnrSelector sel;
+  auto policy = make("predictive");
+
+  PolicyDecision d =
+      policy->decide(PolicyInput{7, 1, now, Time::zero(), sel, env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kKeep);  // no CSI yet
+  EXPECT_EQ(d.reason, DecisionReason::kNoCandidate);
+  EXPECT_EQ(d.prearm, 2u) << "should pre-arm the next AP along the track";
+
+  // Parked below min_speed_mps: no prediction, nothing pre-armed.
+  env.hint.vx = 0.2;
+  d = policy->decide(PolicyInput{7, 1, now, Time::zero(), sel, env});
+  EXPECT_EQ(d.prearm, 0u);
+
+  // No mobility provider registered: same.
+  env.hint.valid = false;
+  d = policy->decide(PolicyInput{7, 1, now, Time::zero(), sel, env});
+  EXPECT_EQ(d.prearm, 0u);
+}
+
+TEST(PredictivePolicyTest, CorroborationShortensHysteresis) {
+  const Time now = Time::ms(100);
+  const Time last_switch = now - Time::ms(25);  // inside 40 ms, past 20 ms
+  FakeEnv env;
+  env.sites = {{1, 0.0, 0.0, 3.0}, {2, 10.0, 0.0, 3.0}};
+  env.hint.valid = true;
+  env.hint.x = 2.0;
+  env.hint.vx = 5.0;
+  MedianEsnrSelector sel;
+  feed(sel, now, 1, 10.0);
+  feed(sel, now, 2, 20.0);
+  auto policy = make("predictive");  // default hysteresis_scale = 0.5
+
+  // ESNR argmax (AP 2) agrees with the trajectory: the scaled 20 ms window
+  // has already elapsed, so the switch commits early.
+  PolicyDecision d =
+      policy->decide(PolicyInput{7, 1, now, last_switch, sel, env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kSwitch);
+  EXPECT_EQ(d.target, 2u);
+  EXPECT_EQ(d.style, SwitchStyle::kStopStart);
+  EXPECT_EQ(d.prearm, 2u);
+
+  // Without the mobility hint there is no corroboration: the full 40 ms
+  // window applies and the same instant defers.
+  env.hint.valid = false;
+  d = policy->decide(PolicyInput{7, 1, now, last_switch, sel, env});
+  EXPECT_EQ(d.outcome, DecisionOutcome::kDefer);
+  EXPECT_EQ(d.reason, DecisionReason::kHysteresis);
+  EXPECT_EQ(d.hysteresis_remaining, Time::ms(15));
+}
+
+// ---------------------------------------------------------------------------
+// Full drives: byte-identity, duplicate absorption, log/report attribution
+// ---------------------------------------------------------------------------
+
+scenario::DriveScenarioConfig drive_config(const std::string& policy = {}) {
+  scenario::DriveScenarioConfig cfg;
+  cfg.system = scenario::SystemType::kWgtt;
+  cfg.traffic = scenario::TrafficType::kTcpDownlink;
+  cfg.speed_mph = 25.0;
+  cfg.duration = Time::sec(2);
+  cfg.seed = 7;
+  cfg.testbed.enable_decision_log = true;
+  cfg.testbed.enable_packet_log = true;
+  if (!policy.empty()) {
+    EXPECT_TRUE(
+        core::parse_policy_spec(policy, cfg.wgtt.controller.policy));
+  }
+  return cfg;
+}
+
+std::size_t count_occurrences(const std::string& hay,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(PolicyDriveTest, ExplicitMedianSpecReplaysDefaultByteIdentically) {
+  const scenario::DriveResult def = scenario::run_drive(drive_config());
+  const scenario::DriveResult med =
+      scenario::run_drive(drive_config("median_esnr"));
+  ASSERT_GT(def.decision_records, 0u);
+  EXPECT_EQ(def.decision_jsonl, med.decision_jsonl)
+      << "median_esnr spec diverged from the default controller";
+  EXPECT_EQ(def.packet_jsonl, med.packet_jsonl);
+  // Every selection record is attributed to the paper's policy.
+  EXPECT_GT(count_occurrences(def.decision_jsonl, "\"policy\":\"median_esnr\""),
+            0u);
+  EXPECT_EQ(def.downlink_duplicates_removed, 0u)
+      << "stop-start switching must not duplicate downlink frames";
+}
+
+TEST(PolicyDriveTest, BicastAbsorbsSustainedDuplicationAtTheClient) {
+  const scenario::DriveResult r =
+      scenario::run_drive(drive_config("bicast:hold_ms=50"));
+  EXPECT_GT(r.mean_goodput_mbps(), 0.0);
+  ASSERT_GT(r.switches.size(), 0u) << "drive produced no switches";
+  // During each 50 ms hold both APs transmit the flow; the client-side
+  // Deduplicator must have swallowed the overlap copies.
+  EXPECT_GT(r.downlink_duplicates_removed, 0u)
+      << "bicast hold produced no client-side duplicates";
+  EXPECT_GT(count_occurrences(r.decision_jsonl, "\"policy\":\"bicast"), 0u);
+  EXPECT_GT(count_occurrences(r.decision_jsonl, "\"outcome\":\"switch\""), 0u);
+}
+
+TEST(PolicyDriveTest, MakeBeforeBreakSwitchesAndStaysAttributed) {
+  const scenario::DriveResult r =
+      scenario::run_drive(drive_config("make_before_break"));
+  EXPECT_GT(r.mean_goodput_mbps(), 0.0);
+  EXPECT_GT(r.switches.size(), 0u);
+  EXPECT_GT(
+      count_occurrences(r.decision_jsonl, "\"policy\":\"make_before_break\""),
+      0u);
+  EXPECT_GT(count_occurrences(r.decision_jsonl, "\"outcome\":\"switch\""), 0u);
+}
+
+TEST(PolicyDriveTest, PredictiveDrivesAndStaysAttributed) {
+  const scenario::DriveResult r =
+      scenario::run_drive(drive_config("predictive"));
+  EXPECT_GT(r.mean_goodput_mbps(), 0.0);
+  EXPECT_GT(count_occurrences(r.decision_jsonl, "\"policy\":\"predictive\""),
+            0u);
+  EXPECT_EQ(r.downlink_duplicates_removed, 0u)
+      << "predictive keeps the paper's stop-start switching";
+}
+
+TEST(PolicyReportTest, RunReportsCarryThePolicy) {
+  scenario::DriveScenarioConfig cfg = drive_config("bicast:hold_ms=50");
+  scenario::DriveResult result;  // empty result is fine for labeling
+  scenario::RunReport r = scenario::make_run_report("x", cfg, result);
+  EXPECT_EQ(r.policy, "bicast:hold_ms=50");
+
+  cfg.system = scenario::SystemType::kEnhanced80211r;
+  r = scenario::make_run_report("x", cfg, result);
+  EXPECT_EQ(r.policy, "client_roam");
+
+  scenario::SweepReport sweep;
+  sweep.bench_id = "t";
+  sweep.runs.push_back(r);
+  EXPECT_NE(sweep.to_json().find("\"policy\":\"client_roam\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wgtt
