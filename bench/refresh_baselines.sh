@@ -18,11 +18,14 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build-baseline}"
 baseline_dir="${repo_root}/bench/baselines"
 
-# Bench id -> committed baseline file.  Add a line per gated bench.
+# Bench id -> committed baseline file -> bench args.  Sweep benches run
+# --jobs 1 for stable wall_ms; the hot-path microbench sets its own rep
+# count.  Add a line per gated bench.
 benches=(
-  "fig13_speed_sweep fig13.json"
-  "chaos_sweep chaos.json"
-  "policy_tournament tournament.json"
+  "fig13_speed_sweep fig13.json --jobs 1"
+  "chaos_sweep chaos.json --jobs 1"
+  "policy_tournament tournament.json --jobs 1"
+  "hotpath hotpath.json --reps 5"
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
@@ -37,9 +40,10 @@ workdir="$(mktemp -d)"
 trap 'rm -rf "${workdir}"' EXIT
 
 for entry in "${benches[@]}"; do
-  read -r bench_id baseline_file <<<"${entry}"
+  read -r bench_id baseline_file bench_args <<<"${entry}"
   echo "== ${bench_id} -> baselines/${baseline_file}"
-  (cd "${workdir}" && "${build_dir}/bench/bench_${bench_id}" --jobs 1 --force)
+  # shellcheck disable=SC2086  # bench_args is intentionally word-split
+  (cd "${workdir}" && "${build_dir}/bench/bench_${bench_id}" ${bench_args} --force)
   report="${workdir}/BENCH_${bench_id}.json"
   if [[ -f "${baseline_dir}/${baseline_file}" ]]; then
     # Show what the refresh changes; the diff warning about wall_ms drift

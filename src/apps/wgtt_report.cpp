@@ -6,12 +6,18 @@
 //       and the aggregated host-time profile (where simulator CPU went).
 //
 //   wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]
+//                    [--budget-ms MS]
 //       Compare two reports of the same bench.  Schema mismatches (different
 //       bench id, run count, or run labels) always fail with exit 2.
 //       Performance regressions — sweep wall time, per-run wall time, or an
 //       aggregated profile section slower than baseline by more than the
 //       tolerance (default 25 %) — fail with exit 1, or only warn when
 //       --soft is given (CI runners are noisy; schema breaks are not).
+//       --budget-ms MS adds a hard per-row wall-time budget: every run row
+//       of CURRENT must finish within MS milliseconds.  Budget violations
+//       fail with exit 1 even under --soft — the budget is an absolute
+//       ceiling chosen with noise headroom, unlike the relative tolerance,
+//       so exceeding it always means the hot path got slower.
 //       Deterministic simulation outputs (goodput, switch counts) that drift
 //       between same-seed reports are reported as warnings.
 //
@@ -512,9 +518,23 @@ int cmd_packets(const std::string& path, std::size_t waterfall_limit,
 
 struct DiffState {
   double tolerance_pct = 25.0;
+  double budget_ms = 0.0;  // <= 0: no per-row budget
   bool soft = false;
   int regressions = 0;
   int warnings = 0;
+
+  // Hard per-row wall-time budget: an absolute ceiling on CURRENT rows,
+  // deliberately immune to --soft.  The relative check above answers "did
+  // this get slower than it was?"; the budget answers "is this still as
+  // fast as the optimized hot path promises?", and a soft run must not be
+  // able to wave that away.
+  void check_budget(const std::string& what, double cur) {
+    if (budget_ms <= 0.0) return;
+    if (cur <= budget_ms) return;
+    std::printf("FAIL  %-40s %10.2f ms over hard budget %.2f ms\n",
+                what.c_str(), cur, budget_ms);
+    ++regressions;
+  }
 
   // A wall-time (or section-time) comparison: regression when current
   // exceeds baseline by more than the tolerance.  Sub-millisecond baselines
@@ -593,9 +613,13 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
     }
   }
 
-  std::printf("diff %s: %s -> %s (tolerance %.0f%%%s)\n", base_bench.c_str(),
+  std::printf("diff %s: %s -> %s (tolerance %.0f%%%s", base_bench.c_str(),
               base_path.c_str(), cur_path.c_str(), st.tolerance_pct,
               st.soft ? ", soft" : "");
+  if (st.budget_ms > 0.0) {
+    std::printf(", hard budget %.0f ms/row", st.budget_ms);
+  }
+  std::printf(")\n");
 
   // --- deterministic outputs: same seed should mean same numbers ----------
   for (std::size_t i = 0; i < base_runs.size(); ++i) {
@@ -617,6 +641,8 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
     st.check_time(base_runs[i].string_or("label", "?") + " wall_ms",
                   base_runs[i].number_or("wall_ms", 0.0),
                   cur_runs[i].number_or("wall_ms", 0.0));
+    st.check_budget(cur_runs[i].string_or("label", "?") + " wall_ms",
+                    cur_runs[i].number_or("wall_ms", 0.0));
   }
 
   const ProfileTotals base_prof = aggregate_profile(base);
@@ -651,6 +677,7 @@ int usage() {
       stderr,
       "usage: wgtt-report show FILE\n"
       "       wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]\n"
+      "                        [--budget-ms MS]\n"
       "       wgtt-report packets FILE [--limit N] [--switches]\n"
       "\n"
       "exit codes: 0 ok, 1 performance regression, 2 schema/usage error\n");
@@ -702,6 +729,11 @@ int main(int argc, char** argv) {
         st.tolerance_pct = std::atof(args[++i].c_str());
       } else if (args[i].rfind("--tolerance=", 0) == 0) {
         st.tolerance_pct = std::atof(args[i].c_str() + std::strlen("--tolerance="));
+      } else if (args[i] == "--budget-ms") {
+        if (i + 1 >= args.size()) return usage();
+        st.budget_ms = std::atof(args[++i].c_str());
+      } else if (args[i].rfind("--budget-ms=", 0) == 0) {
+        st.budget_ms = std::atof(args[i].c_str() + std::strlen("--budget-ms="));
       } else if (args[i].rfind("--", 0) == 0) {
         return usage();
       } else {

@@ -2,11 +2,14 @@
 
 #include <array>
 #include <cassert>
+#include <cmath>
 #include <complex>
 #include <limits>
+#include <span>
 
 #include "phy/esnr.h"
 #include "util/units.h"
+#include "util/vec_math.h"
 
 namespace wgtt::channel {
 
@@ -81,6 +84,34 @@ ChannelModel::Link& ChannelModel::link(net::NodeId ap_id,
   return it->second;
 }
 
+void ChannelModel::refresh_fading(Link& l, double travelled) const {
+  if (l.h_valid && l.h_distance == travelled) return;
+  static_assert(phy::kNumSubcarriers == kNumSubcarriers);
+  l.fading->response(travelled, ht20_subcarrier_offsets_hz(),
+                     std::span<std::complex<double>>(l.h.data(), l.h.size()));
+  if (vecm::available()) {
+    // Batched 10*log10 over the squared magnitudes; the floor test reads
+    // the exact h2, so the -120 dB clamp binds identically to the scalar
+    // path (lanes under the floor may produce -inf and are discarded).
+    std::array<double, kNumSubcarriers> h2;
+    for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+      h2[k] = std::norm(l.h[k]);
+    }
+    vecm::linear_to_db(h2.data(), l.fade_db.data(), kNumSubcarriers);
+    for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+      if (!(h2[k] > 1e-12)) l.fade_db[k] = -120.0;
+    }
+  } else {
+    for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+      const double h2 = std::norm(l.h[k]);
+      l.fade_db[k] = h2 > 1e-12 ? linear_to_db(h2) : -120.0;
+    }
+  }
+  l.h_distance = travelled;
+  l.h_valid = true;
+  l.csi_valid = false;  // cached Csi was built from the previous response
+}
+
 phy::Csi ChannelModel::make_csi(net::NodeId ap_id, net::NodeId client_id,
                                 Time t, double tx_power_dbm) const {
   prof::ScopedSection timer(prof_, p_csi_);
@@ -93,25 +124,45 @@ phy::Csi ChannelModel::make_csi(net::NodeId ap_id, net::NodeId client_id,
   const double travelled = client.mobility->distance_travelled(t);
   const double large_scale = large_scale_gain_db(site, client, t) -
                              l.shadowing->at(travelled);
+  const double base_dbm = tx_power_dbm + large_scale;
+  if (l.csi_valid && l.csi_key_travelled == travelled &&
+      l.csi_key_base_dbm == base_dbm) {
+    l.csi.measured_at = t;
+    return l.csi;
+  }
 
-  static_assert(phy::kNumSubcarriers == kNumSubcarriers);
-  std::array<std::complex<double>, kNumSubcarriers> h;
-  l.fading->response(travelled, ht20_subcarrier_offsets_hz(),
-                     std::span<std::complex<double>>(h.data(), h.size()));
+  refresh_fading(l, travelled);
 
   phy::Csi csi;
   csi.measured_at = t;
-  const double base_dbm = tx_power_dbm + large_scale;
   const double noise = noise_floor_dbm();
   double wideband_mw = 0.0;
-  for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
-    const double h2 = std::norm(h[k]);
-    const double fade_db =
-        h2 > 1e-12 ? linear_to_db(h2) : -120.0;
-    csi.subcarrier_snr_db[k] = base_dbm + fade_db - noise;
-    wideband_mw += dbm_to_mw(base_dbm + fade_db);
+  if (vecm::available()) {
+    // Batch the 56 pow(10, x/10) calls of the RSSI power sum; the sum
+    // itself stays sequential in subcarrier order (reference association).
+    std::array<double, kNumSubcarriers> rx_dbm;
+    std::array<double, kNumSubcarriers> rx_mw;
+    for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+      const double fade_db = l.fade_db[k];
+      csi.subcarrier_snr_db[k] = base_dbm + fade_db - noise;
+      rx_dbm[k] = base_dbm + fade_db;
+    }
+    vecm::db_to_linear(rx_dbm.data(), rx_mw.data(), kNumSubcarriers);
+    for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+      wideband_mw += rx_mw[k];
+    }
+  } else {
+    for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+      const double fade_db = l.fade_db[k];
+      csi.subcarrier_snr_db[k] = base_dbm + fade_db - noise;
+      wideband_mw += dbm_to_mw(base_dbm + fade_db);
+    }
   }
   csi.rssi_dbm = mw_to_dbm(wideband_mw / static_cast<double>(kNumSubcarriers));
+  l.csi = csi;
+  l.csi_key_travelled = travelled;
+  l.csi_key_base_dbm = base_dbm;
+  l.csi_valid = true;
   return csi;
 }
 
@@ -169,12 +220,75 @@ double ChannelModel::path_gain_db(net::NodeId a, net::NodeId b, Time t) const {
   return large_scale_gain_db(ap(ap_id), cit->second, t);
 }
 
+double ChannelModel::downlink_selection_esnr_db(net::NodeId ap_id,
+                                                net::NodeId client_id,
+                                                Time t) const {
+  prof::ScopedSection timer(prof_, p_csi_);
+  const ApSite& site = ap(ap_id);
+  auto cit = clients_.find(client_id);
+  assert(cit != clients_.end());
+  const ClientInfo& client = cit->second;
+
+  Link& l = link(ap_id, client_id);
+  const double travelled = client.mobility->distance_travelled(t);
+  const double large_scale = large_scale_gain_db(site, client, t) -
+                             l.shadowing->at(travelled);
+  const double base_dbm = radio_.ap_tx_power_dbm + large_scale;
+  if (l.esnr_valid && l.esnr_key_travelled == travelled &&
+      l.esnr_key_base_dbm == base_dbm) {
+    return l.esnr_db;
+  }
+  refresh_fading(l, travelled);
+
+  // Same per-subcarrier SNR expression as make_csi(), minus the RSSI power
+  // sum and the Csi copy — phy::selection_esnr_db sees identical inputs.
+  const double noise = noise_floor_dbm();
+  std::array<double, kNumSubcarriers> snr_db;
+  for (std::size_t k = 0; k < kNumSubcarriers; ++k) {
+    snr_db[k] = base_dbm + l.fade_db[k] - noise;
+  }
+  const double esnr = phy::selection_esnr_db(
+      std::span<const double>(snr_db.data(), snr_db.size()));
+  l.esnr_valid = true;
+  l.esnr_key_travelled = travelled;
+  l.esnr_key_base_dbm = base_dbm;
+  l.esnr_db = esnr;
+  return esnr;
+}
+
+void ChannelModel::set_candidate_radius(double meters) {
+  candidate_radius_m_ = meters > 0.0
+                            ? meters
+                            : std::numeric_limits<double>::infinity();
+}
+
+void ChannelModel::candidate_aps(net::NodeId client, Time t,
+                                 std::vector<net::NodeId>& out) const {
+  out.clear();
+  if (!std::isfinite(candidate_radius_m_)) {
+    out.assign(ap_order_.begin(), ap_order_.end());
+    return;
+  }
+  auto cit = clients_.find(client);
+  assert(cit != clients_.end());
+  const Vec3 pos = cit->second.mobility->position(t);
+  for (net::NodeId id : ap_order_) {
+    if (distance(ap(id).position, pos) <= candidate_radius_m_) {
+      out.push_back(id);
+    }
+  }
+  // Never return an empty candidate set: a client parked beyond every AP's
+  // radius still needs a (bad) selection rather than none at all.
+  if (out.empty()) out.assign(ap_order_.begin(), ap_order_.end());
+}
+
 net::NodeId ChannelModel::best_ap(net::NodeId client, Time t) const {
   net::NodeId best = 0;
   double best_esnr = -std::numeric_limits<double>::infinity();
-  for (net::NodeId id : ap_order_) {
-    const phy::Csi csi = downlink_csi(id, client, t);
-    const double esnr = phy::selection_esnr_db(csi);
+  std::vector<net::NodeId> candidates;
+  candidate_aps(client, t, candidates);
+  for (net::NodeId id : candidates) {
+    const double esnr = downlink_selection_esnr_db(id, client, t);
     if (esnr > best_esnr) {
       best_esnr = esnr;
       best = id;

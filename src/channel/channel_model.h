@@ -8,6 +8,9 @@
 // from CSI measured on client *uplink* frames (§3.1.1).
 #pragma once
 
+#include <array>
+#include <complex>
+#include <limits>
 #include <map>
 #include <memory>
 #include <vector>
@@ -85,6 +88,27 @@ class ChannelModel {
   /// with the maximum instantaneous downlink selection-ESNR to the client.
   net::NodeId best_ap(net::NodeId client, Time t) const;
 
+  /// Downlink selection ESNR without materializing a full Csi — skips the
+  /// per-subcarrier RSSI power sum that ESNR-only consumers (best_ap, the
+  /// drive-metrics sampler, the 802.11k scan) never read.  Bitwise equal to
+  /// phy::selection_esnr_db(downlink_csi(ap, client, t)).
+  double downlink_selection_esnr_db(net::NodeId ap, net::NodeId client,
+                                    Time t) const;
+
+  /// Candidate-AP pruning for scale scenarios: when a finite radius is set,
+  /// exhaustive AP scans (best_ap, metrics sampling, background scans) only
+  /// evaluate APs within `meters` of the client's position.  The default
+  /// (infinity) evaluates every AP, byte-identical to the pre-pruning code;
+  /// paper-scale testbeds keep the default, city-scale sweeps prune.
+  void set_candidate_radius(double meters);
+  double candidate_radius_m() const { return candidate_radius_m_; }
+
+  /// APs to evaluate for `client` at `t`, in deployment order: all APs when
+  /// the radius is unlimited, otherwise those within the radius (falling
+  /// back to all APs if none qualify, so selection never goes empty).
+  void candidate_aps(net::NodeId client, Time t,
+                     std::vector<net::NodeId>& out) const;
+
  private:
   struct ClientInfo {
     std::shared_ptr<const MobilityModel> mobility;
@@ -93,6 +117,29 @@ class ChannelModel {
   struct Link {
     std::unique_ptr<FadingProcess> fading;
     std::unique_ptr<ShadowingProcess> shadowing;
+    // Hot-path memos, all bitwise-transparent (pure functions of their
+    // keys).  The fading response and its per-subcarrier dB fades depend
+    // only on travelled distance, so uplink/downlink CSI at one instant —
+    // and every sample of a parked client — share one computation; the
+    // whole-Csi memo additionally catches the data/BA pattern of sampling
+    // the same link twice at the same instant and tx power.
+    double h_distance = -1.0;  // distances are >= 0; -1 = empty memo
+    bool h_valid = false;
+    std::array<std::complex<double>, kNumSubcarriers> h;
+    std::array<double, kNumSubcarriers> fade_db;
+    // Whole-Csi / selection-ESNR memos keyed on (travelled distance,
+    // tx power + large-scale gain): every double the synthesis reads is a
+    // function of that pair, so equal keys at different instants (a parked
+    // client, or the data/BA sampling pattern) yield identical results —
+    // only measured_at is patched to the query time.
+    bool csi_valid = false;
+    double csi_key_travelled = 0.0;
+    double csi_key_base_dbm = 0.0;
+    phy::Csi csi;
+    bool esnr_valid = false;
+    double esnr_key_travelled = 0.0;
+    double esnr_key_base_dbm = 0.0;
+    double esnr_db = 0.0;
   };
 
   /// Large-scale gain: antenna gains - path loss - shadowing (dB).
@@ -101,6 +148,8 @@ class ChannelModel {
   Link& link(net::NodeId ap, net::NodeId client) const;
   phy::Csi make_csi(net::NodeId ap, net::NodeId client, Time t,
                     double tx_power_dbm) const;
+  /// Refresh l.h / l.fade_db for the client's travelled distance at `t`.
+  void refresh_fading(Link& l, double travelled) const;
 
   RadioConfig radio_;
   LogDistancePathLoss pathloss_;
@@ -111,6 +160,7 @@ class ChannelModel {
   std::vector<net::NodeId> ap_order_;
   std::map<net::NodeId, ClientInfo> clients_;
   mutable std::map<std::pair<net::NodeId, net::NodeId>, Link> links_;
+  double candidate_radius_m_ = std::numeric_limits<double>::infinity();
   // Host-time profiling of the per-subcarrier CSI synthesis (the channel's
   // hot path); null when the sim has no profiler context.
   prof::Profiler* prof_ = nullptr;

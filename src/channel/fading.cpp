@@ -1,11 +1,21 @@
 #include "channel/fading.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 
 #include "util/units.h"
+#include "util/vec_math.h"
 
 namespace wgtt::channel {
+
+namespace {
+// Twiddle caching is keyed by grid contents; cap the number of distinct
+// grids one process will cache so adversarial callers (tests sweeping many
+// grids) cannot grow memory without bound.  Past the cap, response() falls
+// back to computing twiddles inline — same expressions, just uncached.
+constexpr std::size_t kMaxCachedGrids = 8;
+}  // namespace
 
 FadingProcess::FadingProcess(FadingConfig cfg, Rng rng) {
   // Normalise tap powers to sum to 1.
@@ -15,7 +25,12 @@ FadingProcess::FadingProcess(FadingConfig cfg, Rng rng) {
   const double wavenumber = 2.0 * kPi / wavelength_m(cfg.carrier_hz);
   const int n = cfg.sinusoids_per_tap;
 
+  // RNG draw order is load-bearing: it must match ReferenceFading exactly
+  // (per tap: LOS angle, LOS phase, then per sinusoid theta, phase) or the
+  // two classes realise different channels from the same seed.
   taps_.reserve(cfg.taps.size());
+  sin_spatial_freq_.reserve(cfg.taps.size() * static_cast<std::size_t>(n));
+  sin_phase_.reserve(cfg.taps.size() * static_cast<std::size_t>(n));
   for (const auto& spec : cfg.taps) {
     Tap tap;
     tap.amplitude = std::sqrt(db_to_linear(spec.relative_power_db) / total);
@@ -26,15 +41,52 @@ FadingProcess::FadingProcess(FadingConfig cfg, Rng rng) {
                         std::sqrt(static_cast<double>(n));
     tap.los_spatial_freq = wavenumber * std::cos(rng.uniform(0.0, kPi));
     tap.los_phase = rng.uniform(0.0, 2.0 * kPi);
-    tap.spatial_freq.reserve(static_cast<std::size_t>(n));
-    tap.phase.reserve(static_cast<std::size_t>(n));
+    tap.sin_begin = sin_spatial_freq_.size();
+    tap.sin_count = static_cast<std::size_t>(n);
     for (int i = 0; i < n; ++i) {
       // Angles of arrival uniform around the circle (Clarke's model).
       const double theta = rng.uniform(0.0, 2.0 * kPi);
-      tap.spatial_freq.push_back(wavenumber * std::cos(theta));
-      tap.phase.push_back(rng.uniform(0.0, 2.0 * kPi));
+      sin_spatial_freq_.push_back(wavenumber * std::cos(theta));
+      sin_phase_.push_back(rng.uniform(0.0, 2.0 * kPi));
     }
-    taps_.push_back(std::move(tap));
+    taps_.push_back(tap);
+  }
+}
+
+void FadingProcess::batch_tap_gains(double distance_m,
+                                    std::complex<double>* gains) const {
+  const std::size_t total = sin_spatial_freq_.size();
+  scratch_arg_.resize(total);
+  scratch_cos_.resize(total);
+  scratch_sin_.resize(total);
+  // The affine argument is built with the exact reference expression
+  // (freq * d + phase, one multiply and one add); only the cos/sin sweep
+  // itself goes through the ULP-bounded vector kernels.
+  for (std::size_t i = 0; i < total; ++i) {
+    scratch_arg_[i] = sin_spatial_freq_[i] * distance_m + sin_phase_[i];
+  }
+  vecm::sin_cos(scratch_arg_.data(), scratch_cos_.data(), scratch_sin_.data(),
+                total);
+  for (std::size_t t = 0; t < taps_.size(); ++t) {
+    const Tap& tap = taps_[t];
+    // Per-tap reduction in reference order (sequential over the tap's
+    // slice), so no reassociation widens the seam.
+    double re = 0.0;
+    double im = 0.0;
+    for (std::size_t i = tap.sin_begin; i < tap.sin_begin + tap.sin_count;
+         ++i) {
+      re += scratch_cos_[i];
+      im += scratch_sin_[i];
+    }
+    std::complex<double> g{re * tap.nlos_fraction, im * tap.nlos_fraction};
+    if (tap.los_fraction > 0.0) {
+      // One scalar sincos per tap: stays on libm, bitwise-equal to the
+      // reference LOS term.
+      const double arg = tap.los_spatial_freq * distance_m + tap.los_phase;
+      g += std::complex<double>{tap.los_fraction * std::cos(arg),
+                                tap.los_fraction * std::sin(arg)};
+    }
+    gains[t] = g * tap.amplitude;
   }
 }
 
@@ -42,8 +94,10 @@ std::complex<double> FadingProcess::tap_gain(const Tap& tap,
                                              double distance_m) const {
   double re = 0.0;
   double im = 0.0;
-  for (std::size_t i = 0; i < tap.spatial_freq.size(); ++i) {
-    const double arg = tap.spatial_freq[i] * distance_m + tap.phase[i];
+  const double* freq = sin_spatial_freq_.data() + tap.sin_begin;
+  const double* phase = sin_phase_.data() + tap.sin_begin;
+  for (std::size_t i = 0; i < tap.sin_count; ++i) {
+    const double arg = freq[i] * distance_m + phase[i];
     re += std::cos(arg);
     im += std::sin(arg);
   }
@@ -56,14 +110,63 @@ std::complex<double> FadingProcess::tap_gain(const Tap& tap,
   return g * tap.amplitude;
 }
 
+const FadingProcess::TwiddleCache* FadingProcess::twiddles_for(
+    std::span<const double> subcarrier_offsets_hz) const {
+  for (const TwiddleCache& c : twiddles_) {
+    if (c.offsets_hz.size() == subcarrier_offsets_hz.size() &&
+        std::equal(c.offsets_hz.begin(), c.offsets_hz.end(),
+                   subcarrier_offsets_hz.begin())) {
+      return &c;
+    }
+  }
+  if (twiddles_.size() >= kMaxCachedGrids) return nullptr;
+  TwiddleCache c;
+  c.offsets_hz.assign(subcarrier_offsets_hz.begin(),
+                      subcarrier_offsets_hz.end());
+  c.rows.reserve(taps_.size() * subcarrier_offsets_hz.size());
+  for (const auto& tap : taps_) {
+    for (std::size_t k = 0; k < subcarrier_offsets_hz.size(); ++k) {
+      // Verbatim the reference twiddle expression: bitwise identity with
+      // ReferenceFading depends on computing the exact same arg and the
+      // exact same cos/sin here, merely at a different time.
+      const double arg = -2.0 * kPi * subcarrier_offsets_hz[k] * tap.delay_s;
+      c.rows.emplace_back(std::cos(arg), std::sin(arg));
+    }
+  }
+  twiddles_.push_back(std::move(c));
+  return &twiddles_.back();
+}
+
 void FadingProcess::response(double distance_m,
                              std::span<const double> subcarrier_offsets_hz,
                              std::span<std::complex<double>> out) const {
   for (auto& h : out) h = {0.0, 0.0};
-  for (const auto& tap : taps_) {
-    const std::complex<double> g = tap_gain(tap, distance_m);
+  scratch_gain_.resize(taps_.size());
+  if (vecm::available()) {
+    batch_tap_gains(distance_m, scratch_gain_.data());
+  } else {
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+      scratch_gain_[t] = tap_gain(taps_[t], distance_m);
+    }
+  }
+  const TwiddleCache* cache = twiddles_for(subcarrier_offsets_hz);
+  if (cache != nullptr) {
+    const std::complex<double>* row = cache->rows.data();
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+      const std::complex<double> g = scratch_gain_[t];
+      for (std::size_t k = 0; k < out.size(); ++k) {
+        out[k] += g * row[k];
+      }
+      row += subcarrier_offsets_hz.size();
+    }
+    return;
+  }
+  // Cache capacity exhausted: compute twiddles inline (the original loop).
+  for (std::size_t t = 0; t < taps_.size(); ++t) {
+    const std::complex<double> g = scratch_gain_[t];
     for (std::size_t k = 0; k < out.size(); ++k) {
-      const double arg = -2.0 * kPi * subcarrier_offsets_hz[k] * tap.delay_s;
+      const double arg =
+          -2.0 * kPi * subcarrier_offsets_hz[k] * taps_[t].delay_s;
       out[k] += g * std::complex<double>{std::cos(arg), std::sin(arg)};
     }
   }

@@ -41,6 +41,21 @@ struct FadingConfig {
 /// One fading realisation for one AP-client link (reciprocal: the same
 /// process serves uplink and downlink, which is what lets WGTT predict
 /// downlink delivery from uplink CSI).
+///
+/// Hot-path layout (see channel::ReferenceFading for the retained original
+/// and DESIGN.md "Reference-vs-optimized seams" for the equivalence
+/// contract): the per-subcarrier twiddle exp(-j 2 pi f_k tau_t) depends
+/// only on the subcarrier grid and the tap delay — not on distance — so it
+/// is computed once per grid and cached, turning the inner response loop
+/// into a complex multiply-add over precomputed rows.  Sinusoid state is
+/// one flat SoA pair (spatial_freq / phase) shared by all taps so the
+/// per-sample cos/sin sweep runs over contiguous memory; when the libmvec
+/// kernels are available (vecm::available()) that sweep is vectorized,
+/// which bounds the divergence from the reference at a few ulp per
+/// sinusoid instead of bitwise identity.  Every other expression is kept
+/// verbatim from the reference — the sums over sinusoids, the LOS term,
+/// and the twiddle accumulation keep the reference association exactly —
+/// so tests/fading_diff_test.cpp can pin a tight ULP bound.
 class FadingProcess {
  public:
   FadingProcess(FadingConfig cfg, Rng rng);
@@ -66,13 +81,33 @@ class FadingProcess {
     double nlos_fraction = 0.0;   // sqrt(1/(K+1)) / sqrt(N)
     double los_spatial_freq = 0.0;
     double los_phase = 0.0;
-    std::vector<double> spatial_freq;  // k * cos(theta_n) per sinusoid
-    std::vector<double> phase;
+    std::size_t sin_begin = 0;    // first sinusoid in the flat SoA arrays
+    std::size_t sin_count = 0;
+  };
+  /// Distance-independent per-grid twiddle rows, taps x subcarriers.  Keyed
+  /// by the grid *contents* (spans may point at reused stack storage), built
+  /// lazily on first use; the simulation only ever presents the HT20 grid,
+  /// so this holds one entry in practice.
+  struct TwiddleCache {
+    std::vector<double> offsets_hz;
+    std::vector<std::complex<double>> rows;  // taps_.size() * offsets size
   };
 
   std::complex<double> tap_gain(const Tap& tap, double distance_m) const;
+  /// All taps' gains at one distance: one vectorized cos/sin sweep over the
+  /// flat sinusoid arrays, then per-tap reductions in reference order.
+  void batch_tap_gains(double distance_m, std::complex<double>* gains) const;
+  const TwiddleCache* twiddles_for(
+      std::span<const double> subcarrier_offsets_hz) const;
 
   std::vector<Tap> taps_;
+  std::vector<double> sin_spatial_freq_;  // k * cos(theta_n), all taps, SoA
+  std::vector<double> sin_phase_;
+  mutable std::vector<TwiddleCache> twiddles_;
+  // Per-call scratch for the vectorized sweep (single-simulation objects
+  // are single-threaded, like the twiddle cache above).
+  mutable std::vector<double> scratch_arg_, scratch_cos_, scratch_sin_;
+  mutable std::vector<std::complex<double>> scratch_gain_;
 };
 
 /// 802.11n HT20 OFDM: 56 used subcarriers at +/-(1..28) * 312.5 kHz.

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <sstream>
+#include <vector>
 
 namespace wgtt::net {
 
@@ -26,6 +27,7 @@ const char* to_string(PacketType t) {
 namespace {
 
 thread_local PacketUidAllocator* t_current_uid_allocator = nullptr;
+thread_local PacketPool* t_current_packet_pool = nullptr;
 
 }  // namespace
 
@@ -44,6 +46,101 @@ ScopedPacketUidAllocator::~ScopedPacketUidAllocator() {
   if (installed_ != nullptr) t_current_uid_allocator = previous_;
 }
 
+/// Shared freelist state.  Kept alive by a shared_ptr copy inside every
+/// pooled control block's allocator, so packets that outlive their Testbed
+/// (stragglers held by tests) still deallocate into live state, which the
+/// last reference then frees.
+struct PacketPool::State {
+  // Retired nodes, all of node_size bytes.  Capped so a pathological run
+  // holding millions of packets cannot park them all here at teardown.
+  static constexpr std::size_t kMaxFree = 8192;
+  std::vector<void*> free;
+  std::size_t node_size = 0;  // locked to the first single-node request
+  std::size_t reused = 0;
+  std::size_t fresh = 0;
+
+  ~State() {
+    for (void* p : free) ::operator delete(p);
+  }
+};
+
+namespace {
+
+/// Rebindable allocator handed to allocate_shared: the single-object
+/// allocation it performs is the combined control-block + Packet node, which
+/// is what the freelist recycles.  Any other request size (rebinds for
+/// internal bookkeeping, if an implementation makes them) passes through to
+/// the global heap untouched.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+
+  std::shared_ptr<PacketPool::State> state;
+
+  explicit PoolAllocator(std::shared_ptr<PacketPool::State> s)
+      : state(std::move(s)) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) : state(other.state) {}
+
+  T* allocate(std::size_t n) {
+    PacketPool::State& s = *state;
+    if (n == 1) {
+      if (s.node_size == 0) s.node_size = sizeof(T);
+      if (s.node_size == sizeof(T) && !s.free.empty()) {
+        void* p = s.free.back();
+        s.free.pop_back();
+        ++s.reused;
+        return static_cast<T*>(p);
+      }
+      ++s.fresh;
+    }
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) {
+    PacketPool::State& s = *state;
+    if (n == 1 && sizeof(T) == s.node_size &&
+        s.free.size() < PacketPool::State::kMaxFree) {
+      s.free.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return state == other.state;
+  }
+};
+
+}  // namespace
+
+PacketPool::PacketPool() : state_(std::make_shared<State>()) {}
+
+PacketPool::~PacketPool() = default;
+
+PacketPool* PacketPool::current() { return t_current_packet_pool; }
+
+PacketPtr PacketPool::make(Packet&& fields) {
+  return std::allocate_shared<const Packet>(PoolAllocator<const Packet>(state_),
+                                            std::move(fields));
+}
+
+std::size_t PacketPool::reused() const { return state_->reused; }
+
+std::size_t PacketPool::fresh() const { return state_->fresh; }
+
+ScopedPacketPool::ScopedPacketPool(PacketPool* pool) {
+  if (pool == nullptr) return;
+  installed_ = pool;
+  previous_ = t_current_packet_pool;
+  t_current_packet_pool = pool;
+}
+
+ScopedPacketPool::~ScopedPacketPool() {
+  if (installed_ != nullptr) t_current_packet_pool = previous_;
+}
+
 PacketPtr make_packet(Packet fields) {
   if (PacketUidAllocator* alloc = PacketUidAllocator::current()) {
     fields.uid = alloc->next();
@@ -52,6 +149,9 @@ PacketPtr make_packet(Packet fields) {
     // counter so uids stay unique, if not reproducible across interleavings.
     static std::atomic<std::uint64_t> next_uid{1};
     fields.uid = next_uid.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (PacketPool* pool = PacketPool::current()) {
+    return pool->make(std::move(fields));
   }
   return std::make_shared<const Packet>(fields);
 }

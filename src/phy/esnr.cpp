@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/units.h"
+#include "util/vec_math.h"
 
 namespace wgtt::phy {
 namespace {
@@ -20,10 +21,18 @@ double ber(Modulation mod, double snr_linear) {
       return q_function(std::sqrt(2.0 * snr_linear));
     case Modulation::kQpsk:
       return q_function(std::sqrt(snr_linear));
-    case Modulation::kQam16:
+    // Gray-coded square M-QAM nearest-neighbour approximation.  The two
+    // orders are split so m, log2(m), and sqrt(m) fold to compile-time
+    // constants (they are exact doubles, so this is bitwise-identical to
+    // computing them per call).
+    case Modulation::kQam16: {
+      constexpr double m = 16.0;
+      const double k = std::log2(m);
+      return 4.0 / k * (1.0 - 1.0 / std::sqrt(m)) *
+             q_function(std::sqrt(3.0 * snr_linear / (m - 1.0)));
+    }
     case Modulation::kQam64: {
-      // Gray-coded square M-QAM nearest-neighbour approximation.
-      const double m = static_cast<double>(modulation_order(mod));
+      constexpr double m = 64.0;
       const double k = std::log2(m);
       return 4.0 / k * (1.0 - 1.0 / std::sqrt(m)) *
              q_function(std::sqrt(3.0 * snr_linear / (m - 1.0)));
@@ -86,6 +95,64 @@ const BerTable& ber_table(Modulation mod) {
   return bpsk;
 }
 
+// Vectorized mean-BER: batch the per-subcarrier pow into one exp10 sweep
+// and the erfc tail into one erfc sweep, with every surrounding arithmetic
+// step (scale, divide, sqrt, final sum) kept in the reference expression
+// order so the only divergence from reference_effective_snr_db() is the
+// per-element ulps of exp10-vs-pow and vector-vs-scalar erfc.
+constexpr std::size_t kMaxVecSubcarriers = 64;
+
+double vectorized_mean_ber(std::span<const double> subcarrier_snr_db,
+                           Modulation mod) {
+  const std::size_t n = subcarrier_snr_db.size();
+  double lin[kMaxVecSubcarriers];
+  vecm::db_to_linear(subcarrier_snr_db.data(), lin, n);
+
+  // Per-modulation constants, written with the same expressions ber() uses
+  // so they fold to the same doubles (all intermediate values are exact).
+  double scale = 1.0;   // multiplies snr before the divide
+  double denom = 1.0;   // divides scale * snr
+  double c1 = 1.0;      // multiplies the Q-function
+  switch (mod) {
+    case Modulation::kBpsk:
+      scale = 2.0;
+      break;
+    case Modulation::kQpsk:
+      break;
+    case Modulation::kQam16: {
+      constexpr double m = 16.0;
+      c1 = 4.0 / std::log2(m) * (1.0 - 1.0 / std::sqrt(m));
+      scale = 3.0;
+      denom = m - 1.0;
+      break;
+    }
+    case Modulation::kQam64: {
+      constexpr double m = 64.0;
+      c1 = 4.0 / std::log2(m) * (1.0 - 1.0 / std::sqrt(m));
+      scale = 3.0;
+      denom = m - 1.0;
+      break;
+    }
+  }
+
+  double arg[kMaxVecSubcarriers];
+  const double sqrt2 = std::sqrt(2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    // max / * / / / sqrt / / are all exactly-rounded IEEE ops, matching the
+    // scalar path bit for bit (multiplying or dividing by 1.0 is exact).
+    const double snr = std::max(lin[i], 0.0);
+    arg[i] = std::sqrt(scale * snr / denom) / sqrt2;
+  }
+  double erfc_out[kMaxVecSubcarriers];
+  vecm::erfc(arg, erfc_out, n);
+
+  double mean_ber = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_ber += c1 * (0.5 * erfc_out[i]);
+  }
+  return mean_ber / static_cast<double>(n);
+}
+
 }  // namespace
 
 double ber_inverse(Modulation mod, double target_ber) {
@@ -93,17 +160,38 @@ double ber_inverse(Modulation mod, double target_ber) {
   return db_to_linear(ber_table(mod).snr_db_for(target_ber));
 }
 
-double effective_snr_db(const Csi& csi, Modulation mod) {
+double reference_effective_snr_db(std::span<const double> subcarrier_snr_db,
+                                  Modulation mod) {
   double mean_ber = 0.0;
-  for (double snr_db : csi.subcarrier_snr_db) {
+  for (double snr_db : subcarrier_snr_db) {
     mean_ber += ber(mod, db_to_linear(snr_db));
   }
-  mean_ber /= static_cast<double>(kNumSubcarriers);
+  mean_ber /= static_cast<double>(subcarrier_snr_db.size());
   return linear_to_db(ber_inverse(mod, mean_ber));
+}
+
+double effective_snr_db(std::span<const double> subcarrier_snr_db,
+                        Modulation mod) {
+  const std::size_t n = subcarrier_snr_db.size();
+  if (n == 0 || n > kMaxVecSubcarriers || !vecm::available()) {
+    return reference_effective_snr_db(subcarrier_snr_db, mod);
+  }
+  const double mean_ber = vectorized_mean_ber(subcarrier_snr_db, mod);
+  return linear_to_db(ber_inverse(mod, mean_ber));
+}
+
+double effective_snr_db(const Csi& csi, Modulation mod) {
+  return effective_snr_db(
+      std::span<const double>(csi.subcarrier_snr_db.data(), kNumSubcarriers),
+      mod);
 }
 
 double selection_esnr_db(const Csi& csi) {
   return effective_snr_db(csi, Modulation::kQam16);
+}
+
+double selection_esnr_db(std::span<const double> subcarrier_snr_db) {
+  return effective_snr_db(subcarrier_snr_db, Modulation::kQam16);
 }
 
 }  // namespace wgtt::phy

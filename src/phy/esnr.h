@@ -10,6 +10,8 @@
 // (§3.1.1) because it accurately predicts delivery under strong multipath.
 #pragma once
 
+#include <span>
+
 #include "phy/csi.h"
 #include "phy/mcs.h"
 
@@ -25,9 +27,27 @@ double ber_inverse(Modulation mod, double target_ber);
 /// Effective SNR in dB of the measured channel for the given modulation.
 double effective_snr_db(const Csi& csi, Modulation mod);
 
+/// Same computation on a bare per-subcarrier SNR array — the hot-path
+/// entry point for callers that never need the full Csi (RSSI etc.); the
+/// Csi overload delegates here, so both are bitwise-identical.
+///
+/// Uses the vectorized libmvec kernels when available: results are
+/// ULP-bounded against reference_effective_snr_db(), not bitwise (see
+/// DESIGN.md on the reference-vs-optimized seam).
+double effective_snr_db(std::span<const double> subcarrier_snr_db,
+                        Modulation mod);
+
+/// The retained scalar reference: per-subcarrier pow/erfc through libm,
+/// exactly the pre-optimization implementation.  The differential suite
+/// asserts effective_snr_db() stays within tight bounds of this, and it is
+/// the runtime fallback when vecm::available() is false.
+double reference_effective_snr_db(std::span<const double> subcarrier_snr_db,
+                                  Modulation mod);
+
 /// The scalar selection metric used by the WGTT controller: ESNR for the
 /// mid-table modulation (16-QAM), a good discriminator across the whole
 /// operating range.
 double selection_esnr_db(const Csi& csi);
+double selection_esnr_db(std::span<const double> subcarrier_snr_db);
 
 }  // namespace wgtt::phy

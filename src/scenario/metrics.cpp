@@ -41,11 +41,14 @@ void DriveMetrics::sample() {
     TimelinePoint pt;
     pt.t = now;
     pt.active = active_lookup_ ? active_lookup_(client) : 0;
-    // Ground truth: best instantaneous downlink ESNR across APs.
+    // Ground truth: best instantaneous downlink ESNR across candidate APs
+    // (all of them at the default unlimited radius).  The ESNR-only fast
+    // path skips the RSSI synthesis this sampler never reads.
     double best = -1e9;
-    for (net::NodeId ap : bed_.channel().ap_ids()) {
-      const phy::Csi csi = bed_.channel().downlink_csi(ap, client, now);
-      const double esnr = phy::selection_esnr_db(csi);
+    bed_.channel().candidate_aps(client, now, candidate_scratch_);
+    for (net::NodeId ap : candidate_scratch_) {
+      const double esnr =
+          bed_.channel().downlink_selection_esnr_db(ap, client, now);
       if (esnr > best) {
         best = esnr;
         pt.optimal = ap;

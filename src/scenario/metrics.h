@@ -65,6 +65,7 @@ class DriveMetrics {
     std::vector<std::pair<Time, double>> bitrate_series;
   };
   std::map<net::NodeId, PerClient> clients_;
+  std::vector<net::NodeId> candidate_scratch_;  // reused across samples
   bool started_ = false;
 };
 

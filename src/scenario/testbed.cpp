@@ -31,6 +31,7 @@ Testbed::Testbed(TestbedConfig cfg)
                         : nullptr),
       decision_scope_(decision_log_.get()),
       uid_scope_(&uid_alloc_),
+      packet_pool_scope_(&packet_pool_),
       flight_recorder_(
           (cfg_.enable_packet_log || !cfg_.packet_log_path.empty())
               ? std::make_unique<net::FlightRecorder>(
@@ -52,6 +53,7 @@ Testbed::Testbed(TestbedConfig cfg)
   channel_ = std::make_unique<channel::ChannelModel>(
       cfg_.radio, cfg_.pathloss, cfg_.shadowing, cfg_.fading,
       rng_.fork("channel"));
+  channel_->set_candidate_radius(cfg_.candidate_radius_m);
   medium_ = std::make_unique<mac::Medium>(sched_, *channel_, cfg_.medium);
   mac_ = std::make_unique<mac::MacContext>(sched_, *medium_, *channel_,
                                            error_model_, rng_.fork("mac"));
@@ -258,7 +260,11 @@ unsigned WgttNetwork::ap_channel(net::NodeId ap) const {
 void WgttNetwork::scan_tick(net::NodeId client) {
   mac::WifiDevice& dev = bed_.client_device(client);
   const Time now = bed_.sched().now();
-  for (net::NodeId ap : bed_.ap_ids()) {
+  // Candidate pruning bounds the scan at city scale; the default unlimited
+  // radius visits every AP, as before.
+  std::vector<net::NodeId> candidates;
+  bed_.channel().candidate_aps(client, now, candidates);
+  for (net::NodeId ap : candidates) {
     if (ap_channel(ap) == dev.channel()) continue;  // heard natively
     const phy::Csi csi = bed_.channel().uplink_csi(ap, client, now);
     // Only report APs that would actually hear a probe (in range).

@@ -69,6 +69,11 @@ struct TestbedConfig {
   double client_antenna_dbi = 2.0;
   mac::AirtimeConfig airtime{};
   mac::MediumConfig medium{};
+  /// Candidate-AP pruning radius for exhaustive scans (best_ap, metrics
+  /// sampling, 802.11k background scans).  Non-positive / infinite (the
+  /// default) evaluates every AP — byte-identical to unpruned runs; finite
+  /// radii bound per-client channel work for city-scale deployments.
+  double candidate_radius_m = 0.0;
   phy::ErrorModelConfig error_model{};
   net::BackhaulConfig backhaul{};
   Time wan_latency = Time::ms(2);  // content cached at the local server (§5.4)
@@ -197,6 +202,10 @@ class Testbed {
   // output — depend on thread interleaving).
   net::PacketUidAllocator uid_alloc_;
   net::ScopedPacketUidAllocator uid_scope_;
+  // Per-sim packet-node freelist (recycles make_packet allocations; affects
+  // only where nodes live in memory, never their contents or uids).
+  net::PacketPool packet_pool_;
+  net::ScopedPacketPool packet_pool_scope_;
   std::unique_ptr<net::FlightRecorder> flight_recorder_;
   net::ScopedFlightRecorder flight_scope_;
   sim::Scheduler sched_;

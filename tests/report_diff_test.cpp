@@ -1,0 +1,137 @@
+// wgtt-report `diff` exit-code contract, exercised end-to-end on
+// hand-written report pairs: relative tolerance (softenable), the hard
+// per-row --budget-ms ceiling (NOT softenable), and the schema gates.
+// These tests drive the real binary — the same artifact CI's perf gate
+// runs — so the gate semantics can't drift from what is tested.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+#ifndef WGTT_REPORT_BIN
+#error "build must define WGTT_REPORT_BIN (path to the wgtt-report binary)"
+#endif
+
+namespace wgtt {
+namespace {
+
+// A minimal two-row report the differ accepts.  wall1/wall2 are per-run
+// wall times; sweep wall is their sum.
+std::string make_report(double wall1, double wall2, double goodput = 10.0) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "budget_fixture");
+  w.field("title", "hand-written diff fixture");
+  w.field("jobs", 1);
+  w.field("wall_ms", wall1 + wall2);
+  w.key("runs").begin_array();
+  w.begin_object();
+  w.field("label", "row/one");
+  w.field("policy", "median_esnr");
+  w.field("wall_ms", wall1);
+  w.field("goodput_mbps", goodput);
+  w.field("switches", 3);
+  w.end_object();
+  w.begin_object();
+  w.field("label", "row/two");
+  w.field("policy", "median_esnr");
+  w.field("wall_ms", wall2);
+  w.field("goodput_mbps", goodput);
+  w.field("switches", 5);
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+class ReportDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const ::testing::TestInfo* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "wgtt_report_" + info->name();
+    base_path_ = dir_ + "_base.json";
+    cur_path_ = dir_ + "_cur.json";
+  }
+
+  void write_pair(const std::string& base, const std::string& cur) {
+    ASSERT_TRUE(write_text_file(base_path_, base));
+    ASSERT_TRUE(write_text_file(cur_path_, cur));
+  }
+
+  int run_diff(const std::string& extra_args) {
+    const std::string cmd = std::string(WGTT_REPORT_BIN) + " diff " +
+                            base_path_ + " " + cur_path_ + " " + extra_args +
+                            " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WEXITSTATUS(status);
+  }
+
+  std::string dir_, base_path_, cur_path_;
+};
+
+TEST_F(ReportDiffTest, IdenticalReportsPass) {
+  const std::string report = make_report(100.0, 200.0);
+  write_pair(report, report);
+  EXPECT_EQ(run_diff(""), 0);
+  EXPECT_EQ(run_diff("--budget-ms 250"), 0);
+}
+
+TEST_F(ReportDiffTest, RelativeRegressionFailsHardByDefault) {
+  write_pair(make_report(100.0, 200.0), make_report(100.0, 400.0));
+  EXPECT_EQ(run_diff("--tolerance 25"), 1);
+}
+
+TEST_F(ReportDiffTest, SoftDowngradesRelativeRegressionToWarning) {
+  write_pair(make_report(100.0, 200.0), make_report(100.0, 400.0));
+  EXPECT_EQ(run_diff("--tolerance 25 --soft"), 0);
+}
+
+TEST_F(ReportDiffTest, BudgetViolationFailsEvenUnderSoft) {
+  // Rows at 100 and 400 ms against a 250 ms/row budget: row/two busts it.
+  write_pair(make_report(100.0, 200.0), make_report(100.0, 400.0));
+  EXPECT_EQ(run_diff("--budget-ms 250 --soft --tolerance 100"), 1);
+  EXPECT_EQ(run_diff("--budget-ms=250 --soft --tolerance 100"), 1);
+}
+
+TEST_F(ReportDiffTest, BudgetAppliesPerRowNotToTheSweepTotal) {
+  // Sweep total (300 ms) exceeds the 250 ms budget but each row is within
+  // it — the budget is a per-row ceiling, so this passes.
+  const std::string report = make_report(150.0, 150.0);
+  write_pair(report, report);
+  EXPECT_EQ(run_diff("--budget-ms 250"), 0);
+}
+
+TEST_F(ReportDiffTest, BudgetJudgesCurrentRowsNotBaseline) {
+  // Baseline rows bust the budget, current rows are within it: pass —
+  // the ceiling guards what the tree produces now.
+  write_pair(make_report(400.0, 400.0), make_report(100.0, 100.0));
+  EXPECT_EQ(run_diff("--budget-ms 250 --tolerance 100"), 0);
+}
+
+TEST_F(ReportDiffTest, SchemaMismatchesExitTwoRegardlessOfFlags) {
+  // Different run labels: schema error, not a perf result.
+  std::string other = make_report(100.0, 200.0);
+  const std::size_t at = other.find("row/two");
+  ASSERT_NE(at, std::string::npos);
+  other.replace(at, 7, "row/TWO");
+  write_pair(make_report(100.0, 200.0), other);
+  EXPECT_EQ(run_diff(""), 2);
+  EXPECT_EQ(run_diff("--soft --budget-ms 1000"), 2);
+}
+
+TEST_F(ReportDiffTest, UnparseableReportExitsTwo) {
+  write_pair(make_report(100.0, 200.0), "{\"bench\":");
+  EXPECT_EQ(run_diff("--soft"), 2);
+}
+
+TEST_F(ReportDiffTest, MetricDriftWarnsButPasses) {
+  write_pair(make_report(100.0, 200.0, 10.0), make_report(100.0, 200.0, 12.0));
+  EXPECT_EQ(run_diff(""), 0);
+}
+
+}  // namespace
+}  // namespace wgtt
