@@ -147,6 +147,6 @@ int main(int argc, char** argv) {
               "our ~19 ms switch cost is large relative to the 2-3 ms\n"
               "channel coherence, so switch churn is pricier than in the\n"
               "paper's testbed.\n");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

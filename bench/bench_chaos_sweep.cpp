@@ -96,6 +96,6 @@ int main(int argc, char** argv) {
       "intensity 0 builds no injector, so its rows must equal the fault-free "
       "fig13 numbers for the same speed/seed; higher intensities exercise "
       "liveness failover, quarantine backoff, and stale-CSI exclusion.");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

@@ -95,6 +95,6 @@ int main(int argc, char** argv) {
               "speeds; Enhanced 802.11r falls from 2.7/3.3 at 5 mph to\n"
               "0.8/1.9 at 35 mph — a 2.4-4.7x (TCP) and 2.6-4.0x (UDP) gap\n"
               "at driving speeds.\n");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

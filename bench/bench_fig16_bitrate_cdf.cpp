@@ -88,6 +88,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\npaper: WGTT's 90%% quantile is ~70 Mb/s — ~30 Mb/s above\n"
               "Enhanced 802.11r's.\n");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

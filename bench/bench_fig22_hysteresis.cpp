@@ -81,6 +81,6 @@ int main(int argc, char** argv) {
               "smaller hysteresis adapts faster and yields higher\n"
               "throughput (1.3 -> 6.4 Mb/s at the 2 s mark as T drops\n"
               "from 120 ms to 40 ms).\n");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

@@ -102,6 +102,6 @@ int main(int argc, char** argv) {
               dense_sum / n, sparse_sum / n);
   std::printf("paper: ~9.3 Mb/s dense vs ~6.7 Mb/s sparse; WGTT above the\n"
               "baseline in both areas at every speed.\n");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

@@ -206,6 +206,6 @@ int main(int argc, char** argv) {
       "rows, so their goodput must match bench/baselines/fig13.json exactly; "
       "dup rm'd counts client-side duplicates absorbed by the overlap "
       "policies (zero for median_esnr/predictive stop-start switches).");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return unattributed == 0 ? 0 : 1;
 }

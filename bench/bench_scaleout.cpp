@@ -110,6 +110,6 @@ int main(int argc, char** argv) {
               "(switching cost is local), and aggregate capacity scales\n"
               "nearly linearly with well-separated clients — the picocell\n"
               "spatial-reuse dividend the paper's introduction argues for.\n");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

@@ -73,6 +73,6 @@ int main(int argc, char** argv) {
   std::printf("\n%-18s", "Stddev (ms)");
   for (double s : stddevs) std::printf("%8.1f", s);
   std::printf("\n\npaper: mean 17-21 ms, stddev 3-5 ms, flat across loads.\n");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

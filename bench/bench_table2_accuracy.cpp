@@ -57,6 +57,6 @@ int main(int argc, char** argv) {
   std::printf("%-6s %-12.2f %-20.2f\n", "TCP", accuracy(0), accuracy(1));
   std::printf("%-6s %-12.2f %-20.2f\n", "UDP", accuracy(2), accuracy(3));
   std::printf("\npaper: WGTT 90.12 / 91.38; Enhanced 802.11r 20.24 / 18.72.\n");
-  bench::emit_report(report);
+  bench::emit_report(report, args);
   return 0;
 }

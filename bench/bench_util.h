@@ -57,7 +57,11 @@ inline std::string claim_output_path(const std::string& path, bool force,
   return path;
 }
 
-/// Command-line options shared by the sweep-shaped benches.
+/// Command-line options shared by the sweep-shaped benches.  The optional
+/// per-run output artifacts (--trace/--telemetry/--decisions/--packets/
+/// --health) are described once in kOutputOpts below — the parser, the
+/// config application, and the --help text all iterate that table, so a new
+/// artifact is one table row plus its fields here.
 struct BenchArgs {
   scenario::SweepOptions sweep;  // --jobs N / -j N (0 = env/hardware default)
   /// --trace [PATH]: write a Chrome trace-event JSON of the first run.
@@ -76,6 +80,13 @@ struct BenchArgs {
   /// JSONL.  Empty = recorder off; default path is PACKETS_<bench_id>.jsonl.
   std::string packets_path;
   bool packets = false;
+  /// --health [PATH]: write the first run's runtime-health JSONL (windowed
+  /// rollups + watchdog verdicts).  Default path is HEALTH_<bench_id>.jsonl.
+  std::string health_path;
+  bool health = false;
+  /// --health-strict: exit 1 if any health watchdog reports an
+  /// error-severity violation (implies --health).
+  bool health_strict = false;
   /// --packet-sample N: record 1-in-N sampled data packets (default 1).
   std::uint32_t packet_sample = 1;
   /// --faults [SPEC]: inject infrastructure faults into the first run.
@@ -108,98 +119,111 @@ struct BenchArgs {
     if (policy_set) cfg.wgtt.controller.policy = policy;
   }
 
-  /// Apply the requested --trace/--telemetry/--decisions outputs to the
-  /// config of one run (benches instrument the first simulation of their
-  /// sweep; instrumenting every run would just overwrite one file per
-  /// worker).  Exits with an error if a target file exists and --force was
-  /// not given.
+  /// Apply the requested output artifacts (kOutputOpts) to the config of
+  /// one run (benches instrument the first simulation of their sweep;
+  /// instrumenting every run would just overwrite one file per worker).
+  /// Exits with an error if a target file exists and --force was not given.
   template <typename DriveConfig>
-  void apply_outputs(DriveConfig& cfg, const std::string& bench_id) const {
-    if (trace) {
-      cfg.testbed.trace_path = claim_output_path(
-          trace_path.empty() ? "TRACE_" + bench_id + ".json" : trace_path,
-          force, "trace");
-    }
-    if (telemetry) {
-      cfg.testbed.telemetry_path = claim_output_path(
-          telemetry_path.empty() ? "TELEMETRY_" + bench_id + ".csv"
-                                 : telemetry_path,
-          force, "telemetry");
-    }
-    if (decisions) {
-      cfg.testbed.decision_log_path = claim_output_path(
-          decisions_path.empty() ? "DECISIONS_" + bench_id + ".jsonl"
-                                 : decisions_path,
-          force, "decisions");
-    }
-    if (packets) {
-      cfg.testbed.packet_log_path = claim_output_path(
-          packets_path.empty() ? "PACKETS_" + bench_id + ".jsonl"
-                               : packets_path,
-          force, "packets");
-      cfg.testbed.packet_sample = packet_sample;
-    }
-    if (faults) {
-      sim::FaultPlan plan;
-      if (faults_spec.empty()) {
-        const Time horizon =
-            cfg.duration > Time::zero() ? cfg.duration : Time::sec(10);
-        plan = sim::FaultPlan::chaos(
-            /*intensity=*/1.0, horizon,
-            static_cast<std::uint32_t>(cfg.testbed.ap_x.size()), cfg.seed);
-      } else {
-        std::string err;
-        if (!sim::FaultPlan::parse(faults_spec, plan, &err)) {
-          std::fprintf(stderr, "error: bad --faults spec: %s\n", err.c_str());
-          std::exit(2);
-        }
-      }
-      std::printf("faults:\n%s", plan.describe().c_str());
-      cfg.testbed.faults = std::move(plan);
-    }
-  }
+  void apply_outputs(DriveConfig& cfg, const std::string& bench_id) const;
 };
+
+/// One optional per-run output artifact: where its flag parses into
+/// BenchArgs and which TestbedConfig path it sets.  parse_args,
+/// BenchArgs::apply_outputs, and the --help text all walk this table.
+struct OutputOpt {
+  const char* flag;            // "--trace"
+  const char* what;            // claim_output_path label
+  const char* default_prefix;  // "TRACE_"
+  const char* default_suffix;  // ".json"
+  bool BenchArgs::*enabled;
+  std::string BenchArgs::*path;
+  std::string scenario::TestbedConfig::*target;
+  const char* help;  // --help description (default-path clause appended)
+};
+
+inline const OutputOpt kOutputOpts[] = {
+    {"--trace", "trace", "TRACE_", ".json", &BenchArgs::trace,
+     &BenchArgs::trace_path, &scenario::TestbedConfig::trace_path,
+     "write a Chrome trace-event JSON (chrome://tracing, Perfetto) of the "
+     "bench's first simulation"},
+    {"--telemetry", "telemetry", "TELEMETRY_", ".csv", &BenchArgs::telemetry,
+     &BenchArgs::telemetry_path, &scenario::TestbedConfig::telemetry_path,
+     "write the first simulation's telemetry time-series CSV"},
+    {"--decisions", "decisions", "DECISIONS_", ".jsonl",
+     &BenchArgs::decisions, &BenchArgs::decisions_path,
+     &scenario::TestbedConfig::decision_log_path,
+     "write the first simulation's controller decision audit JSONL"},
+    {"--packets", "packets", "PACKETS_", ".jsonl", &BenchArgs::packets,
+     &BenchArgs::packets_path, &scenario::TestbedConfig::packet_log_path,
+     "write the first simulation's per-packet flight-recorder JSONL"},
+    {"--health", "health", "HEALTH_", ".jsonl", &BenchArgs::health,
+     &BenchArgs::health_path, &scenario::TestbedConfig::health_path,
+     "write the first simulation's runtime-health JSONL (windowed rollups "
+     "+ invariant watchdogs)"},
+};
+
+template <typename DriveConfig>
+void BenchArgs::apply_outputs(DriveConfig& cfg,
+                              const std::string& bench_id) const {
+  for (const OutputOpt& o : kOutputOpts) {
+    if (!(this->*o.enabled)) continue;
+    const std::string& p = this->*o.path;
+    cfg.testbed.*o.target = claim_output_path(
+        p.empty() ? o.default_prefix + bench_id + o.default_suffix : p,
+        force, o.what);
+  }
+  if (packets) cfg.testbed.packet_sample = packet_sample;
+  if (faults) {
+    sim::FaultPlan plan;
+    if (faults_spec.empty()) {
+      const Time horizon =
+          cfg.duration > Time::zero() ? cfg.duration : Time::sec(10);
+      plan = sim::FaultPlan::chaos(
+          /*intensity=*/1.0, horizon,
+          static_cast<std::uint32_t>(cfg.testbed.ap_x.size()), cfg.seed);
+    } else {
+      std::string err;
+      if (!sim::FaultPlan::parse(faults_spec, plan, &err)) {
+        std::fprintf(stderr, "error: bad --faults spec: %s\n", err.c_str());
+        std::exit(2);
+      }
+    }
+    std::printf("faults:\n%s", plan.describe().c_str());
+    cfg.testbed.faults = std::move(plan);
+  }
+}
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     const char* val = nullptr;
+    // Output-artifact flags: "--flag=PATH" or "--flag [PATH]".
+    bool matched_output = false;
+    for (const OutputOpt& o : kOutputOpts) {
+      const std::size_t len = std::strlen(o.flag);
+      if (std::strncmp(a, o.flag, len) == 0 && a[len] == '=') {
+        args.*o.enabled = true;
+        args.*o.path = a + len + 1;
+        matched_output = true;
+        break;
+      }
+      if (std::strcmp(a, o.flag) == 0) {
+        args.*o.enabled = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-') args.*o.path = argv[++i];
+        matched_output = true;
+        break;
+      }
+    }
+    if (matched_output) continue;
     if (std::strncmp(a, "--jobs=", 7) == 0) {
       val = a + 7;
     } else if ((std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0) &&
                i + 1 < argc) {
       val = argv[++i];
-    } else if (std::strncmp(a, "--trace=", 8) == 0) {
-      args.trace = true;
-      args.trace_path = a + 8;
-    } else if (std::strcmp(a, "--trace") == 0) {
-      args.trace = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') args.trace_path = argv[++i];
-    } else if (std::strncmp(a, "--telemetry=", 12) == 0) {
-      args.telemetry = true;
-      args.telemetry_path = a + 12;
-    } else if (std::strcmp(a, "--telemetry") == 0) {
-      args.telemetry = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        args.telemetry_path = argv[++i];
-      }
-    } else if (std::strncmp(a, "--decisions=", 12) == 0) {
-      args.decisions = true;
-      args.decisions_path = a + 12;
-    } else if (std::strcmp(a, "--decisions") == 0) {
-      args.decisions = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        args.decisions_path = argv[++i];
-      }
-    } else if (std::strncmp(a, "--packets=", 10) == 0) {
-      args.packets = true;
-      args.packets_path = a + 10;
-    } else if (std::strcmp(a, "--packets") == 0) {
-      args.packets = true;
-      if (i + 1 < argc && argv[i + 1][0] != '-') {
-        args.packets_path = argv[++i];
-      }
+    } else if (std::strcmp(a, "--health-strict") == 0) {
+      args.health_strict = true;
+      args.health = true;
     } else if (std::strncmp(a, "--packet-sample=", 16) == 0) {
       const long v = std::strtol(a + 16, nullptr, 10);
       if (v > 0) args.packet_sample = static_cast<std::uint32_t>(v);
@@ -232,31 +256,31 @@ inline BenchArgs parse_args(int argc, char** argv) {
     } else if (std::strcmp(a, "--force") == 0) {
       args.force = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      std::printf("usage: %s [--jobs N] [--policy SPEC]", argv[0]);
+      for (const OutputOpt& o : kOutputOpts) {
+        std::printf(" [%s [PATH]]", o.flag);
+      }
       std::printf(
-          "usage: %s [--jobs N] [--policy SPEC] [--trace [PATH]] "
-          "[--telemetry [PATH]] [--decisions [PATH]] [--packets [PATH]] "
-          "[--packet-sample N] [--force]\n"
+          " [--health-strict] [--packet-sample N] [--faults [SPEC]] "
+          "[--force]\n"
           "  --jobs N            worker threads for the sweep (default: "
           "WGTT_SWEEP_JOBS env or hardware concurrency)\n"
           "  --policy SPEC       handoff policy for every WGTT run, "
           "\"name[:key=val,...]\" (median_esnr, predictive, "
-          "make_before_break, bicast)\n"
-          "  --trace [PATH]      write a Chrome trace-event JSON "
-          "(chrome://tracing, Perfetto) of the bench's first "
-          "simulation; default PATH is TRACE_<bench>.json\n"
-          "  --telemetry [PATH]  write the first simulation's telemetry "
-          "time-series CSV; default PATH is TELEMETRY_<bench>.csv\n"
-          "  --decisions [PATH]  write the first simulation's controller "
-          "decision audit JSONL; default PATH is DECISIONS_<bench>.jsonl\n"
-          "  --packets [PATH]    write the first simulation's per-packet "
-          "flight-recorder JSONL; default PATH is PACKETS_<bench>.jsonl\n"
+          "make_before_break, bicast)\n");
+      for (const OutputOpt& o : kOutputOpts) {
+        std::printf("  %-9s [PATH]    %s; default PATH is %s<bench>%s\n",
+                    o.flag, o.help, o.default_prefix, o.default_suffix);
+      }
+      std::printf(
+          "  --health-strict     exit 1 on any error-severity health "
+          "watchdog violation (implies --health)\n"
           "  --packet-sample N   flight-record 1-in-N data packets "
           "(default 1 = every packet; markers always recorded)\n"
           "  --faults [SPEC]     inject infrastructure faults into the "
           "first simulation; SPEC grammar per EXPERIMENTS.md (\"Chaos "
           "sweeps\"), no SPEC = a seeded chaos plan\n"
-          "  --force             overwrite existing output files\n",
-          argv[0]);
+          "  --force             overwrite existing output files\n");
       std::exit(0);
     }
     if (val != nullptr) {
@@ -277,6 +301,38 @@ inline void emit_report(const scenario::SweepReport& report) {
   }
   std::printf("\nreport: %s (%zu runs, %zu jobs, %.0f ms wall)\n",
               path.c_str(), report.runs.size(), report.jobs, report.wall_ms);
+}
+
+/// emit_report + the --health-strict gate: prints the health verdict for
+/// the instrumented run(s) and exits 1 when strict mode saw any
+/// error-severity watchdog violation.
+inline void emit_report(const scenario::SweepReport& report,
+                        const BenchArgs& args) {
+  emit_report(report);
+  if (!args.health) return;
+  std::uint64_t windows = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t errors = 0;
+  for (const auto& run : report.runs) {
+    windows += run.health_windows;
+    checks += run.health_checks;
+    violations += run.health_violations;
+    errors += run.health_errors;
+  }
+  std::printf("health: %llu windows, %llu checks, %llu violations "
+              "(%llu error)\n",
+              static_cast<unsigned long long>(windows),
+              static_cast<unsigned long long>(checks),
+              static_cast<unsigned long long>(violations),
+              static_cast<unsigned long long>(errors));
+  if (args.health_strict && errors > 0) {
+    std::fprintf(stderr,
+                 "health: STRICT FAIL — %llu error-severity watchdog "
+                 "violation(s)\n",
+                 static_cast<unsigned long long>(errors));
+    std::exit(1);
+  }
 }
 
 }  // namespace wgtt::bench

@@ -29,7 +29,7 @@ benches=(
 )
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
-targets=(wgtt-report)
+targets=(wgtt-report bench_soak)
 for entry in "${benches[@]}"; do
   read -r bench_id _ <<<"${entry}"
   targets+=("bench_${bench_id}")
@@ -53,5 +53,14 @@ for entry in "${benches[@]}"; do
   fi
   cp "${report}" "${baseline_dir}/${baseline_file}"
 done
+
+# The soak baseline is different in kind: CI gates the *health stream*
+# (window/check/violation counts, packet ledger, drift slopes), not the
+# BENCH json, so it is emitted by the analyzer rather than copied.  Keep
+# --sim-minutes in lockstep with the soak-health job in ci.yml.
+echo "== soak -> baselines/soak.json (health-stream baseline)"
+(cd "${workdir}" && "${build_dir}/bench/bench_soak" --sim-minutes 12 --health-strict --force)
+"${build_dir}/src/wgtt-report" health "${workdir}/HEALTH_soak.jsonl" \
+  --strict --emit-baseline "${baseline_dir}/soak.json"
 
 echo "baselines refreshed; review with git diff before committing"

@@ -8,7 +8,9 @@ namespace wgtt::apps {
 ConferenceApp::ConferenceApp(sim::Scheduler& sched,
                              transport::IpIdAllocator& ip_ids,
                              ConferenceConfig cfg)
-    : sched_(sched), ip_ids_(ip_ids), cfg_(cfg) {}
+    : sched_(sched), ip_ids_(ip_ids), cfg_(cfg) {
+  health_ = obs::HealthEngine::current();
+}
 
 void ConferenceApp::start() {
   if (running_) return;
@@ -44,12 +46,16 @@ void ConferenceApp::send_frame() {
     const std::size_t remaining = frame_bytes - f * cfg_.fragment_bytes;
     p.size_bytes = std::min(cfg_.fragment_bytes, remaining) + 28;
     p.created = sched_.now();
-    if (transmit) transmit(net::make_packet(std::move(p)));
+    if (transmit) {
+      if (health_) health_->packet_sent();
+      transmit(net::make_packet(std::move(p)));
+    }
   }
   sched_.schedule(Time::sec(1.0 / cfg_.frame_rate), [this]() { send_frame(); });
 }
 
 void ConferenceApp::on_packet(const net::PacketPtr& pkt) {
+  if (health_) health_->packet_delivered();
   const std::uint64_t frame_id = pkt->seq >> 32;
   const std::size_t fragments = pkt->seq & 0xFFFF;
   FrameProgress& fp = pending_[frame_id];

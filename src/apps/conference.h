@@ -20,6 +20,7 @@
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "transport/udp_flow.h"
+#include "util/health.h"
 #include "util/stats.h"
 
 namespace wgtt::apps {
@@ -66,6 +67,7 @@ class ConferenceApp {
   sim::Scheduler& sched_;
   transport::IpIdAllocator& ip_ids_;
   ConferenceConfig cfg_;
+  obs::HealthEngine* health_ = nullptr;
   bool running_ = false;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_rendered_ = 0;

@@ -32,8 +32,24 @@
 //       failovers are flagged reason=ap_suspect — and attributes every
 //       packet whose lifecycle stalled across one.
 //
-// Exit codes: 0 ok / warnings only, 1 performance regression, 2 schema or
-// usage error.
+//   wgtt-report health FILE [--strict] [--baseline FILE]
+//                      [--emit-baseline FILE]
+//       Analyze a runtime-health JSONL (the --health output of the benches):
+//       the packet-conservation ledger, a per-series drift table
+//       (least-squares slope per simulated hour over the trailing half of
+//       the windows — a leak shows up as a stubbornly positive slope), and
+//       the watchdog violation rollup.  --strict exits 1 on any
+//       error-severity violation.  --baseline compares the ledger, the
+//       violation counts, and the drift slopes against a committed baseline
+//       (exit 1 on mismatch); --emit-baseline writes that baseline JSON.
+//
+// All JSONL inputs may carry a {"kind":"schema","stream":...,"version":...}
+// header line; a recognized header is validated (wrong stream or a version
+// newer than this tool understands exits 2), a missing header is accepted
+// for backward compatibility.
+//
+// Exit codes: 0 ok / warnings only, 1 performance regression or health-gate
+// failure, 2 schema or usage error.
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
@@ -221,6 +237,30 @@ const char* layer_of(const std::string& hop) {
   return "?";
 }
 
+// Validate a {"kind":"schema"} JSONL header record.  Returns false (having
+// printed the reason) when the stream name is wrong or the version is newer
+// than `max_version` — the emitting simulator is ahead of this tool and the
+// records cannot be trusted to mean what we think they mean.
+bool check_schema_record(const JsonValue& v, const std::string& path,
+                         const char* want_stream, int max_version) {
+  const std::string stream = v.string_or("stream", "");
+  const int version = static_cast<int>(v.number_or("version", 0.0));
+  if (stream != want_stream) {
+    std::fprintf(stderr,
+                 "wgtt-report: %s: schema stream \"%s\" (expected \"%s\")\n",
+                 path.c_str(), stream.c_str(), want_stream);
+    return false;
+  }
+  if (version < 1 || version > max_version) {
+    std::fprintf(stderr,
+                 "wgtt-report: %s: schema version %d unsupported (this tool "
+                 "understands \"%s\" up to version %d)\n",
+                 path.c_str(), version, want_stream, max_version);
+    return false;
+  }
+  return true;
+}
+
 bool load_packet_log(const std::string& path, std::vector<FlightRec>& out) {
   std::string text;
   if (!wgtt::read_text_file(path, text)) {
@@ -242,6 +282,10 @@ bool load_packet_log(const std::string& path, std::vector<FlightRec>& out) {
       std::fprintf(stderr, "wgtt-report: %s:%zu: bad record: %s\n",
                    path.c_str(), line_no, error.c_str());
       return false;
+    }
+    if (v.string_or("kind", "") == "schema") {
+      if (!check_schema_record(v, path, "wgtt.packets", 1)) return false;
+      continue;
     }
     FlightRec rec;
     rec.uid = static_cast<std::uint64_t>(v.number_or("uid", 0.0));
@@ -516,6 +560,264 @@ int cmd_packets(const std::string& path, std::size_t waterfall_limit,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// health: runtime-health JSONL analysis and drift gate
+// ---------------------------------------------------------------------------
+
+struct HealthLog {
+  std::vector<double> t_hours;  // window close times
+  // Per-series window samples, aligned with t_hours: the ledger's in_flight
+  // plus every gauge the run registered.
+  std::map<std::string, std::vector<double>> series;
+  // watchdog -> (severity, count); a watchdog that fired with both
+  // severities keeps the worse one.
+  std::map<std::string, std::pair<std::string, std::uint64_t>> watchdogs;
+  // From the summary record (or accumulated if the log was truncated).
+  std::uint64_t windows = 0, checks = 0, violations = 0, errors = 0;
+  double sent = 0, copies = 0, delivered = 0, retired = 0, dropped = 0;
+  double in_flight = 0;
+  bool has_summary = false;
+};
+
+bool load_health_log(const std::string& path, HealthLog& out) {
+  std::string text;
+  if (!wgtt::read_text_file(path, text)) {
+    std::fprintf(stderr, "wgtt-report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string error;
+    if (!wgtt::json_parse(line, v, &error) || !v.is_object()) {
+      std::fprintf(stderr, "wgtt-report: %s:%zu: bad record: %s\n",
+                   path.c_str(), line_no, error.c_str());
+      return false;
+    }
+    const std::string kind = v.string_or("kind", "");
+    if (kind == "schema") {
+      if (!check_schema_record(v, path, "wgtt.health", 1)) return false;
+    } else if (kind == "window") {
+      out.t_hours.push_back(v.number_or("t_us", 0.0) / 3.6e9);
+      out.series["in_flight"].push_back(v.number_or("in_flight", 0.0));
+      if (const JsonValue* g = v.find("gauges"); g && g->is_object()) {
+        for (const auto& [name, val] : g->as_object()) {
+          if (!val.is_number()) continue;
+          auto& s = out.series[name];
+          // Gauges registered mid-run backfill with their first sample so
+          // every aligned series has t_hours.size() points.
+          while (s.size() + 1 < out.t_hours.size()) s.push_back(val.as_number());
+          s.push_back(val.as_number());
+        }
+      }
+      ++out.windows;
+    } else if (kind == "violation") {
+      const std::string watchdog = v.string_or("watchdog", "?");
+      const std::string severity = v.string_or("severity", "warn");
+      auto& [worst, count] = out.watchdogs[watchdog];
+      if (worst.empty() || severity == "error") worst = severity;
+      ++count;
+      ++out.violations;
+      if (severity == "error") ++out.errors;
+    } else if (kind == "summary") {
+      out.has_summary = true;
+      out.windows = static_cast<std::uint64_t>(v.number_or("windows", 0.0));
+      out.checks = static_cast<std::uint64_t>(v.number_or("checks", 0.0));
+      out.violations =
+          static_cast<std::uint64_t>(v.number_or("violations", 0.0));
+      out.sent = v.number_or("sent", 0.0);
+      out.copies = v.number_or("copies", 0.0);
+      out.delivered = v.number_or("delivered", 0.0);
+      out.retired = v.number_or("retired", 0.0);
+      out.dropped = v.number_or("dropped", 0.0);
+      out.in_flight = v.number_or("in_flight", 0.0);
+    }
+  }
+  if (out.t_hours.empty()) {
+    std::fprintf(stderr, "wgtt-report: %s: no window records\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Least-squares slope (units per simulated hour) over the trailing half of
+// the samples: the leading half is queue-fill warmup, and a leak is a slope
+// that stays positive after the system should have plateaued.
+double trailing_slope(const std::vector<double>& t, const std::vector<double>& y) {
+  const std::size_t n = t.size();
+  const std::size_t lo = n / 2;
+  const std::size_t m = n - lo;
+  if (m < 2) return 0.0;
+  double st = 0, sy = 0, stt = 0, sty = 0;
+  for (std::size_t i = lo; i < n; ++i) {
+    st += t[i];
+    sy += y[i];
+    stt += t[i] * t[i];
+    sty += t[i] * y[i];
+  }
+  const double denom = m * stt - st * st;
+  if (std::fabs(denom) < 1e-12) return 0.0;
+  return (m * sty - st * sy) / denom;
+}
+
+int cmd_health(const std::string& path, bool strict,
+               const std::string& baseline_path,
+               const std::string& emit_baseline_path) {
+  HealthLog log;
+  if (!load_health_log(path, log)) return 2;
+
+  std::printf("health log: %s\n", path.c_str());
+  std::printf("windows: %" PRIu64 "   checks: %" PRIu64
+              "   violations: %" PRIu64 " (%" PRIu64 " error)\n",
+              log.windows, log.checks, log.violations, log.errors);
+  std::printf("ledger:  sent %.0f  copies %.0f  delivered %.0f  retired %.0f"
+              "  dropped %.0f  in_flight %.0f\n",
+              log.sent, log.copies, log.delivered, log.retired, log.dropped,
+              log.in_flight);
+
+  // --- drift table --------------------------------------------------------
+  std::map<std::string, double> slopes;
+  std::printf("\ndrift (slope per simulated hour, trailing half of %" PRIu64
+              " windows):\n", log.windows);
+  std::printf("%-24s %14s %14s  %s\n", "series", "final", "slope/hr",
+              "trend");
+  for (const auto& [name, samples] : log.series) {
+    if (samples.size() != log.t_hours.size()) continue;  // never backfilled
+    const double slope = trailing_slope(log.t_hours, samples);
+    slopes[name] = slope;
+    const double final_v = samples.back();
+    // Purely informational: a series drifting faster than 25 % of its final
+    // level per hour has not plateaued.  The gating comparison is against
+    // the committed baseline below.
+    const double scale = std::max(std::fabs(final_v), 1.0);
+    const char* trend = std::fabs(slope) <= 0.25 * scale ? "flat" : "DRIFT";
+    std::printf("%-24s %14.1f %14.1f  %s\n", name.c_str(), final_v, slope,
+                trend);
+  }
+
+  // --- watchdog rollup ----------------------------------------------------
+  if (log.watchdogs.empty()) {
+    std::printf("\nwatchdogs: all green\n");
+  } else {
+    std::printf("\nwatchdog violations:\n");
+    std::printf("%-24s %-8s %10s\n", "watchdog", "severity", "count");
+    for (const auto& [name, sc] : log.watchdogs) {
+      std::printf("%-24s %-8s %10" PRIu64 "\n", name.c_str(),
+                  sc.first.c_str(), sc.second);
+    }
+  }
+
+  // --- baseline emit / compare -------------------------------------------
+  if (!emit_baseline_path.empty()) {
+    wgtt::JsonWriter w;
+    w.begin_object();
+    w.field("stream", "wgtt.health");
+    w.field("windows", log.windows);
+    w.field("checks", log.checks);
+    w.field("violations", log.violations);
+    w.field("errors", log.errors);
+    w.key("ledger").begin_object();
+    w.field("sent", log.sent);
+    w.field("copies", log.copies);
+    w.field("delivered", log.delivered);
+    w.field("retired", log.retired);
+    w.field("dropped", log.dropped);
+    w.field("in_flight", log.in_flight);
+    w.end_object();
+    w.key("slopes").begin_object();
+    for (const auto& [name, slope] : slopes) w.field(name, slope);
+    w.end_object();
+    w.end_object();
+    if (!wgtt::write_text_file(emit_baseline_path, w.str() + "\n")) {
+      std::fprintf(stderr, "wgtt-report: cannot write %s\n",
+                   emit_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("\nbaseline written: %s\n", emit_baseline_path.c_str());
+  }
+
+  int gate_failures = 0;
+  if (!baseline_path.empty()) {
+    std::string text;
+    JsonValue base;
+    std::string error;
+    if (!wgtt::read_text_file(baseline_path, text) ||
+        !wgtt::json_parse(text, base, &error) || !base.is_object()) {
+      std::fprintf(stderr, "wgtt-report: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("\nbaseline: %s\n", baseline_path.c_str());
+    const auto check_exact = [&](const char* what, double want, double got) {
+      if (want == got) return;
+      std::printf("FAIL  %-24s %.0f (baseline %.0f)\n", what, got, want);
+      ++gate_failures;
+    };
+    check_exact("windows", base.number_or("windows", 0.0),
+                static_cast<double>(log.windows));
+    check_exact("checks", base.number_or("checks", 0.0),
+                static_cast<double>(log.checks));
+    check_exact("violations", base.number_or("violations", 0.0),
+                static_cast<double>(log.violations));
+    check_exact("errors", base.number_or("errors", 0.0),
+                static_cast<double>(log.errors));
+    if (const JsonValue* ledger = base.find("ledger");
+        ledger && ledger->is_object()) {
+      check_exact("ledger.sent", ledger->number_or("sent", 0.0), log.sent);
+      check_exact("ledger.copies", ledger->number_or("copies", 0.0),
+                  log.copies);
+      check_exact("ledger.delivered", ledger->number_or("delivered", 0.0),
+                  log.delivered);
+      check_exact("ledger.retired", ledger->number_or("retired", 0.0),
+                  log.retired);
+      check_exact("ledger.dropped", ledger->number_or("dropped", 0.0),
+                  log.dropped);
+      check_exact("ledger.in_flight", ledger->number_or("in_flight", 0.0),
+                  log.in_flight);
+    }
+    if (const JsonValue* bs = base.find("slopes"); bs && bs->is_object()) {
+      for (const auto& [name, want] : bs->as_object()) {
+        if (!want.is_number()) continue;
+        auto it = slopes.find(name);
+        if (it == slopes.end()) {
+          std::printf("FAIL  slope %-18s missing from log\n", name.c_str());
+          ++gate_failures;
+          continue;
+        }
+        // The runs are deterministic, so slopes reproduce bit-for-bit on
+        // one toolchain; 1 % relative headroom absorbs cross-compiler FP.
+        const double w = want.as_number();
+        const double tol = std::max(0.01 * std::fabs(w), 1e-9);
+        if (std::fabs(it->second - w) > tol) {
+          std::printf("FAIL  slope %-18s %.3f (baseline %.3f)\n", name.c_str(),
+                      it->second, w);
+          ++gate_failures;
+        }
+      }
+    }
+    if (gate_failures == 0) std::printf("baseline: ok\n");
+  }
+
+  if (gate_failures > 0) {
+    std::printf("result: %d baseline mismatch(es)\n", gate_failures);
+    return 1;
+  }
+  if (strict && log.errors > 0) {
+    std::printf("result: STRICT FAIL — %" PRIu64
+                " error-severity violation(s)\n", log.errors);
+    return 1;
+  }
+  std::printf("result: ok\n");
+  return 0;
+}
+
 struct DiffState {
   double tolerance_pct = 25.0;
   double budget_ms = 0.0;  // <= 0: no per-row budget
@@ -679,8 +981,11 @@ int usage() {
       "       wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]\n"
       "                        [--budget-ms MS]\n"
       "       wgtt-report packets FILE [--limit N] [--switches]\n"
+      "       wgtt-report health FILE [--strict] [--baseline FILE]\n"
+      "                          [--emit-baseline FILE]\n"
       "\n"
-      "exit codes: 0 ok, 1 performance regression, 2 schema/usage error\n");
+      "exit codes: 0 ok, 1 regression/health-gate failure, 2 schema/usage "
+      "error\n");
   return 2;
 }
 
@@ -717,6 +1022,33 @@ int main(int argc, char** argv) {
     }
     if (path.empty()) return usage();
     return cmd_packets(path, limit, switches);
+  }
+  if (args[0] == "health") {
+    bool strict = false;
+    std::string path, baseline, emit_baseline;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--strict") {
+        strict = true;
+      } else if (args[i] == "--baseline") {
+        if (i + 1 >= args.size()) return usage();
+        baseline = args[++i];
+      } else if (args[i].rfind("--baseline=", 0) == 0) {
+        baseline = args[i].substr(std::strlen("--baseline="));
+      } else if (args[i] == "--emit-baseline") {
+        if (i + 1 >= args.size()) return usage();
+        emit_baseline = args[++i];
+      } else if (args[i].rfind("--emit-baseline=", 0) == 0) {
+        emit_baseline = args[i].substr(std::strlen("--emit-baseline="));
+      } else if (args[i].rfind("--", 0) == 0) {
+        return usage();
+      } else if (path.empty()) {
+        path = args[i];
+      } else {
+        return usage();
+      }
+    }
+    if (path.empty()) return usage();
+    return cmd_health(path, strict, baseline, emit_baseline);
   }
   if (args[0] == "diff") {
     DiffState st;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/flight_recorder.h"
 #include "util/logging.h"
 
 namespace wgtt::baseline {
@@ -13,6 +14,7 @@ namespace wgtt::baseline {
 Distribution::Distribution(sim::Scheduler& sched, net::Backhaul& backhaul,
                            Time relearn_delay)
     : sched_(sched), backhaul_(backhaul), relearn_delay_(relearn_delay) {
+  health_ = obs::HealthEngine::current();
   backhaul_.attach(net::kControllerId, [this](const net::TunneledPacket& f) {
     on_backhaul_frame(f);
   });
@@ -22,6 +24,7 @@ void Distribution::send_downlink(net::NodeId client, net::PacketPtr pkt) {
   auto it = assoc_.find(client);
   if (it == assoc_.end()) {
     ++dropped_;
+    if (health_ && net::flight_recorded(pkt->type)) health_->packet_dropped();
     return;
   }
   ++downlink_packets_;
@@ -61,7 +64,11 @@ void Distribution::on_backhaul_frame(const net::TunneledPacket& frame) {
   switch (inner->type) {
     case net::PacketType::kData:
     case net::PacketType::kTcpAck:
-      if (on_uplink) on_uplink(std::move(inner));
+      if (on_uplink) {
+        on_uplink(std::move(inner));
+      } else if (health_) {
+        health_->packet_retired();  // no wired-side consumer
+      }
       return;
     case net::PacketType::kAssocSync:
       if (const auto* joined = net::payload_as<core::ClientJoinedMsg>(*inner)) {
@@ -80,6 +87,7 @@ void Distribution::on_backhaul_frame(const net::TunneledPacket& frame) {
 BaselineAp::BaselineAp(sim::Scheduler& sched, net::Backhaul& backhaul,
                        mac::WifiDevice& device, BaselineApConfig cfg)
     : sched_(sched), backhaul_(backhaul), device_(device), cfg_(cfg) {
+  health_ = obs::HealthEngine::current();
   backhaul_.attach(cfg_.id, [this](const net::TunneledPacket& frame) {
     on_backhaul_frame(frame);
   });
@@ -116,6 +124,8 @@ void BaselineAp::on_backhaul_frame(const net::TunneledPacket& frame) {
       auto it = kernel_queues_.find(flush->client);
       if (it != kernel_queues_.end()) {
         stale_flushed_ += it->second.size();
+        // Kernel queues hold only flight-recorded types (see enqueue path).
+        if (health_) health_->packet_dropped(it->second.size());
         it->second.clear();
       }
       stale_flushed_ += device_.flush_queue(flush->client);
@@ -131,7 +141,10 @@ void BaselineAp::on_backhaul_frame(const net::TunneledPacket& frame) {
 
 void BaselineAp::enqueue_downlink(net::NodeId client, net::PacketPtr pkt) {
   auto& q = kernel_queues_[client];
-  if (q.size() >= cfg_.kernel_queue_limit) return;  // tail drop
+  if (q.size() >= cfg_.kernel_queue_limit) {  // tail drop
+    if (health_) health_->packet_dropped();
+    return;
+  }
   q.push_back(std::move(pkt));
   pump(client);
 }

@@ -29,6 +29,7 @@
 #include "net/backhaul.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/health.h"
 
 namespace wgtt::baseline {
 
@@ -61,6 +62,7 @@ class Distribution {
 
   sim::Scheduler& sched_;
   net::Backhaul& backhaul_;
+  obs::HealthEngine* health_ = nullptr;
   Time relearn_delay_;
   std::map<net::NodeId, net::NodeId> assoc_;          // effective (post-delay)
   std::map<net::NodeId, net::NodeId> pending_assoc_;  // announced, not live yet
@@ -107,6 +109,7 @@ class BaselineAp {
   sim::Scheduler& sched_;
   net::Backhaul& backhaul_;
   mac::WifiDevice& device_;
+  obs::HealthEngine* health_ = nullptr;
   BaselineApConfig cfg_;
   std::map<net::NodeId, std::deque<net::PacketPtr>> kernel_queues_;
   std::uint16_t next_aid_ = 1;

@@ -6,6 +6,7 @@
 // offsets, lanes (y), and directions.
 #pragma once
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,46 @@ class LinearMobility final : public MobilityModel {
  private:
   Vec3 start_;
   Vec3 vel_;
+};
+
+/// Shuttle service: constant-speed back-and-forth between two endpoints (a
+/// triangle wave along the segment).  Soak runs use this to keep a client
+/// crossing picocells for hours of simulated time; `start_offset_m` phases
+/// clients apart along the route.
+class PingPongMobility final : public MobilityModel {
+ public:
+  PingPongMobility(Vec3 a, Vec3 b, double speed_mps,
+                   double start_offset_m = 0.0)
+      : a_(a), b_(b), speed_(speed_mps), offset_(start_offset_m) {
+    leg_ = (b_ - a_).norm();
+  }
+  Vec3 position(Time t) const override {
+    if (leg_ <= 0.0 || speed_ <= 0.0) return a_;
+    return a_ + (b_ - a_) * (phase(t) / leg_);
+  }
+  Vec3 velocity(Time t) const override {
+    if (leg_ <= 0.0 || speed_ <= 0.0) return {};
+    const double cycle =
+        std::fmod(offset_ + distance_travelled(t), 2.0 * leg_);
+    const Vec3 dir = (b_ - a_) * (1.0 / leg_);
+    return cycle < leg_ ? dir * speed_ : dir * -speed_;
+  }
+  double distance_travelled(Time t) const override {
+    return speed_ * t.to_sec();
+  }
+
+ private:
+  /// Distance from `a_` along the segment at time t (triangle wave).
+  double phase(Time t) const {
+    const double cycle =
+        std::fmod(offset_ + distance_travelled(t), 2.0 * leg_);
+    return cycle < leg_ ? cycle : 2.0 * leg_ - cycle;
+  }
+  Vec3 a_;
+  Vec3 b_;
+  double speed_ = 0.0;
+  double offset_ = 0.0;
+  double leg_ = 0.0;
 };
 
 /// Piecewise-linear motion through waypoints at given times; clamps at the

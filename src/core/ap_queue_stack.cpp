@@ -12,6 +12,7 @@ ApQueueStack::ApQueueStack(sim::Scheduler& sched, mac::WifiDevice& device,
   }
   tracer_ = trace::Tracer::current();
   recorder_ = net::FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
   device_.set_refill_handler(client_, [this]() { pump(); });
 }
 
@@ -22,6 +23,7 @@ ApQueueStack::pop_fresh() {
       return item;
     }
     ++stale_dropped_;
+    if (health_) health_->packet_dropped();
     if (recorder_) {
       recorder_->drop(item->second->uid, sched_.now(), net::Hop::kApDrop,
                       device_.id(), net::DropCause::kStale,
@@ -31,17 +33,32 @@ ApQueueStack::pop_fresh() {
   return std::nullopt;
 }
 
+void ApQueueStack::note_ring_evictions() {
+  // The cyclic ring destroys packets on its own in two places: insert()
+  // overwrites a slot the index space lapped, and set_head() discards slots
+  // another AP already delivered.  Both are benign custody ends for this
+  // AP's fan-out copy, so the ledger retires (not drops) the delta.
+  if (!health_) return;
+  const std::uint64_t evicted = cyclic_.overruns() + cyclic_.discarded();
+  if (evicted > ring_evictions_seen_) {
+    health_->packet_retired(evicted - ring_evictions_seen_);
+    ring_evictions_seen_ = evicted;
+  }
+}
+
 void ApQueueStack::on_downlink(std::uint32_t index, net::PacketPtr pkt) {
   if (recorder_) {
     recorder_->record(pkt->uid, sched_.now(), net::Hop::kApEnqueue,
                       device_.id(), {{"client", client_}, {"index", index}});
   }
   cyclic_.insert(index, std::move(pkt));
+  note_ring_evictions();
   if (active_) pump();
 }
 
 void ApQueueStack::activate(std::uint32_t start_index) {
   cyclic_.set_head(start_index);
+  note_ring_evictions();
   active_ = true;
   if (m_activations_) m_activations_->add();
   if (m_backlog_) m_backlog_->record(static_cast<double>(total_backlog()));
@@ -84,11 +101,13 @@ std::uint32_t ApQueueStack::deactivate(bool requeue_kernel) {
     for (auto& [index, pkt] : kernel_) cyclic_.insert(index, std::move(pkt));
     kernel_.clear();
     cyclic_.set_head(k);
+    note_ring_evictions();
     return k;
   }
   // Flush the kernel stage back into oblivion: the next AP's cyclic queue
   // already holds these packets, so local copies would only be duplicates.
   kernel_flushed_ += kernel_.size();
+  if (health_) health_->packet_dropped(kernel_.size());
   if (recorder_) {
     for (const auto& [index, pkt] : kernel_) {
       recorder_->drop(pkt->uid, sched_.now(), net::Hop::kApDrop, device_.id(),
@@ -124,6 +143,7 @@ std::size_t ApQueueStack::purge(net::DropCause cause) {
   cyclic_.clear();
   active_ = false;
   purged_ += purged;
+  if (health_) health_->packet_dropped(purged);
   if (tracer_) {
     tracer_->instant("core", "stack_purge", sched_.now(),
                      static_cast<std::int64_t>(device_.id()),

@@ -30,6 +30,7 @@
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/health.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -91,6 +92,9 @@ class ApQueueStack {
  private:
   /// Pull one packet off the cyclic ring, skipping previous-lap leftovers.
   std::optional<std::pair<std::uint32_t, net::PacketPtr>> pop_fresh();
+  /// Retire ring-internal evictions (insert overruns, set_head discards)
+  /// with the health ledger; called after every cyclic_ mutation.
+  void note_ring_evictions();
 
   sim::Scheduler& sched_;
   mac::WifiDevice& device_;
@@ -102,11 +106,13 @@ class ApQueueStack {
   std::uint64_t kernel_flushed_ = 0;
   std::uint64_t stale_dropped_ = 0;
   std::uint64_t purged_ = 0;
+  std::uint64_t ring_evictions_seen_ = 0;  // overruns+discards already retired
   // Instrumentation (null when the sim has no metrics/trace context).
   metrics::Histogram* m_backlog_ = nullptr;
   metrics::Counter* m_activations_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::HealthEngine* health_ = nullptr;
 };
 
 }  // namespace wgtt::core

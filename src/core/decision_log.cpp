@@ -43,6 +43,15 @@ std::string format_milli(double v) {
 
 }  // namespace
 
+DecisionLog::DecisionLog() {
+  // Schema header line.  Not a decision record (entries_ stays 0): it
+  // declares the stream identity + version so consumers fail loudly on a
+  // format they do not understand instead of mis-parsing it.
+  out_ += "{\"kind\":\"schema\",\"stream\":\"wgtt.decisions\",\"version\":";
+  out_ += std::to_string(kDecisionLogSchemaVersion);
+  out_ += "}\n";
+}
+
 void DecisionLog::append(const DecisionRecord& rec) {
   // Hand-rolled serialization (field order fixed by this code, numbers
   // integer-formatted) rather than JsonWriter — every byte is deterministic.

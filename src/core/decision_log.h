@@ -84,9 +84,14 @@ struct LivenessRecord {
   Time quarantine;            // backoff window (quarantined events only)
 };
 
+/// JSONL schema version emitted as the stream's header line
+/// ({"kind":"schema","stream":"wgtt.decisions","version":N}); wgtt-report
+/// refuses decision logs whose version it does not understand (exit 2).
+constexpr int kDecisionLogSchemaVersion = 1;
+
 class DecisionLog {
  public:
-  DecisionLog() = default;
+  DecisionLog();
   DecisionLog(const DecisionLog&) = delete;
   DecisionLog& operator=(const DecisionLog&) = delete;
 

@@ -15,6 +15,7 @@ WgttAp::WgttAp(sim::Scheduler& sched, net::Backhaul& backhaul,
       cfg_(std::move(cfg)),
       rng_(0xA9000ull + cfg_.id) {
   recorder_ = net::FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
   backhaul_.attach(cfg_.id, [this](const net::TunneledPacket& frame) {
     on_backhaul_frame(frame);
   });
@@ -120,6 +121,9 @@ void WgttAp::on_backhaul_frame(const net::TunneledPacket& frame) {
   if (down_) {
     // A crashed AP consumes nothing: data dies (with a drop record for the
     // autopsy), control vanishes — the sender's timeout machinery copes.
+    if (health_ && net::flight_recorded(inner->type)) {
+      health_->packet_dropped();
+    }
     if (recorder_ && net::flight_recorded(inner->type)) {
       recorder_->drop(inner->uid, sched_.now(), net::Hop::kApDrop, cfg_.id,
                       net::DropCause::kFaultInjected,
@@ -170,6 +174,7 @@ void WgttAp::handle_downlink_data(net::PacketPtr pkt) {
   if (!assoc_.known(client)) {
     // Shouldn't normally happen: the controller only forwards for
     // associated clients.  Drop rather than queue for a stranger.
+    if (health_) health_->packet_dropped();
     if (recorder_) {
       recorder_->drop(pkt->uid, sched_.now(), net::Hop::kApDrop, cfg_.id,
                       net::DropCause::kUnknownClient,

@@ -24,6 +24,7 @@ WgttController::WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
   tracer_ = trace::Tracer::current();
   decision_log_ = DecisionLog::current();
   recorder_ = net::FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
   if (auto* p = prof::Profiler::current()) {
     prof_ = p;
     p_selection_ = &p->section("core.selection");
@@ -191,6 +192,7 @@ void WgttController::handle_uplink_data(net::PacketPtr pkt,
   if (dedup_.is_duplicate(*pkt, sched_.now())) {
     ++stats_.uplink_duplicates;
     if (m_dedup_hits_) m_dedup_hits_->add();
+    if (health_) health_->packet_dropped();
     if (recorder_) {
       recorder_->drop(pkt->uid, sched_.now(), net::Hop::kDedupSuppress,
                       net::kControllerId, net::DropCause::kDuplicate,
@@ -204,7 +206,12 @@ void WgttController::handle_uplink_data(net::PacketPtr pkt,
     recorder_->record(pkt->uid, sched_.now(), net::Hop::kCtrlUplink,
                       net::kControllerId, {{"ap", from_ap}});
   }
-  if (on_uplink) on_uplink(std::move(pkt));
+  if (on_uplink) {
+    on_uplink(std::move(pkt));
+  } else if (health_) {
+    // No wired-side consumer: the de-duplicated instance ends here.
+    health_->packet_retired();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -212,10 +219,19 @@ void WgttController::handle_uplink_data(net::PacketPtr pkt,
 // ---------------------------------------------------------------------------
 
 void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
+  const bool hfr = health_ != nullptr && net::flight_recorded(pkt->type);
   auto it = clients_.find(client);
-  if (it == clients_.end() || it->second.active_ap == 0) return;  // not joined
+  if (it == clients_.end() || it->second.active_ap == 0) {
+    // Not joined: pre-association traffic ends at the controller (benign;
+    // nothing downstream ever holds it).
+    if (hfr) health_->packet_retired();
+    return;
+  }
   ClientState& st = it->second;
   ++stats_.downlink_packets;
+  // Fan-out replaces the inbound transport instance with one ledger copy
+  // per AP (packet_copies below): retire the original unit here.
+  if (hfr) health_->packet_retired();
 
   // Assign the 12-bit cyclic index.  The Packet is shared across APs, so
   // stamp a copy once here — keeping the original uid, so the flight
@@ -241,6 +257,7 @@ void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
                            {"index", shared->index},
                            {"active", ap == st.active_ap ? 1 : 0}});
       }
+      if (hfr) health_->packet_copies();
       backhaul_.send(net::encapsulate(shared, net::kControllerId, ap));
       ++stats_.downlink_copies;
       if (ap == st.active_ap) active_covered = true;
@@ -259,6 +276,7 @@ void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
                            {"active", 0},
                            {"prearm", 1}});
       }
+      if (hfr) health_->packet_copies();
       backhaul_.send(
           net::encapsulate(shared, net::kControllerId, st.prearm_ap));
       ++stats_.downlink_copies;
@@ -273,6 +291,7 @@ void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
                          {"index", shared->index},
                          {"active", 1}});
     }
+    if (hfr) health_->packet_copies();
     backhaul_.send(net::encapsulate(shared, net::kControllerId, st.active_ap));
     ++stats_.downlink_copies;
   }

@@ -32,6 +32,7 @@
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/health.h"
 #include "util/metrics.h"
 #include "util/profiler.h"
 #include "util/stats.h"
@@ -264,6 +265,7 @@ class WgttController {
   trace::Tracer* tracer_ = nullptr;
   DecisionLog* decision_log_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::HealthEngine* health_ = nullptr;
   prof::Profiler* prof_ = nullptr;
   prof::Section* p_selection_ = nullptr;
   prof::Section* p_csi_ = nullptr;

@@ -72,6 +72,7 @@ WifiDevice::WifiDevice(MacContext& ctx, net::NodeId self, WifiDeviceConfig cfg)
   }
   tracer_ = trace::Tracer::current();
   recorder_ = net::FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
   if (auto* p = prof::Profiler::current()) {
     prof_ = p;
     p_exchange_ = &p->section("mac.exchange");
@@ -150,6 +151,13 @@ std::size_t WifiDevice::flush_queue(net::NodeId peer, net::DropCause cause) {
   auto it = peers_.find(peer);
   if (it == peers_.end()) return 0;
   const std::size_t n = it->second.queue.size();
+  if (health_) {
+    std::size_t fr = 0;
+    for (const Mpdu& m : it->second.queue) {
+      if (net::flight_recorded(m.pkt->type)) ++fr;
+    }
+    health_->packet_dropped(fr);
+  }
   if (recorder_) {
     for (const Mpdu& m : it->second.queue) {
       if (!net::flight_recorded(m.pkt->type)) continue;
@@ -543,7 +551,12 @@ void WifiDevice::evaluate_receptions(PendingExchange& ex, Time data_time,
 
 void WifiDevice::deliver_upward(net::NodeId stream, std::uint16_t seq,
                                 net::PacketPtr pkt, const RxMeta& meta) {
-  if (recorder_ && net::flight_recorded(pkt->type)) {
+  // Every decode at a receiving radio is an independent ledger instance:
+  // several APs can decode the same uplink frame (the controller de-dupes),
+  // and the health engine accounts each such copy separately.
+  const bool fr = net::flight_recorded(pkt->type);
+  if (health_ && fr) health_->packet_copies();
+  if (recorder_ && fr) {
     recorder_->record(pkt->uid, ctx_.sched().now(), net::Hop::kMacRx, self_,
                       {{"stream", stream}, {"seq", seq}});
   }
@@ -557,7 +570,14 @@ void WifiDevice::deliver_upward(net::NodeId stream, std::uint16_t seq,
              .first;
   }
   reorder_meta_[stream] = meta;
-  it->second->on_mpdu(seq, std::move(pkt), ctx_.sched().now());
+  ReorderBuffer& rb = *it->second;
+  const std::uint64_t dups_before = rb.duplicates_dropped();
+  rb.on_mpdu(seq, std::move(pkt), ctx_.sched().now());
+  if (health_ && fr && rb.duplicates_dropped() > dups_before) {
+    // Duplicate/stale discard inside the BA reorder window: a benign
+    // termination of this receiver instance (the first copy was delivered).
+    health_->packet_retired(rb.duplicates_dropped() - dups_before);
+  }
 }
 
 void WifiDevice::complete_exchange() {
@@ -628,6 +648,12 @@ void WifiDevice::finish_exchange_with_ba(PendingExchange ex) {
     for (Mpdu& m : ex.aggregate) {
       if (ex.merged_ba.acks(m.seq)) {
         ++delivered;
+        // The acked MPDU ends this transmitter's custody of the instance;
+        // the receiving radio's decode already opened its own (packet_copies
+        // in deliver_upward), so the ledger retires the transmit-side unit.
+        if (health_ && net::flight_recorded(m.pkt->type)) {
+          health_->packet_retired();
+        }
         if (recorder_ && net::flight_recorded(m.pkt->type)) {
           recorder_->record(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacAck,
                             self_, {{"peer", ex.peer}, {"seq", m.seq}});
@@ -652,6 +678,9 @@ void WifiDevice::finish_exchange_with_ba(PendingExchange ex) {
     Mpdu& m = *it;
     if (quench || ++m.retries > cfg_.retry_limit) {
       ++stats_.mpdus_dropped;
+      if (health_ && net::flight_recorded(m.pkt->type)) {
+        health_->packet_dropped();
+      }
       if (recorder_ && net::flight_recorded(m.pkt->type)) {
         recorder_->drop(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacDrop,
                         self_,

@@ -41,6 +41,7 @@
 #include "phy/error_model.h"
 #include "phy/rate_control.h"
 #include "sim/scheduler.h"
+#include "util/health.h"
 #include "util/metrics.h"
 #include "util/profiler.h"
 #include "util/rng.h"
@@ -301,6 +302,7 @@ class WifiDevice {
   prof::Profiler* prof_ = nullptr;
   prof::Section* p_exchange_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::HealthEngine* health_ = nullptr;
 };
 
 }  // namespace wgtt::mac

@@ -12,6 +12,7 @@ Backhaul::Backhaul(sim::Scheduler& sched, BackhaulConfig cfg, Rng rng)
     m_bytes_ = &reg->counter("net.backhaul_bytes");
   }
   recorder_ = FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
   injector_ = FaultInjector::current();
 }
 
@@ -57,6 +58,9 @@ void Backhaul::send(TunneledPacket frame) {
   }
   if (dropped) {
     ++frames_dropped_;
+    if (health_ && frame.inner != nullptr && flight_recorded(frame.inner->type)) {
+      health_->packet_dropped();
+    }
     if (rec) {
       recorder_->drop(frame.inner->uid, sched_.now(), Hop::kBackhaulDrop,
                       frame.outer_src, drop_cause, {{"dst", frame.outer_dst}});

@@ -65,6 +65,13 @@ std::uint64_t mix64(std::uint64_t x) {
 
 FlightRecorder::FlightRecorder(FlightRecorderConfig cfg) : cfg_(cfg) {
   out_.reserve(1 << 16);
+  // Schema header line.  Not a lifecycle record (records_ stays 0): it
+  // declares the stream identity + version so consumers (wgtt-report, soak
+  // baselines) fail loudly on a format they do not understand instead of
+  // mis-parsing it.
+  out_ += "{\"kind\":\"schema\",\"stream\":\"wgtt.packets\",\"version\":";
+  out_ += std::to_string(kPacketLogSchemaVersion);
+  out_ += "}\n";
 }
 
 bool FlightRecorder::sampled(std::uint64_t uid) const {

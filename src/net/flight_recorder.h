@@ -99,6 +99,11 @@ struct FlightRecorderConfig {
   std::uint32_t sample = 1;  // record 1-in-N data packets (1 = every packet)
 };
 
+/// JSONL schema version emitted as the stream's header line
+/// ({"kind":"schema","stream":"wgtt.packets","version":N}); wgtt-report
+/// refuses packet logs whose version it does not understand (exit 2).
+constexpr int kPacketLogSchemaVersion = 1;
+
 /// True for the packet types the recorder follows: transport payloads.
 /// Control-plane packets (stop/start/CSI/...) are visible through markers
 /// and the trace instead.

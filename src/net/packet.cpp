@@ -58,6 +58,7 @@ struct PacketPool::State {
   std::size_t node_size = 0;  // locked to the first single-node request
   std::size_t reused = 0;
   std::size_t fresh = 0;
+  std::size_t retired = 0;  // nodes returned (freelisted or freed)
 
   ~State() {
     for (void* p : free) ::operator delete(p);
@@ -99,6 +100,7 @@ struct PoolAllocator {
 
   void deallocate(T* p, std::size_t n) {
     PacketPool::State& s = *state;
+    if (n == 1) ++s.retired;
     if (n == 1 && sizeof(T) == s.node_size &&
         s.free.size() < PacketPool::State::kMaxFree) {
       s.free.push_back(p);
@@ -129,6 +131,17 @@ PacketPtr PacketPool::make(Packet&& fields) {
 std::size_t PacketPool::reused() const { return state_->reused; }
 
 std::size_t PacketPool::fresh() const { return state_->fresh; }
+
+std::size_t PacketPool::retired() const { return state_->retired; }
+
+std::size_t PacketPool::live() const {
+  const std::size_t out = state_->fresh + state_->reused;
+  return out >= state_->retired ? out - state_->retired : 0;
+}
+
+std::size_t PacketPool::free_nodes() const { return state_->free.size(); }
+
+std::size_t PacketPool::node_size() const { return state_->node_size; }
 
 ScopedPacketPool::ScopedPacketPool(PacketPool* pool) {
   if (pool == nullptr) return;

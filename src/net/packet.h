@@ -135,6 +135,15 @@ class PacketPool {
   /// the hot-path microbench).
   std::size_t reused() const;
   std::size_t fresh() const;
+  /// Nodes returned after their packet died (freelisted or freed).
+  std::size_t retired() const;
+  /// Packet nodes currently alive: handed out and not yet retired.  The
+  /// health engine samples this each window — a live census that keeps
+  /// growing is a PacketPtr leak.
+  std::size_t live() const;
+  /// Nodes currently parked on the freelist, and their size in bytes.
+  std::size_t free_nodes() const;
+  std::size_t node_size() const;
 
   struct State;  // shared with in-flight packets; outlives the pool
 

@@ -1,15 +1,46 @@
 #include "scenario/experiment.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "apps/bulk.h"
+#include "util/units.h"
 
 namespace wgtt::scenario {
 
 namespace {
 
+std::shared_ptr<channel::MobilityModel> shuttle_mobility(
+    const Testbed& bed, const DriveScenarioConfig& cfg, std::size_t i) {
+  const TestbedConfig& tb = bed.config();
+  const auto [lo, hi] = std::minmax_element(tb.ap_x.begin(), tb.ap_x.end());
+  const double lead = 15.0;
+  double lane_off = 0.0;
+  double phase = 0.0;
+  switch (cfg.pattern) {
+    case MultiClientPattern::kFollowing:
+      phase = cfg.following_gap_m * static_cast<double>(i);
+      break;
+    case MultiClientPattern::kParallel:
+      lane_off = cfg.lane_width_m * static_cast<double>(i);
+      break;
+    case MultiClientPattern::kOpposing:
+      if (i % 2 == 1) {
+        lane_off = cfg.lane_width_m;
+        phase = (*hi - *lo) + 2.0 * lead;  // start the return leg
+      }
+      break;
+  }
+  const double y = tb.lane_y + lane_off;
+  return std::make_shared<channel::PingPongMobility>(
+      channel::Vec3{*lo - lead, y, tb.client_z},
+      channel::Vec3{*hi + lead, y, tb.client_z}, mph_to_mps(cfg.speed_mph),
+      phase);
+}
+
 std::shared_ptr<channel::MobilityModel> client_mobility(
     const Testbed& bed, const DriveScenarioConfig& cfg, std::size_t i) {
+  if (cfg.shuttle) return shuttle_mobility(bed, cfg, i);
   switch (cfg.pattern) {
     case MultiClientPattern::kFollowing:
       return bed.drive_mobility(cfg.speed_mph, 15.0, 0.0, +1,
@@ -197,6 +228,37 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
     bed.sched().schedule_at(cfg.app_start, [tel]() { tel->start(); });
   }
 
+  // --- health gauges -------------------------------------------------------
+  // Overlay-level resource probes for the windowed rollups.  They fire only
+  // during run_until below, while the overlay and apps this frame owns are
+  // alive (finalize never samples gauges).
+  if (obs::HealthEngine* health = bed.health()) {
+    if (wgtt) {
+      health->add_gauge("ap.backlog_sum", [w = wgtt.get(), &bed, clients]() {
+        double backlog = 0.0;
+        for (net::NodeId ap : bed.ap_ids()) {
+          for (net::NodeId c : clients) {
+            if (const auto* stack = w->ap(ap).stack_for(c)) {
+              backlog += static_cast<double>(stack->total_backlog());
+            }
+          }
+        }
+        return backlog;
+      });
+    }
+    if (cfg.traffic == TrafficType::kTcpDownlink) {
+      std::vector<const transport::TcpConnection*> conns;
+      for (const auto& app : tcp_apps) conns.push_back(&app->connection());
+      health->add_gauge("tcp.retx_total", [conns = std::move(conns)]() {
+        double retx = 0.0;
+        for (const auto* c : conns) {
+          retx += static_cast<double>(c->stats().retransmissions);
+        }
+        return retx;
+      });
+    }
+  }
+
   // --- run -----------------------------------------------------------------
   bed.sched().run_until(duration);
 
@@ -217,6 +279,19 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
   if (net::FlightRecorder* fr = bed.flight_recorder()) {
     result.packet_jsonl = fr->jsonl();
     result.packet_records = fr->records();
+  }
+  if (obs::HealthEngine* health = bed.health()) {
+    // Idempotent: the Testbed dtor's finalize becomes a no-op, but still
+    // writes cfg.testbed.health_path with the summary included.
+    health->finalize(bed.sched().now());
+    result.health_jsonl = health->jsonl();
+    result.health_windows = health->windows_closed();
+    result.health_checks = health->checks();
+    result.health_violations = health->violations().size();
+    for (const auto& v : health->violations()) {
+      if (v.severity == "error") ++result.health_errors;
+    }
+    result.health_in_flight = health->in_flight();
   }
   if (wgtt) {
     result.switches = wgtt->controller().switch_log();

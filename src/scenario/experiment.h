@@ -48,6 +48,11 @@ struct DriveScenarioConfig {
   double following_gap_m = 3.0;
   double lane_width_m = 3.0;
   double udp_offered_mbps = 15.0;
+  /// Shuttle mode (soak runs): clients drive back and forth over the whole
+  /// deployment for the scenario duration instead of a single transit.
+  /// The multi-client pattern still applies (following = staggered along
+  /// the route, parallel = adjacent lanes, opposing = half a route apart).
+  bool shuttle = false;
   /// 0 = run for one full transit (plus setup time).
   Time duration = Time::zero();
   Time app_start = Time::ms(500);
@@ -107,6 +112,18 @@ struct DriveResult {
   /// testbed.enable_profiler is false).  Exported as the reports' "profile"
   /// block.
   prof::ProfileSnapshot profile;
+  /// Runtime health stream (JSONL; empty unless testbed.enable_health /
+  /// health_path is set).  run_drive finalizes the engine before collecting
+  /// so the summary line is included; the Testbed still writes the file.
+  std::string health_jsonl;
+  std::uint64_t health_windows = 0;
+  std::uint64_t health_checks = 0;
+  std::uint64_t health_violations = 0;
+  /// Violations with severity "error" (a strict run fails on these).
+  std::uint64_t health_errors = 0;
+  /// Final packet-conservation balance (sent + copies - delivered -
+  /// retired - dropped); small and non-negative in a healthy run.
+  std::int64_t health_in_flight = 0;
 
   double mean_goodput_mbps() const {
     if (clients.empty()) return 0.0;

@@ -40,6 +40,11 @@ RunReport make_run_report(std::string label, const DriveScenarioConfig& cfg,
   r.wall_ms = wall_ms;
   r.metrics = result.metrics;
   r.profile = result.profile;
+  r.health_windows = result.health_windows;
+  r.health_checks = result.health_checks;
+  r.health_violations = result.health_violations;
+  r.health_errors = result.health_errors;
+  r.health_in_flight = result.health_in_flight;
   if (!result.clients.empty()) {
     double loss = 0.0;
     double acc = 0.0;
@@ -96,6 +101,15 @@ std::string SweepReport::to_json() const {
     if (!r.profile.empty()) {
       w.key("profile");
       r.profile.write_json(w);
+    }
+    if (r.health_checks > 0) {
+      w.key("health").begin_object();
+      w.field("windows", r.health_windows);
+      w.field("checks", r.health_checks);
+      w.field("violations", r.health_violations);
+      w.field("errors", r.health_errors);
+      w.field("in_flight", r.health_in_flight);
+      w.end_object();
     }
     w.end_object();
   }

@@ -52,6 +52,13 @@ struct RunReport {
   /// Per-section host self-time from the run's Profiler; serialized as the
   /// run's "profile" object (where the simulator's CPU went).
   prof::ProfileSnapshot profile;
+  /// Runtime health rollup (nonzero only when the run enabled health);
+  /// serialized as the run's "health" object.
+  std::uint64_t health_windows = 0;
+  std::uint64_t health_checks = 0;
+  std::uint64_t health_violations = 0;
+  std::uint64_t health_errors = 0;
+  std::int64_t health_in_flight = 0;
 };
 
 /// Populate a RunReport from a finished run.  `label` is free-form.

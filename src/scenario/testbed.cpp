@@ -38,6 +38,14 @@ Testbed::Testbed(TestbedConfig cfg)
                     net::FlightRecorderConfig{cfg_.seed, cfg_.packet_sample})
               : nullptr),
       flight_scope_(flight_recorder_.get()),
+      health_engine_((cfg_.enable_health || !cfg_.health_path.empty())
+                         ? std::make_unique<obs::HealthEngine>(
+                               obs::HealthConfig{cfg_.health_window,
+                                                 /*ring_capacity=*/4096,
+                                                 cfg_.health_max_in_flight,
+                                                 cfg_.health_sample_rss})
+                         : nullptr),
+      health_scope_(health_engine_.get()),
       fault_injector_(cfg_.faults.empty()
                           ? nullptr
                           : std::make_unique<net::FaultInjector>(
@@ -59,6 +67,54 @@ Testbed::Testbed(TestbedConfig cfg)
                                            error_model_, rng_.fork("mac"));
   backhaul_ = std::make_unique<net::Backhaul>(sched_, cfg_.backhaul,
                                               rng_.fork("backhaul"));
+  if (health_engine_) {
+    // Substrate resource gauges.  Probes read members the Testbed owns, so
+    // they stay valid for every periodic tick (finalize() never samples —
+    // caller-owned overlays may already be gone by teardown).
+    health_engine_->add_gauge("sched.pending", [this] {
+      return static_cast<double>(sched_.events_pending());
+    });
+    health_engine_->add_gauge("sched.peak_pending", [this] {
+      return static_cast<double>(sched_.peak_pending());
+    });
+    health_engine_->add_gauge("pool.live", [this] {
+      return static_cast<double>(packet_pool_.live());
+    });
+    health_engine_->add_gauge("pool.free", [this] {
+      return static_cast<double>(packet_pool_.free_nodes());
+    });
+    if (flight_recorder_) {
+      health_engine_->add_gauge("fr.records", [this] {
+        return static_cast<double>(flight_recorder_->records());
+      });
+    }
+    if (decision_log_) {
+      health_engine_->add_gauge("decisions.records", [this] {
+        return static_cast<double>(decision_log_->entries() +
+                                   decision_log_->liveness_entries());
+      });
+    }
+    // Coarse heap estimate: packet nodes (live + pooled) plus the buffered
+    // observability documents — the allocations that grow with run length.
+    health_engine_->add_gauge("heap.est_bytes", [this] {
+      double bytes = static_cast<double>(
+          (packet_pool_.live() + packet_pool_.free_nodes()) *
+          packet_pool_.node_size());
+      if (flight_recorder_) bytes += static_cast<double>(
+          flight_recorder_->jsonl().size());
+      if (decision_log_) bytes += static_cast<double>(
+          decision_log_->jsonl().size());
+      if (health_engine_) bytes += static_cast<double>(
+          health_engine_->jsonl().size());
+      return bytes;
+    });
+    sched_.schedule(cfg_.health_window, [this]() { health_tick(); });
+  }
+}
+
+void Testbed::health_tick() {
+  health_engine_->on_window_close(sched_.now());
+  sched_.schedule(cfg_.health_window, [this]() { health_tick(); });
 }
 
 Testbed::~Testbed() {
@@ -71,6 +127,12 @@ Testbed::~Testbed() {
   }
   if (flight_recorder_ && !cfg_.packet_log_path.empty()) {
     write_text_file(cfg_.packet_log_path, flight_recorder_->jsonl());
+  }
+  if (health_engine_) {
+    health_engine_->finalize(sched_.now());
+    if (!cfg_.health_path.empty()) {
+      write_text_file(cfg_.health_path, health_engine_->jsonl());
+    }
   }
 }
 
@@ -315,6 +377,9 @@ net::NodeId WgttNetwork::add_client(
                          net::DropCause::kDuplicate,
                          {{"ip_id", pkt->ip_id}});
         }
+        if (auto* health = obs::HealthEngine::current()) {
+          if (net::flight_recorded(pkt->type)) health->packet_dropped();
+        }
         return;
       }
       client_rx_.deliver(pkt);
@@ -383,7 +448,10 @@ std::uint64_t WgttNetwork::client_duplicates_removed() const {
 
 void WgttNetwork::client_uplink(net::NodeId client, net::PacketPtr pkt) {
   mac::WifiDevice& dev = bed_.client_device(client);
-  dev.enqueue(dev.bssid(), std::move(pkt));
+  const bool fr = net::flight_recorded(pkt->type);
+  if (!dev.enqueue(dev.bssid(), std::move(pkt)) && fr) {
+    if (auto* health = obs::HealthEngine::current()) health->packet_dropped();
+  }
 }
 
 void WgttNetwork::server_downlink(net::NodeId client, net::PacketPtr pkt) {
@@ -488,6 +556,11 @@ void WgttNetwork::wire_web_browse(apps::WebBrowseApp& app,
             bed_.sched().schedule(bed_.config().wan_latency, [&app, r]() {
               app.on_request(r);
             });
+          } else if (net::flight_recorded(p->type)) {
+            // Unparseable payload: the ledger instance terminates here.
+            if (auto* health = obs::HealthEngine::current()) {
+              health->packet_retired();
+            }
           }
         });
   }
@@ -544,8 +617,18 @@ net::NodeId BaselineNetwork::add_client(
 
 void BaselineNetwork::client_uplink(net::NodeId client, net::PacketPtr pkt) {
   mac::WifiDevice& dev = bed_.client_device(client);
-  if (dev.bssid() == 0) return;  // not associated yet
-  dev.enqueue(dev.bssid(), std::move(pkt));
+  const bool fr = net::flight_recorded(pkt->type);
+  if (dev.bssid() == 0) {  // not associated yet
+    if (fr) {
+      if (auto* health = obs::HealthEngine::current()) {
+        health->packet_dropped();
+      }
+    }
+    return;
+  }
+  if (!dev.enqueue(dev.bssid(), std::move(pkt)) && fr) {
+    if (auto* health = obs::HealthEngine::current()) health->packet_dropped();
+  }
 }
 
 void BaselineNetwork::server_downlink(net::NodeId client, net::PacketPtr pkt) {
@@ -650,6 +733,11 @@ void BaselineNetwork::wire_web_browse(apps::WebBrowseApp& app,
             bed_.sched().schedule(bed_.config().wan_latency, [&app, r]() {
               app.on_request(r);
             });
+          } else if (net::flight_recorded(p->type)) {
+            // Unparseable payload: the ledger instance terminates here.
+            if (auto* health = obs::HealthEngine::current()) {
+              health->packet_retired();
+            }
           }
         });
   }

@@ -33,6 +33,7 @@
 #include "sim/scheduler.h"
 #include "transport/tcp_connection.h"
 #include "transport/udp_flow.h"
+#include "util/health.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/profiler.h"
@@ -128,6 +129,21 @@ struct TestbedConfig {
   /// empty — the default — no injector exists, nothing extra is scheduled,
   /// and runs are byte-identical to builds without this feature.
   sim::FaultPlan faults{};
+  /// Runtime health engine (streaming windowed telemetry + invariant
+  /// watchdogs; see util/health.h).  Enabled when true or when health_path
+  /// is set; the health JSONL (if a path is set) is written on destruction.
+  /// The engine only observes — the simulation and every other output
+  /// stream stay byte-identical with health on or off.
+  bool enable_health = false;
+  std::string health_path{};
+  /// Rollup window on the simulated clock.
+  Time health_window = Time::sec(1);
+  /// Arms the in-flight ceiling watchdog when nonzero (conservation —
+  /// in_flight >= 0 — is always checked).
+  std::uint64_t health_max_in_flight = 0;
+  /// Sample host RSS into each window — the one nondeterministic field,
+  /// off by default so health files stay byte-reproducible.
+  bool health_sample_rss = false;
 };
 
 class Testbed {
@@ -158,6 +174,7 @@ class Testbed {
   net::FlightRecorder* flight_recorder() { return flight_recorder_.get(); }
   net::FaultInjector* fault_injector() { return fault_injector_.get(); }
   TelemetrySampler* telemetry() { return telemetry_.get(); }
+  obs::HealthEngine* health() { return health_engine_.get(); }
   /// Per-section host self-time; empty when profiling is disabled.
   prof::ProfileSnapshot profile_snapshot() const;
 
@@ -182,6 +199,9 @@ class Testbed {
   Time transit_duration(double mph, double lead_in_m = 15.0) const;
 
  private:
+  /// Periodic health-window close (read-only: touches no RNG stream, no
+  /// tracer, no recorder — so enabling health never perturbs the run).
+  void health_tick();
   // Declared first so the sink outlives (and its scope encloses) everything
   // the testbed constructs or destroys on this thread.
   std::shared_ptr<LogSink> log_sink_;
@@ -208,6 +228,10 @@ class Testbed {
   net::ScopedPacketPool packet_pool_scope_;
   std::unique_ptr<net::FlightRecorder> flight_recorder_;
   net::ScopedFlightRecorder flight_scope_;
+  // Before sched_: every component constructed after the scheduler caches
+  // HealthEngine::current() for its ledger hooks.
+  std::unique_ptr<obs::HealthEngine> health_engine_;
+  obs::ScopedHealthEngine health_scope_;
   sim::Scheduler sched_;
   // After sched_ (schedules its fault events at construction), before every
   // component that caches FaultInjector::current().
@@ -238,6 +262,7 @@ class FlowRouter {
       m_dropped_ = &reg->counter("net.flow_router_drops");
     }
     recorder_ = net::FlightRecorder::current();
+    health_ = obs::HealthEngine::current();
   }
   void register_flow(std::uint32_t flow_id, Handler h) {
     handlers_[flow_id] = std::move(h);
@@ -247,6 +272,9 @@ class FlowRouter {
     if (it == handlers_.end()) {
       ++dropped_;
       if (m_dropped_) m_dropped_->add();
+      if (health_ && net::flight_recorded(pkt->type)) {
+        health_->packet_dropped();
+      }
       if (recorder_ && sched_ && net::flight_recorded(pkt->type)) {
         recorder_->drop(pkt->uid, sched_->now(), net::Hop::kTransportDrop,
                         pkt->dst, net::DropCause::kNoFlowHandler,
@@ -270,6 +298,7 @@ class FlowRouter {
   metrics::Counter* m_dropped_ = nullptr;
   sim::Scheduler* sched_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::HealthEngine* health_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ EventId Scheduler::schedule_at(Time when, Callback cb) {
   assert(when >= now_ && "cannot schedule in the past");
   const std::uint64_t seq = next_seq_++;
   queue_.push(Event{when, seq, std::move(cb)});
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
   return EventId{seq};
 }
 

@@ -66,6 +66,9 @@ class Scheduler {
   /// Number of events executed so far (for micro-benchmarks / diagnostics).
   std::uint64_t events_executed() const { return executed_; }
   std::size_t events_pending() const { return queue_.size() - cancelled_.size(); }
+  /// High-water mark of the raw queue size (health-engine resource gauge:
+  /// a runaway event loop shows up here before it exhausts memory).
+  std::size_t peak_pending() const { return peak_pending_; }
 
  private:
   struct Event {
@@ -87,6 +90,7 @@ class Scheduler {
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t peak_pending_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<std::uint64_t> cancelled_;  // sorted insert-order, searched rarely

@@ -22,6 +22,7 @@ TcpConnection::TcpConnection(sim::Scheduler& sched, IpIdAllocator& ip_ids,
     m_timeouts_ = &reg->counter("transport.tcp_timeouts");
   }
   recorder_ = net::FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
 }
 
 void TcpConnection::app_send(std::size_t bytes) {
@@ -77,7 +78,10 @@ void TcpConnection::send_segment(std::uint64_t seq_start,
                        {"seq", static_cast<std::int64_t>(seq_start)},
                        {"retx", is_retransmission ? 1 : 0}});
   }
-  if (transmit_data) transmit_data(std::move(out));
+  if (transmit_data) {
+    if (health_) health_->packet_sent();
+    transmit_data(std::move(out));
+  }
 }
 
 void TcpConnection::arm_rto() {
@@ -128,6 +132,9 @@ void TcpConnection::enter_fast_recovery() {
 }
 
 void TcpConnection::on_network_ack(const net::PacketPtr& pkt) {
+  // Every ack instance reaching the sender terminates here (dup-acks too) —
+  // the health ledger counts it delivered regardless of how it advances cwnd.
+  if (health_) health_->packet_delivered();
   ++stats_.acks_received;
   const std::uint64_t ack = pkt->seq;
   if (recorder_) {
@@ -204,6 +211,9 @@ void TcpConnection::on_network_ack(const net::PacketPtr& pkt) {
 // ---------------------------------------------------------------------------
 
 void TcpConnection::on_network_data(const net::PacketPtr& pkt) {
+  // Stale duplicates terminate here just like fresh data: every instance
+  // reaching the receiver leaves the in-flight ledger.
+  if (health_) health_->packet_delivered();
   const std::uint64_t start = pkt->seq;
   const std::uint64_t payload = pkt->size_bytes - 52;
   const std::uint64_t end = start + payload;
@@ -260,7 +270,10 @@ void TcpConnection::send_ack() {
                       {{"flow", flow_id_},
                        {"ack", static_cast<std::int64_t>(rcv_nxt_)}});
   }
-  if (transmit_ack) transmit_ack(std::move(out));
+  if (transmit_ack) {
+    if (health_) health_->packet_sent();
+    transmit_ack(std::move(out));
+  }
 }
 
 }  // namespace wgtt::transport

@@ -9,6 +9,7 @@ UdpSender::UdpSender(sim::Scheduler& sched, IpIdAllocator& ip_ids,
       cfg_.offered_load_bps / (static_cast<double>(cfg_.datagram_bytes) * 8.0);
   interval_ = Time::sec(1.0 / pps);
   recorder_ = net::FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
 }
 
 void UdpSender::start() {
@@ -35,13 +36,17 @@ void UdpSender::emit() {
                       {{"flow", cfg_.flow_id},
                        {"seq", static_cast<std::int64_t>(out->seq)}});
   }
-  if (transmit) transmit(std::move(out));
+  if (transmit) {
+    if (health_) health_->packet_sent();
+    transmit(std::move(out));
+  }
   sched_.schedule(interval_, [this]() { emit(); });
 }
 
 UdpReceiver::UdpReceiver(sim::Scheduler& sched, Time throughput_bin)
     : sched_(sched), series_(throughput_bin) {
   recorder_ = net::FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
 }
 
 void UdpReceiver::on_packet(const net::PacketPtr& pkt) {
@@ -64,10 +69,12 @@ void UdpReceiver::on_packet(const net::PacketPtr& pkt) {
   }
   if (seen_[seq]) {
     ++duplicates_;
+    if (health_) health_->packet_dropped();
     return;
   }
   seen_[seq] = true;
   ++received_;
+  if (health_) health_->packet_delivered();
   highest_seq_ = std::max(highest_seq_, seq + 1);
   series_.add(sched_.now(), pkt->size_bytes);
   if (trace_enabled_) trace_.emplace_back(sched_.now(), seq);

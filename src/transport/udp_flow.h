@@ -13,6 +13,7 @@
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/health.h"
 #include "util/stats.h"
 
 namespace wgtt::transport {
@@ -58,6 +59,7 @@ class UdpSender {
   bool running_ = false;
   std::uint64_t next_seq_ = 0;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::HealthEngine* health_ = nullptr;
 };
 
 class UdpReceiver {
@@ -91,6 +93,7 @@ class UdpReceiver {
   bool trace_enabled_ = false;
   std::vector<std::pair<Time, std::uint64_t>> trace_;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::HealthEngine* health_ = nullptr;
 };
 
 }  // namespace wgtt::transport

@@ -1,0 +1,260 @@
+#include "util/health.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/trace.h"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace wgtt::obs {
+
+namespace {
+
+thread_local HealthEngine* t_current_health = nullptr;
+
+/// Fixed-point rendering with exactly 3 decimals, computed with integer
+/// arithmetic (llround of the scaled value) — deterministic across
+/// platforms, unlike printf's shortest-round-trip formats.
+std::string format_fixed3(double v) {
+  if (!std::isfinite(v)) return "0.000";
+  const bool neg = v < 0.0;
+  const long long scaled = std::llround(std::fabs(v) * 1000.0);
+  const long long whole = scaled / 1000;
+  const long long frac = scaled % 1000;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lld.%03lld", neg ? "-" : "", whole,
+                frac);
+  return buf;
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Resident set size in KiB from /proc/self/statm, or -1 off Linux.
+std::int64_t read_rss_kb() {
+#ifdef __linux__
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return -1;
+  long long vm_pages = 0, rss_pages = 0;
+  const int n = std::fscanf(f, "%lld %lld", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (n != 2) return -1;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::int64_t>(rss_pages) * page / 1024;
+#else
+  return -1;
+#endif
+}
+
+}  // namespace
+
+HealthEngine::HealthEngine(HealthConfig cfg)
+    : cfg_(cfg), metrics_(metrics::MetricsRegistry::current()) {
+  if (cfg_.ring_capacity == 0) cfg_.ring_capacity = 1;
+  out_.reserve(1 << 14);
+  out_ += "{\"kind\":\"schema\",\"stream\":\"wgtt.health\",\"version\":";
+  out_ += std::to_string(kHealthSchemaVersion);
+  out_ += "}\n";
+}
+
+HealthEngine* HealthEngine::current() { return t_current_health; }
+
+void HealthEngine::add_gauge(std::string name, std::function<double()> probe,
+                             double ceiling) {
+  gauges_.push_back({std::move(name), std::move(probe), ceiling});
+}
+
+void HealthEngine::append_window_line(const HealthWindow& w) {
+  out_ += "{\"kind\":\"window\",\"t_us\":";
+  out_ += trace::Tracer::format_ts(w.t);
+  out_ += ",\"sent\":";
+  out_ += std::to_string(w.sent);
+  out_ += ",\"copies\":";
+  out_ += std::to_string(w.copies);
+  out_ += ",\"delivered\":";
+  out_ += std::to_string(w.delivered);
+  out_ += ",\"retired\":";
+  out_ += std::to_string(w.retired);
+  out_ += ",\"dropped\":";
+  out_ += std::to_string(w.dropped);
+  out_ += ",\"in_flight\":";
+  out_ += std::to_string(w.in_flight);
+  out_ += ",\"gauges\":{";
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (i > 0) out_ += ",";
+    out_ += "\"";
+    append_escaped(out_, gauges_[i].name);
+    out_ += "\":";
+    out_ += format_fixed3(w.gauges[i]);
+  }
+  out_ += "}";
+  if (w.rss_kb >= 0) {
+    out_ += ",\"rss_kb\":";
+    out_ += std::to_string(w.rss_kb);
+  }
+  out_ += "}\n";
+}
+
+void HealthEngine::violate(std::string watchdog, std::string severity, Time t,
+                           double value, double limit, std::string detail) {
+  out_ += "{\"kind\":\"violation\",\"t_us\":";
+  out_ += trace::Tracer::format_ts(t);
+  out_ += ",\"watchdog\":\"";
+  append_escaped(out_, watchdog);
+  out_ += "\",\"severity\":\"";
+  append_escaped(out_, severity);
+  out_ += "\",\"value\":";
+  out_ += format_fixed3(value);
+  out_ += ",\"limit\":";
+  out_ += format_fixed3(limit);
+  out_ += ",\"detail\":\"";
+  append_escaped(out_, detail);
+  out_ += "\"}\n";
+  violations_.push_back({std::move(watchdog), std::move(severity), t, value,
+                         limit, std::move(detail)});
+}
+
+void HealthEngine::run_watchdogs(const HealthWindow& w) {
+  // 1. Packet conservation: every instance that came into existence must be
+  // accounted for; a negative balance means double-termination.
+  ++checks_;
+  if (w.in_flight < 0) {
+    violate("packet_conservation", "error", w.t,
+            static_cast<double>(w.in_flight), 0.0,
+            "ledger in_flight went negative (double-terminated instances)");
+  }
+  // 2. In-flight ceiling: monotone in_flight growth is the signature of a
+  // drop site missing its ledger mirror (a packet leak).
+  if (cfg_.max_in_flight > 0) {
+    ++checks_;
+    if (w.in_flight > static_cast<std::int64_t>(cfg_.max_in_flight)) {
+      violate("in_flight_ceiling", "error", w.t,
+              static_cast<double>(w.in_flight),
+              static_cast<double>(cfg_.max_in_flight),
+              "in-flight instances exceed the configured ceiling "
+              "(unterminated packets are accumulating)");
+    }
+  }
+  // 3. Bounded gauges: any registered gauge with a ceiling must stay under
+  // it (queue depths, pool census, log cardinality).
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    if (gauges_[i].ceiling <= 0.0) continue;
+    ++checks_;
+    if (w.gauges[i] > gauges_[i].ceiling) {
+      violate("bounded_gauge", "warn", w.t, w.gauges[i], gauges_[i].ceiling,
+              "gauge " + gauges_[i].name + " above its ceiling");
+    }
+  }
+  // 4 + 5. Metrics-registry invariants: counters are monotone by contract
+  // (saturating, never decreasing), and the controller's liveness FSM never
+  // reacts (failover / quarantine) more often than it suspects.
+  if (metrics_ != nullptr) {
+    std::uint64_t suspects = 0, failovers = 0, quarantines = 0;
+    const metrics::Snapshot snap = metrics_->snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      ++checks_;
+      auto it = prev_counters_.find(name);
+      if (it != prev_counters_.end() && value < it->second) {
+        violate("monotone_counters", "error", w.t,
+                static_cast<double>(value), static_cast<double>(it->second),
+                "counter " + name + " decreased between windows");
+      }
+      prev_counters_[name] = value;
+      if (name == "controller.liveness.suspects") suspects = value;
+      if (name == "controller.liveness.failovers") failovers = value;
+      if (name == "controller.liveness.quarantines") quarantines = value;
+    }
+    ++checks_;
+    if (failovers > suspects || quarantines > suspects) {
+      violate("liveness_fsm", "error", w.t,
+              static_cast<double>(failovers > suspects ? failovers
+                                                       : quarantines),
+              static_cast<double>(suspects),
+              "liveness reactions outnumber suspect events");
+    }
+  }
+}
+
+void HealthEngine::on_window_close(Time t) {
+  HealthWindow w;
+  w.t = t;
+  w.sent = sent_;
+  w.copies = copies_;
+  w.delivered = delivered_;
+  w.retired = retired_;
+  w.dropped = dropped_;
+  w.in_flight = in_flight();
+  w.gauges.reserve(gauges_.size());
+  for (const GaugeSlot& g : gauges_) w.gauges.push_back(g.probe());
+  if (cfg_.sample_host_rss) w.rss_kb = read_rss_kb();
+
+  append_window_line(w);
+  run_watchdogs(w);
+
+  if (ring_.size() < cfg_.ring_capacity) {
+    ring_.push_back(std::move(w));
+  } else {
+    ring_[ring_next_ % cfg_.ring_capacity] = std::move(w);
+  }
+  ++ring_next_;
+  ++windows_closed_;
+}
+
+void HealthEngine::finalize(Time t) {
+  if (finalized_) return;
+  finalized_ = true;
+  out_ += "{\"kind\":\"summary\",\"t_us\":";
+  out_ += trace::Tracer::format_ts(t);
+  out_ += ",\"windows\":";
+  out_ += std::to_string(windows_closed_);
+  out_ += ",\"checks\":";
+  out_ += std::to_string(checks_);
+  out_ += ",\"violations\":";
+  out_ += std::to_string(violations_.size());
+  out_ += ",\"sent\":";
+  out_ += std::to_string(sent_);
+  out_ += ",\"copies\":";
+  out_ += std::to_string(copies_);
+  out_ += ",\"delivered\":";
+  out_ += std::to_string(delivered_);
+  out_ += ",\"retired\":";
+  out_ += std::to_string(retired_);
+  out_ += ",\"dropped\":";
+  out_ += std::to_string(dropped_);
+  out_ += ",\"in_flight\":";
+  out_ += std::to_string(in_flight());
+  out_ += "}\n";
+}
+
+std::vector<HealthWindow> HealthEngine::windows() const {
+  std::vector<HealthWindow> out;
+  const std::size_t n = ring_.size();
+  out.reserve(n);
+  // Oldest first: once the ring has wrapped, ring_next_ points past the
+  // newest entry, so the oldest lives at ring_next_ % capacity.
+  const std::size_t start = ring_next_ >= n ? ring_next_ - n : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % cfg_.ring_capacity]);
+  }
+  return out;
+}
+
+ScopedHealthEngine::ScopedHealthEngine(HealthEngine* engine) {
+  if (engine == nullptr) return;
+  installed_ = engine;
+  previous_ = t_current_health;
+  t_current_health = engine;
+}
+
+ScopedHealthEngine::~ScopedHealthEngine() {
+  if (installed_ != nullptr) t_current_health = previous_;
+}
+
+}  // namespace wgtt::obs

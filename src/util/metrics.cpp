@@ -19,16 +19,28 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
 }
 
+namespace {
+
+/// Saturating add: histogram bucket / sample counts must stay monotone at
+/// soak horizons instead of wrapping (same contract as Counter::add).
+inline std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t v = a + b;
+  return v < a ? ~std::uint64_t{0} : v;
+}
+
+}  // namespace
+
 void Histogram::record(double x) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
-  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  auto& bucket = buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  bucket = sat_add(bucket, 1);
   if (count_ == 0) {
     min_ = max_ = x;
   } else {
     if (x < min_) min_ = x;
     if (x > max_) max_ = x;
   }
-  ++count_;
+  count_ = sat_add(count_, 1);
   sum_ += x;
 }
 
@@ -59,7 +71,7 @@ double Histogram::quantile(double q) const {
 void Histogram::merge(const Histogram& other) {
   assert(bounds_ == other.bounds_);
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    buckets_[i] += other.buckets_[i];
+    buckets_[i] = sat_add(buckets_[i], other.buckets_[i]);
   }
   if (other.count_ > 0) {
     if (count_ == 0) {
@@ -70,7 +82,7 @@ void Histogram::merge(const Histogram& other) {
       max_ = std::max(max_, other.max_);
     }
   }
-  count_ += other.count_;
+  count_ = sat_add(count_, other.count_);
   sum_ += other.sum_;
 }
 

@@ -27,10 +27,16 @@ class JsonWriter;
 
 namespace wgtt::metrics {
 
-/// Monotone event count.
+/// Monotone event count.  Saturates at UINT64_MAX instead of wrapping: soak
+/// horizons (hours of simulated time, ~1e10 events) must never produce a
+/// counter that appears to decrease — the health engine's monotone watchdog
+/// treats a decrease as a hard invariant violation.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
+  void add(std::uint64_t n = 1) {
+    const std::uint64_t v = value_ + n;
+    value_ = v < value_ ? ~std::uint64_t{0} : v;
+  }
   std::uint64_t value() const { return value_; }
 
  private:

@@ -26,6 +26,43 @@ TEST(CounterTest, Accumulates) {
   EXPECT_EQ(c.value(), 42u);
 }
 
+TEST(CounterTest, SaturatesAtUint64MaxInsteadOfWrapping) {
+  // Soak horizons must never make a counter appear to decrease: the health
+  // engine's monotone watchdog treats a decrease as a hard violation.
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  Counter c;
+  c.add(kMax - 5);
+  EXPECT_EQ(c.value(), kMax - 5);
+  c.add(10);  // would wrap to 4
+  EXPECT_EQ(c.value(), kMax);
+  c.add(kMax);  // pinned once saturated
+  EXPECT_EQ(c.value(), kMax);
+  c.add();
+  EXPECT_EQ(c.value(), kMax);
+}
+
+TEST(HistogramTest, CountSaturatesUnderMergeDoubling) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  Histogram a(std::vector<double>{1.0});
+  a.record(0.5);
+  Histogram b(std::vector<double>{1.0});
+  b.record(2.0);
+  // Ping-pong merges grow the counts super-exponentially; well past 2^64
+  // both total and per-bucket counts must pin at the max, not wrap.
+  for (int i = 0; i < 200; ++i) {
+    b.merge(a);
+    a.merge(b);
+  }
+  EXPECT_EQ(a.count(), kMax);
+  for (std::uint64_t bucket : a.buckets()) EXPECT_LE(bucket, kMax);
+  // Derived views stay well-defined at saturation.
+  const double q = a.quantile(0.5);
+  EXPECT_GE(q, a.min());
+  EXPECT_LE(q, a.max());
+  a.record(0.25);  // further samples cannot decrease anything
+  EXPECT_EQ(a.count(), kMax);
+}
+
 TEST(GaugeTest, TracksValueAndHighWaterMark) {
   Gauge g;
   g.set(3.0);

@@ -240,6 +240,7 @@ TEST(FlightRecorderTest, JsonlShapeIsFixedFieldOrder) {
   EXPECT_EQ(r.records(), 3u);
   EXPECT_EQ(
       r.jsonl(),
+      "{\"kind\":\"schema\",\"stream\":\"wgtt.packets\",\"version\":1}\n"
       "{\"uid\":7,\"t_us\":1500.000,\"hop\":\"ctrl_fanout\",\"node\":0,"
       "\"ap\":3,\"index\":12}\n"
       "{\"uid\":7,\"t_us\":2500.000,\"hop\":\"ap_drop\",\"node\":4,"
@@ -273,7 +274,9 @@ TEST(FlightRecorderTest, SamplerIsSeededDeterministicAndKeepsMarkers) {
   while (none.sampled(skipped)) ++skipped;
   none.record(skipped, Time::us(1), Hop::kMacTx, 1);
   EXPECT_EQ(none.records(), 0u);
-  EXPECT_TRUE(none.jsonl().empty());
+  // Only the schema header — no packet records.
+  EXPECT_EQ(none.jsonl(),
+            "{\"kind\":\"schema\",\"stream\":\"wgtt.packets\",\"version\":1}\n");
 }
 
 TEST(FlightRecorderTest, ScopedInstallNestsAndNullKeepsCurrent) {

@@ -80,11 +80,16 @@ TEST(PacketRecordTest, OneLinePerRecordAndRequiredFields) {
   const scenario::DriveResult r = scenario::run_drive(recorded_config());
   std::size_t lines = 0;
   for (char ch : r.packet_jsonl) lines += ch == '\n';
-  EXPECT_EQ(lines, r.packet_records);
+  // One line per record plus the stream's schema header.
+  EXPECT_EQ(lines, r.packet_records + 1);
 
   const std::vector<JsonValue> recs = parse_jsonl(r.packet_jsonl);
-  ASSERT_EQ(recs.size(), r.packet_records);
-  for (const JsonValue& rec : recs) {
+  ASSERT_EQ(recs.size(), r.packet_records + 1);
+  ASSERT_TRUE(recs.front().is_object());
+  EXPECT_EQ(recs.front().string_or("kind", ""), "schema");
+  EXPECT_EQ(recs.front().string_or("stream", ""), "wgtt.packets");
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    const JsonValue& rec = recs[i];
     ASSERT_TRUE(rec.is_object());
     EXPECT_NE(rec.find("uid"), nullptr);
     EXPECT_NE(rec.find("t_us"), nullptr);

@@ -66,6 +66,20 @@ TEST(TracerTest, FormatTsIsPureIntegerMath) {
   EXPECT_EQ(trace::Tracer::format_ts(Time::sec(3)), "3000000.000");
 }
 
+TEST(TracerTest, FormatTsStaysExactAtSoakHorizons) {
+  // Multi-hour simulated timestamps sit far past double's 2^53 ns mantissa
+  // range; the integer formatter must not lose the sub-microsecond digits.
+  EXPECT_EQ(trace::Tracer::format_ts(Time::sec(3600)), "3600000000.000");
+  EXPECT_EQ(trace::Tracer::format_ts(Time::sec(8 * 3600)), "28800000000.000");
+  EXPECT_EQ(trace::Tracer::format_ts(Time::sec(24 * 3600) + Time::ns(1)),
+            "86400000000.001");
+  EXPECT_EQ(trace::Tracer::format_ts(Time::sec(7 * 24 * 3600) + Time::ns(999)),
+            "604800000000.999");
+  // ~106 simulated days, near the int64 microsecond scale used by reports.
+  EXPECT_EQ(trace::Tracer::format_ts(Time::ns(9'216'000'000'000'000)),
+            "9216000000000.000");
+}
+
 TEST(TracerTest, EmitsWellFormedChromeTraceDocument) {
   trace::Tracer t;
   t.instant("core", "switch_start", Time::ms(1), 0, {{"client", 100.0}});
@@ -204,10 +218,13 @@ TEST(DecisionLogTest, ByteIdenticalAcrossRunsAndParallelSweep) {
 
 TEST(DecisionLogTest, RecordsEverySwitchCountedInMetrics) {
   const scenario::DriveResult r = scenario::run_drive(observed_config());
-  // One JSONL line per decision evaluation.
+  // One JSONL line per decision evaluation, plus the schema header.
   std::size_t lines = 0;
   for (char ch : r.decision_jsonl) lines += ch == '\n';
-  EXPECT_EQ(lines, r.decision_records);
+  EXPECT_EQ(lines, r.decision_records + 1);
+  EXPECT_EQ(r.decision_jsonl.rfind(
+                "{\"kind\":\"schema\",\"stream\":\"wgtt.decisions\"", 0),
+            0u);
   // "switch" outcomes in the log match the counted switch records...
   std::size_t switch_lines = 0;
   for (std::size_t pos = r.decision_jsonl.find("\"outcome\":\"switch\"");
@@ -261,6 +278,27 @@ TEST(TelemetryTest, CsvShapeAndDeterminism) {
   }
   EXPECT_EQ(rows, a.telemetry.row_count());
   ASSERT_GT(rows, 10u);  // 2 s drive, 100 ms period, started at app_start
+}
+
+TEST(TelemetryTest, CsvTimestampsStayExactAtSoakHorizons) {
+  // An hourly sampler ticking for eight simulated hours: every t_us in the
+  // CSV must be the exact integer-formatted microsecond count — a double
+  // round-trip would corrupt the low digits past a few simulated hours.
+  sim::Scheduler sched;
+  scenario::TelemetrySampler sampler(sched, Time::sec(3600));
+  double ticks = 0.0;
+  sampler.add_column("unit.ticks", 0, [&ticks]() { return ticks++; });
+  sampler.start();
+  sched.run_until(Time::sec(8 * 3600) + Time::ms(1));
+
+  const std::string csv = sampler.to_csv();
+  EXPECT_EQ(sampler.table().row_count(), 9u);  // t=0h..8h inclusive
+  EXPECT_NE(csv.find("\n3600000000.000,"), std::string::npos);
+  EXPECT_NE(csv.find("\n28800000000.000,"), std::string::npos);
+  ASSERT_EQ(sampler.table().times.size(), 9u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(sampler.table().times[i], Time::sec(3600) * static_cast<int>(i));
+  }
 }
 
 TEST(ProfilerTest, RunProfileIsNonEmptyAndBoundedByWallTime) {
