@@ -84,6 +84,11 @@ struct BenchArgs {
   /// rollups + watchdog verdicts).  Default path is HEALTH_<bench_id>.jsonl.
   std::string health_path;
   bool health = false;
+  /// --causal [PATH]: write the first run's causal event-graph JSONL
+  /// (scheduler provenance edges + semantic annotations; feed it to
+  /// `wgtt-report critical-path`).  Default path is CAUSAL_<bench_id>.jsonl.
+  std::string causal_path;
+  bool causal = false;
   /// --health-strict: exit 1 if any health watchdog reports an
   /// error-severity violation (implies --health).
   bool health_strict = false;
@@ -160,6 +165,11 @@ inline const OutputOpt kOutputOpts[] = {
      &BenchArgs::health_path, &scenario::TestbedConfig::health_path,
      "write the first simulation's runtime-health JSONL (windowed rollups "
      "+ invariant watchdogs)"},
+    {"--causal", "causal", "CAUSAL_", ".jsonl", &BenchArgs::causal,
+     &BenchArgs::causal_path, &scenario::TestbedConfig::causal_path,
+     "write the first simulation's causal event-graph JSONL (scheduler "
+     "provenance edges + semantic annotations, for wgtt-report "
+     "critical-path)"},
 };
 
 template <typename DriveConfig>
@@ -173,6 +183,10 @@ void BenchArgs::apply_outputs(DriveConfig& cfg,
         force, o.what);
   }
   if (packets) cfg.testbed.packet_sample = packet_sample;
+  // The causal tracer samples per-packet annotation sites with the same
+  // splitmix64 recipe as the flight recorder, so --packet-sample governs
+  // both streams and their sampled-uid populations coincide line-for-line.
+  if (causal) cfg.testbed.causal_sample = packet_sample;
   if (faults) {
     sim::FaultPlan plan;
     if (faults_spec.empty()) {

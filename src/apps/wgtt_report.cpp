@@ -1,9 +1,11 @@
 // wgtt-report: analyzer for the BENCH_*.json reports the sweep benches emit.
 //
-//   wgtt-report show FILE
+//   wgtt-report show FILE [--json]
 //       Pretty-print one report: sweep header, per-run metrics table, the
 //       fault-injection / controller-liveness counters (chaos sweeps only),
 //       and the aggregated host-time profile (where simulator CPU went).
+//       --json emits the same content as one machine-readable JSON object
+//       on stdout instead of the human tables.
 //
 //   wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]
 //                    [--budget-ms MS]
@@ -32,6 +34,25 @@
 //       failovers are flagged reason=ap_suspect — and attributes every
 //       packet whose lifecycle stalled across one.
 //
+//   wgtt-report critical-path FILE [--packets N] [--dot PATH]
+//       Analyze a causal event-graph JSONL (the --causal output of the
+//       benches): reconstruct the scheduler provenance DAG, extract the
+//       critical path of every switch window (ctrl.switch_start to
+//       ctrl.switch_done, matched per client+switch id), and print a
+//       per-layer latency attribution whose segments sum *exactly* (the
+//       simulated clock is integer nanoseconds) to the measured end-to-end
+//       switch time — any mismatch exits 1.  Sampled packets with both
+//       transport.send and transport.rx annotations get the same treatment:
+//       the delivering event chain is walked backwards from the receive,
+//       clamped at the send time, and the pre-chain remainder is charged to
+//       queue_wait.  --dot PATH writes the union of the first few switch
+//       critical paths as a Graphviz digraph.
+//
+//   wgtt-report decisions FILE
+//       Summarize a controller decision-audit JSONL (the --decisions output
+//       of the benches): record counts, per-outcome and per-reason tallies,
+//       and the liveness event rollup.
+//
 //   wgtt-report health FILE [--strict] [--baseline FILE]
 //                      [--emit-baseline FILE]
 //       Analyze a runtime-health JSONL (the --health output of the benches):
@@ -56,7 +77,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/fault_plan.h"
@@ -118,9 +141,74 @@ bool load_report(const std::string& path, JsonValue& out) {
   return true;
 }
 
-int cmd_show(const std::string& path) {
+// Machine-readable mirror of cmd_show's human tables: one JSON object on
+// stdout carrying the header fields, the per-run metric rows, the summed
+// chaos counters, and the aggregated profile.  Scripts get a stable surface
+// without scraping printf columns.
+int cmd_show_json(const JsonValue& report) {
+  wgtt::JsonWriter w;
+  w.begin_object();
+  w.field("bench", report.string_or("bench", "?"));
+  w.field("title", report.string_or("title", ""));
+  w.field("jobs", report.number_or("jobs", 0.0));
+  w.field("wall_ms", report.number_or("wall_ms", 0.0));
+  if (const JsonValue* summary = report.find("summary");
+      summary && summary->is_object()) {
+    w.key("summary").begin_object();
+    for (const auto& [k, v] : summary->as_object()) {
+      if (v.is_number()) w.field(k, v.as_number());
+    }
+    w.end_object();
+  }
+  w.key("runs").begin_array();
+  std::map<std::string, double> chaos;
+  for (const JsonValue& run : report.find("runs")->as_array()) {
+    w.begin_object();
+    w.field("label", run.string_or("label", "?"));
+    w.field("policy", run.string_or("policy", ""));
+    w.field("goodput_mbps", run.number_or("goodput_mbps", 0.0));
+    w.field("udp_loss_rate", run.number_or("udp_loss_rate", 0.0));
+    w.field("switching_accuracy", run.number_or("switching_accuracy", 0.0));
+    w.field("switches", run.number_or("switches", 0.0));
+    w.field("wall_ms", run.number_or("wall_ms", 0.0));
+    w.end_object();
+    if (const JsonValue* metrics = run.find("metrics")) {
+      if (const JsonValue* counters = metrics->find("counters");
+          counters && counters->is_object()) {
+        for (const auto& [name, v] : counters->as_object()) {
+          if (!v.is_number()) continue;
+          if (name.rfind("fault.", 0) == 0 ||
+              name.rfind("controller.liveness.", 0) == 0) {
+            chaos[name] += v.as_number();
+          }
+        }
+      }
+    }
+  }
+  w.end_array();
+  if (!chaos.empty()) {
+    w.key("chaos").begin_object();
+    for (const auto& [name, v] : chaos) w.field(name, v);
+    w.end_object();
+  }
+  const ProfileTotals profile = aggregate_profile(report);
+  if (!profile.sections.empty()) {
+    w.key("profile").begin_object();
+    w.field("total_ns", profile.total_ns);
+    w.key("sections").begin_object();
+    for (const auto& [name, ns] : profile.sections) w.field(name, ns);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+  return 0;
+}
+
+int cmd_show(const std::string& path, bool json) {
   JsonValue report;
   if (!load_report(path, report)) return 2;
+  if (json) return cmd_show_json(report);
 
   std::printf("bench:  %s\n", report.string_or("bench", "?").c_str());
   std::printf("title:  %s\n", report.string_or("title", "").c_str());
@@ -818,6 +906,484 @@ int cmd_health(const std::string& path, bool strict,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// critical-path: causal event-graph analysis
+// ---------------------------------------------------------------------------
+
+// The causal JSONL carries two record shapes (util/causal.h):
+//   edge        {"ev":N,"parent":P,"at_us":T}   scheduled-at provenance
+//   annotation  {"ev":N,"site":"...","t_us":T, ...int args}
+// Times are microsecond strings with 3 decimals rendered from the integer-ns
+// simulated clock, so converting back via llround(us * 1000) is exact.
+struct CausalEvent {
+  std::uint64_t parent = 0;
+  std::int64_t at_ns = 0;  // execution time (schedule target == dispatch time)
+  std::int32_t site = -1;  // first annotation site, index into CausalGraph
+};
+
+struct CausalAnnotation {
+  std::uint64_t ev = 0;
+  std::int64_t t_ns = 0;
+  std::int32_t site = -1;
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+struct CausalGraph {
+  std::unordered_map<std::uint64_t, CausalEvent> events;
+  std::vector<std::string> sites;  // interned site names
+  std::vector<CausalAnnotation> annotations;
+
+  const char* site_name(std::int32_t idx) const {
+    return idx < 0 ? "sched" : sites[static_cast<std::size_t>(idx)].c_str();
+  }
+};
+
+std::int64_t parse_us_ns(const JsonValue& v, const char* key) {
+  return static_cast<std::int64_t>(std::llround(v.number_or(key, 0.0) * 1e3));
+}
+
+bool load_causal_log(const std::string& path, CausalGraph& g) {
+  std::string text;
+  if (!wgtt::read_text_file(path, text)) {
+    std::fprintf(stderr, "wgtt-report: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::map<std::string, std::int32_t> interned;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string error;
+    if (!wgtt::json_parse(line, v, &error) || !v.is_object()) {
+      std::fprintf(stderr, "wgtt-report: %s:%zu: bad record: %s\n",
+                   path.c_str(), line_no, error.c_str());
+      return false;
+    }
+    if (v.string_or("kind", "") == "schema") {
+      if (!check_schema_record(v, path, "wgtt.causal", 1)) return false;
+      continue;
+    }
+    const std::uint64_t ev =
+        static_cast<std::uint64_t>(v.number_or("ev", 0.0));
+    if (const JsonValue* site = v.find("site")) {
+      CausalAnnotation a;
+      a.ev = ev;
+      a.t_ns = parse_us_ns(v, "t_us");
+      const std::string name = site->is_string() ? site->as_string() : "?";
+      auto [it, inserted] =
+          interned.try_emplace(name, static_cast<std::int32_t>(g.sites.size()));
+      if (inserted) g.sites.push_back(name);
+      a.site = it->second;
+      for (const auto& [k, val] : v.as_object()) {
+        if (k == "ev" || k == "site" || k == "t_us" || !val.is_number()) {
+          continue;
+        }
+        a.args.emplace_back(k, static_cast<std::int64_t>(val.as_number()));
+      }
+      // First annotation of a dispatching event labels its critical-path
+      // segment (later annotations of the same event ran inline after it).
+      CausalEvent& e = g.events[ev];
+      if (e.site < 0) e.site = a.site;
+      g.annotations.push_back(std::move(a));
+    } else {
+      CausalEvent& e = g.events[ev];
+      e.parent = static_cast<std::uint64_t>(v.number_or("parent", 0.0));
+      e.at_ns = parse_us_ns(v, "at_us");
+    }
+  }
+  return true;
+}
+
+std::int64_t causal_arg(const CausalAnnotation& a, const char* key,
+                        std::int64_t fallback) {
+  for (const auto& [k, v] : a.args) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+// Map an annotation site onto the layer its critical-path segment is charged
+// to.  The segment (parent -> child) is labeled by the *child* event's site:
+// the child is the work the parent caused, so its duration belongs to the
+// layer that scheduled it.
+const char* layer_of_site(const std::string& site) {
+  if (site == "ap.ioctl") return "driver";
+  if (site == "ap.stop" || site == "ap.start" || site == "ap.activate") {
+    return "ap_ctrl";
+  }
+  if (site.rfind("ap.", 0) == 0) return "ap_queue";
+  if (site.rfind("ctrl.", 0) == 0) return "controller";
+  if (site.rfind("backhaul.", 0) == 0) return "backhaul";
+  if (site.rfind("mac.", 0) == 0) return "mac";
+  if (site.rfind("transport.", 0) == 0) return "transport";
+  return "sched";
+}
+
+struct CausalSwitch {
+  std::uint64_t start_ev = 0;
+  std::uint64_t done_ev = 0;
+  std::int64_t t_start_ns = 0;
+  std::int64_t t_done_ns = 0;
+  std::int64_t client = -1;
+  std::int64_t from = -1;
+  std::int64_t to = -1;
+  std::int64_t retx = 0;
+  bool failover = false;
+  std::vector<std::uint64_t> chain;  // done_ev back to (excluding) start_ev
+  bool complete = false;             // parent walk reached start_ev
+  bool exact = false;                // segments sum to t_done - t_start
+};
+
+int cmd_critical_path(const std::string& path, std::size_t packet_limit,
+                      const std::string& dot_path) {
+  CausalGraph g;
+  if (!load_causal_log(path, g)) return 2;
+
+  std::size_t edge_count = g.events.size();
+  std::printf("causal log: %s\n", path.c_str());
+  std::printf("events: %zu   annotations: %zu   sites: %zu\n", edge_count,
+              g.annotations.size(), g.sites.size());
+
+  // --- pair switch windows per (client, switch id) -------------------------
+  std::vector<CausalSwitch> switches;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::size_t> open;
+  for (const CausalAnnotation& a : g.annotations) {
+    const std::string& site = g.sites[static_cast<std::size_t>(a.site)];
+    if (site == "ctrl.switch_start") {
+      CausalSwitch s;
+      s.start_ev = a.ev;
+      s.t_start_ns = a.t_ns;
+      s.client = causal_arg(a, "client", -1);
+      s.from = causal_arg(a, "from", -1);
+      s.to = causal_arg(a, "to", -1);
+      s.failover = causal_arg(a, "failover", 0) != 0;
+      open[{s.client, causal_arg(a, "switch", -1)}] = switches.size();
+      switches.push_back(s);
+    } else if (site == "ctrl.switch_done") {
+      auto it = open.find({causal_arg(a, "client", -1),
+                           causal_arg(a, "switch", -1)});
+      if (it == open.end()) continue;
+      CausalSwitch& s = switches[it->second];
+      s.done_ev = a.ev;
+      s.t_done_ns = a.t_ns;
+      s.retx = causal_arg(a, "retx", 0);
+      s.complete = true;
+      open.erase(it);
+    }
+  }
+
+  // --- walk each window's provenance chain and telescope the segments -----
+  // Every event executes at the time it was scheduled for (at_ns), and
+  // ctrl.switch_done runs inline inside the ack-delivery event, so the chain
+  //   start_ev -> ... -> done_ev
+  // telescopes: sum(at(child) - at(parent)) == t_done - t_start exactly.
+  std::map<std::string, std::pair<std::int64_t, std::size_t>> layer_ns;
+  std::size_t walked = 0, exact = 0;
+  for (CausalSwitch& s : switches) {
+    if (!s.complete) continue;
+    std::uint64_t cur = s.done_ev;
+    bool ok = true;
+    while (cur != s.start_ev) {
+      s.chain.push_back(cur);
+      auto it = g.events.find(cur);
+      if (it == g.events.end() || it->second.parent == 0 ||
+          s.chain.size() > 1u << 20) {
+        ok = false;
+        break;
+      }
+      cur = it->second.parent;
+    }
+    if (!ok) {
+      s.chain.clear();
+      continue;
+    }
+    ++walked;
+    std::int64_t sum = 0;
+    std::int64_t prev = s.t_start_ns;
+    for (auto it = s.chain.rbegin(); it != s.chain.rend(); ++it) {
+      const CausalEvent& e = g.events[*it];
+      const std::int64_t seg = e.at_ns - prev;
+      sum += seg;
+      auto& [ns, n] = layer_ns[layer_of_site(g.site_name(e.site))];
+      ns += seg;
+      ++n;
+      prev = e.at_ns;
+    }
+    s.exact = sum == s.t_done_ns - s.t_start_ns;
+    if (s.exact) ++exact;
+  }
+
+  std::printf("\nswitch windows: %zu complete (of %zu started), "
+              "%zu walked, %zu exact\n",
+              static_cast<std::size_t>(
+                  std::count_if(switches.begin(), switches.end(),
+                                [](const CausalSwitch& s) {
+                                  return s.complete;
+                                })),
+              switches.size(), walked, exact);
+  if (walked > 0) {
+    std::printf("%12s %10s %6s %4s %4s %5s %4s %-9s %6s %s\n", "start_us",
+                "e2e_ms", "client", "from", "to", "hops", "retx", "reason",
+                "exact", "");
+    constexpr std::size_t kMaxRows = 40;
+    std::size_t rows = 0;
+    for (const CausalSwitch& s : switches) {
+      if (s.chain.empty()) continue;
+      if (rows++ >= kMaxRows) continue;
+      std::printf("%12.3f %10.3f %6" PRId64 " %4" PRId64 " %4" PRId64
+                  " %5zu %4" PRId64 " %-9s %6s\n",
+                  static_cast<double>(s.t_start_ns) / 1e3,
+                  static_cast<double>(s.t_done_ns - s.t_start_ns) / 1e6,
+                  s.client, s.from, s.to, s.chain.size(), s.retx,
+                  s.failover ? "failover" : "esnr", s.exact ? "yes" : "NO");
+    }
+    if (rows > kMaxRows) {
+      std::printf("(+%zu more switch windows)\n", rows - kMaxRows);
+    }
+
+    std::int64_t total_ns = 0;
+    for (const auto& [layer, acc] : layer_ns) total_ns += acc.first;
+    std::printf("\nswitch latency attribution (segment labeled by the layer "
+                "that scheduled it):\n");
+    std::printf("%-12s %14s %8s %10s\n", "layer", "total_ms", "share",
+                "segments");
+    for (const auto& [layer, acc] : layer_ns) {
+      std::printf("%-12s %14.3f %7.1f%% %10zu\n", layer.c_str(),
+                  static_cast<double>(acc.first) / 1e6,
+                  total_ns > 0 ? 100.0 * static_cast<double>(acc.first) /
+                                     static_cast<double>(total_ns)
+                               : 0.0,
+                  acc.second);
+    }
+  }
+
+  // --- sampled-packet attribution -----------------------------------------
+  // A packet's receive runs inside the delivering chain's event (a MAC
+  // exchange completion, an ack delivery...), which was NOT scheduled by the
+  // packet's own send — so the backwards walk ascends the deliverer's
+  // provenance and is clamped at the send time: everything earlier is time
+  // the packet waited for that chain to reach it, charged to queue_wait.
+  std::map<std::uint64_t, const CausalAnnotation*> sends, rxs;
+  for (const CausalAnnotation& a : g.annotations) {
+    const std::string& site = g.sites[static_cast<std::size_t>(a.site)];
+    const std::int64_t uid = causal_arg(a, "uid", -1);
+    if (uid <= 0) continue;
+    if (site == "transport.send") {
+      sends.try_emplace(static_cast<std::uint64_t>(uid), &a);
+    } else if (site == "transport.rx") {
+      rxs.try_emplace(static_cast<std::uint64_t>(uid), &a);
+    }
+  }
+  std::map<std::string, std::pair<std::int64_t, std::size_t>> pkt_layer_ns;
+  std::size_t pkt_walked = 0, pkt_exact = 0;
+  std::int64_t pkt_e2e_ns = 0;
+  struct PacketRow {
+    std::uint64_t uid;
+    std::int64_t e2e_ns;
+    std::int64_t wait_ns;
+    std::size_t hops;
+  };
+  std::vector<PacketRow> rows;
+  for (const auto& [uid, rx] : rxs) {
+    auto sit = sends.find(uid);
+    if (sit == sends.end()) continue;
+    const std::int64_t t_send = sit->second->t_ns;
+    const std::int64_t t_rx = rx->t_ns;
+    if (t_rx <= t_send) continue;
+    // Chain of delivering events that executed after the send, newest first.
+    std::vector<std::uint64_t> chain;
+    std::uint64_t cur = rx->ev;
+    chain.push_back(cur);
+    while (true) {
+      auto it = g.events.find(cur);
+      if (it == g.events.end() || it->second.parent == 0) break;
+      auto pit = g.events.find(it->second.parent);
+      if (pit == g.events.end() || pit->second.at_ns <= t_send) break;
+      cur = it->second.parent;
+      chain.push_back(cur);
+      if (chain.size() > 1u << 20) break;
+    }
+    ++pkt_walked;
+    std::int64_t sum = 0;
+    std::int64_t wait_ns = 0;
+    std::int64_t prev = t_send;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      const CausalEvent& e = g.events[*it];
+      const std::int64_t seg = e.at_ns - prev;
+      const bool first = it == chain.rbegin();
+      if (first) wait_ns = seg;
+      auto& [ns, n] =
+          pkt_layer_ns[first ? "queue_wait"
+                             : layer_of_site(g.site_name(e.site))];
+      ns += seg;
+      ++n;
+      sum += seg;
+      prev = e.at_ns;
+    }
+    // The receive annotation time is the last chain event's execution time,
+    // so the telescoped sum lands exactly on the measured end-to-end.
+    if (sum == t_rx - t_send) ++pkt_exact;
+    pkt_e2e_ns += t_rx - t_send;
+    if (rows.size() < packet_limit) {
+      rows.push_back({uid, t_rx - t_send, wait_ns, chain.size()});
+    }
+  }
+  if (pkt_walked > 0) {
+    std::printf("\nsampled packets: %zu delivered (send+rx annotated), "
+                "%zu exact, mean e2e %.3f ms\n",
+                pkt_walked, pkt_exact,
+                static_cast<double>(pkt_e2e_ns) /
+                    static_cast<double>(pkt_walked) / 1e6);
+    if (!rows.empty()) {
+      std::printf("%-12s %10s %12s %6s\n", "uid", "e2e_ms", "wait_ms",
+                  "hops");
+      for (const PacketRow& r : rows) {
+        std::printf("%-12" PRIu64 " %10.3f %12.3f %6zu\n", r.uid,
+                    static_cast<double>(r.e2e_ns) / 1e6,
+                    static_cast<double>(r.wait_ns) / 1e6, r.hops);
+      }
+    }
+    std::int64_t total_ns = 0;
+    for (const auto& [layer, acc] : pkt_layer_ns) total_ns += acc.first;
+    std::printf("packet latency attribution (queue_wait = time before the "
+                "delivering chain started):\n");
+    std::printf("%-12s %14s %8s %10s\n", "layer", "total_ms", "share",
+                "segments");
+    for (const auto& [layer, acc] : pkt_layer_ns) {
+      std::printf("%-12s %14.3f %7.1f%% %10zu\n", layer.c_str(),
+                  static_cast<double>(acc.first) / 1e6,
+                  total_ns > 0 ? 100.0 * static_cast<double>(acc.first) /
+                                     static_cast<double>(total_ns)
+                               : 0.0,
+                  acc.second);
+    }
+  }
+
+  // --- DOT subgraph --------------------------------------------------------
+  if (!dot_path.empty()) {
+    constexpr std::size_t kDotWindows = 5;
+    std::string dot = "digraph causal {\n  rankdir=LR;\n  node [shape=box, "
+                      "fontsize=10];\n";
+    std::size_t emitted = 0;
+    for (const CausalSwitch& s : switches) {
+      if (s.chain.empty()) continue;
+      if (emitted >= kDotWindows) break;
+      ++emitted;
+      std::uint64_t prev_ev = s.start_ev;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "  n%" PRIu64 " [label=\"ev %" PRIu64
+                    "\\nctrl.switch_start\\n%.3f ms\", style=bold];\n",
+                    s.start_ev, s.start_ev,
+                    static_cast<double>(s.t_start_ns) / 1e6);
+      dot += buf;
+      for (auto it = s.chain.rbegin(); it != s.chain.rend(); ++it) {
+        const CausalEvent& e = g.events[*it];
+        std::snprintf(buf, sizeof(buf),
+                      "  n%" PRIu64 " [label=\"ev %" PRIu64
+                      "\\n%s\\n%.3f ms\"];\n  n%" PRIu64 " -> n%" PRIu64
+                      ";\n",
+                      *it, *it, g.site_name(e.site),
+                      static_cast<double>(e.at_ns) / 1e6, prev_ev, *it);
+        dot += buf;
+        prev_ev = *it;
+      }
+    }
+    dot += "}\n";
+    if (!wgtt::write_text_file(dot_path, dot)) {
+      std::fprintf(stderr, "wgtt-report: cannot write %s\n", dot_path.c_str());
+      return 2;
+    }
+    std::printf("\ndot: %s (%zu window(s))\n", dot_path.c_str(), emitted);
+  }
+
+  const std::size_t complete = static_cast<std::size_t>(
+      std::count_if(switches.begin(), switches.end(),
+                    [](const CausalSwitch& s) { return s.complete; }));
+  if (walked < complete || exact < walked || pkt_exact < pkt_walked) {
+    std::printf("result: ATTRIBUTION MISMATCH — %zu/%zu windows walked, "
+                "%zu exact; %zu/%zu packets exact\n",
+                walked, complete, exact, pkt_exact, pkt_walked);
+    return 1;
+  }
+  std::printf("result: ok (%zu switch window(s), %zu sampled packet(s), all "
+              "attributions exact)\n",
+              walked, pkt_walked);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// decisions: controller decision-audit JSONL summary
+// ---------------------------------------------------------------------------
+
+int cmd_decisions(const std::string& path) {
+  std::string text;
+  if (!wgtt::read_text_file(path, text)) {
+    std::fprintf(stderr, "wgtt-report: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::map<std::string, std::size_t> outcomes, reasons, liveness;
+  std::size_t records = 0, liveness_records = 0;
+  double last_t_us = 0.0;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue v;
+    std::string error;
+    if (!wgtt::json_parse(line, v, &error) || !v.is_object()) {
+      std::fprintf(stderr, "wgtt-report: %s:%zu: bad record: %s\n",
+                   path.c_str(), line_no, error.c_str());
+      return 2;
+    }
+    const std::string kind = v.string_or("kind", "");
+    if (kind == "schema") {
+      if (!check_schema_record(v, path, "wgtt.decisions", 1)) return 2;
+      continue;
+    }
+    last_t_us = v.number_or("t_us", last_t_us);
+    if (kind == "liveness") {
+      ++liveness_records;
+      ++liveness[v.string_or("event", "?")];
+      continue;
+    }
+    ++records;
+    ++outcomes[v.string_or("outcome", "?")];
+    ++reasons[v.string_or("reason", "?")];
+  }
+  std::printf("decision log: %s\n", path.c_str());
+  std::printf("decisions: %zu   liveness events: %zu   horizon: %.3f s\n",
+              records, liveness_records, last_t_us / 1e6);
+  if (!outcomes.empty()) {
+    std::printf("\n%-20s %10s\n", "outcome", "count");
+    for (const auto& [k, n] : outcomes) {
+      std::printf("%-20s %10zu\n", k.c_str(), n);
+    }
+    std::printf("\n%-20s %10s\n", "reason", "count");
+    for (const auto& [k, n] : reasons) {
+      std::printf("%-20s %10zu\n", k.c_str(), n);
+    }
+  }
+  if (!liveness.empty()) {
+    std::printf("\n%-20s %10s\n", "liveness event", "count");
+    for (const auto& [k, n] : liveness) {
+      std::printf("%-20s %10zu\n", k.c_str(), n);
+    }
+  }
+  return 0;
+}
+
 struct DiffState {
   double tolerance_pct = 25.0;
   double budget_ms = 0.0;  // <= 0: no per-row budget
@@ -977,10 +1543,12 @@ int cmd_diff(const std::string& base_path, const std::string& cur_path,
 int usage() {
   std::fprintf(
       stderr,
-      "usage: wgtt-report show FILE\n"
+      "usage: wgtt-report show FILE [--json]\n"
       "       wgtt-report diff BASELINE CURRENT [--tolerance PCT] [--soft]\n"
       "                        [--budget-ms MS]\n"
       "       wgtt-report packets FILE [--limit N] [--switches]\n"
+      "       wgtt-report critical-path FILE [--packets N] [--dot PATH]\n"
+      "       wgtt-report decisions FILE\n"
       "       wgtt-report health FILE [--strict] [--baseline FILE]\n"
       "                          [--emit-baseline FILE]\n"
       "\n"
@@ -996,8 +1564,51 @@ int main(int argc, char** argv) {
   if (args.empty()) return usage();
 
   if (args[0] == "show") {
+    bool json = false;
+    std::string path;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--json") {
+        json = true;
+      } else if (args[i].rfind("--", 0) == 0) {
+        return usage();
+      } else if (path.empty()) {
+        path = args[i];
+      } else {
+        return usage();
+      }
+    }
+    if (path.empty()) return usage();
+    return cmd_show(path, json);
+  }
+  if (args[0] == "critical-path") {
+    std::size_t packet_limit = 5;
+    std::string path, dot;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--packets") {
+        if (i + 1 >= args.size()) return usage();
+        packet_limit = static_cast<std::size_t>(std::atol(args[++i].c_str()));
+      } else if (args[i].rfind("--packets=", 0) == 0) {
+        packet_limit = static_cast<std::size_t>(
+            std::atol(args[i].c_str() + std::strlen("--packets=")));
+      } else if (args[i] == "--dot") {
+        if (i + 1 >= args.size()) return usage();
+        dot = args[++i];
+      } else if (args[i].rfind("--dot=", 0) == 0) {
+        dot = args[i].substr(std::strlen("--dot="));
+      } else if (args[i].rfind("--", 0) == 0) {
+        return usage();
+      } else if (path.empty()) {
+        path = args[i];
+      } else {
+        return usage();
+      }
+    }
+    if (path.empty()) return usage();
+    return cmd_critical_path(path, packet_limit, dot);
+  }
+  if (args[0] == "decisions") {
     if (args.size() != 2) return usage();
-    return cmd_show(args[1]);
+    return cmd_decisions(args[1]);
   }
   if (args[0] == "packets") {
     std::size_t limit = 5;

@@ -12,6 +12,7 @@ ApQueueStack::ApQueueStack(sim::Scheduler& sched, mac::WifiDevice& device,
   }
   tracer_ = trace::Tracer::current();
   recorder_ = net::FlightRecorder::current();
+  causal_ = obs::CausalTracer::current();
   health_ = obs::HealthEngine::current();
   device_.set_refill_handler(client_, [this]() { pump(); });
 }
@@ -51,6 +52,12 @@ void ApQueueStack::on_downlink(std::uint32_t index, net::PacketPtr pkt) {
     recorder_->record(pkt->uid, sched_.now(), net::Hop::kApEnqueue,
                       device_.id(), {{"client", client_}, {"index", index}});
   }
+  if (causal_ && causal_->sampled(pkt->uid)) {
+    causal_->annotate("ap.enqueue",
+                      {{"uid", static_cast<std::int64_t>(pkt->uid)},
+                       {"ap", device_.id()},
+                       {"client", client_}});
+  }
   cyclic_.insert(index, std::move(pkt));
   note_ring_evictions();
   if (active_) pump();
@@ -73,6 +80,13 @@ void ApQueueStack::activate(std::uint32_t start_index) {
     recorder_->marker(sched_.now(), net::Hop::kApActivate, device_.id(),
                       {{"client", client_},
                        {"start_index", start_index},
+                       {"backlog",
+                        static_cast<std::int64_t>(total_backlog())}});
+  }
+  if (causal_) {
+    causal_->annotate("ap.activate",
+                      {{"ap", device_.id()},
+                       {"client", client_},
                        {"backlog",
                         static_cast<std::int64_t>(total_backlog())}});
   }
@@ -176,6 +190,11 @@ void ApQueueStack::pump() {
     if (recorder_) {
       recorder_->record(uid, sched_.now(), net::Hop::kApNic, device_.id(),
                         {{"client", client_}, {"seq", seq}});
+    }
+    if (causal_ && causal_->sampled(uid)) {
+      causal_->annotate("ap.nic", {{"uid", static_cast<std::int64_t>(uid)},
+                                   {"ap", device_.id()},
+                                   {"client", client_}});
     }
     kernel_.pop_front();
     // Top up the kernel stage as it drains.

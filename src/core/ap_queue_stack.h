@@ -30,6 +30,7 @@
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/causal.h"
 #include "util/health.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -112,6 +113,7 @@ class ApQueueStack {
   metrics::Counter* m_activations_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::CausalTracer* causal_ = nullptr;
   obs::HealthEngine* health_ = nullptr;
 };
 

@@ -15,6 +15,7 @@ WgttAp::WgttAp(sim::Scheduler& sched, net::Backhaul& backhaul,
       cfg_(std::move(cfg)),
       rng_(0xA9000ull + cfg_.id) {
   recorder_ = net::FlightRecorder::current();
+  causal_ = obs::CausalTracer::current();
   health_ = obs::HealthEngine::current();
   backhaul_.attach(cfg_.id, [this](const net::TunneledPacket& frame) {
     on_backhaul_frame(frame);
@@ -189,6 +190,11 @@ void WgttAp::handle_downlink_data(net::PacketPtr pkt) {
 
 void WgttAp::handle_stop(const StopMsg& msg) {
   ++stats_.stops_handled;
+  if (causal_) {
+    causal_->annotate("ap.stop", {{"ap", cfg_.id},
+                                  {"client", msg.client},
+                                  {"quench", msg.quench ? 1 : 0}});
+  }
   // Query the kernel for the first unsent index (the ioctl), then flush and
   // hand over.  A repeated stop (the controller's ack timeout fired) takes
   // the same path: the stack is already inactive, so next_nic_index()
@@ -206,6 +212,12 @@ void WgttAp::handle_stop(const StopMsg& msg) {
     // resumes from the relayed k, so local copies are pure duplicates.
     const std::uint32_t k = st.active() ? st.deactivate(msg.quench)
                                         : st.next_nic_index();
+    if (causal_) {
+      causal_->annotate("ap.ioctl",
+                        {{"ap", cfg_.id},
+                         {"client", msg.client},
+                         {"k", static_cast<std::int64_t>(k)}});
+    }
     stats_.kernel_packets_flushed = st.kernel_flushed();
     active_ap_[msg.client] = msg.next_ap;
 
@@ -252,6 +264,12 @@ void WgttAp::handle_start(const StartMsg& msg) {
   const std::uint32_t k = msg.first_unsent_index == kResumeHeadIndex
                               ? st.cyclic().head()
                               : msg.first_unsent_index;
+  if (causal_) {
+    causal_->annotate("ap.start",
+                      {{"ap", cfg_.id},
+                       {"client", msg.client},
+                       {"index", static_cast<std::int64_t>(k)}});
+  }
   st.activate(k);
 
   net::Packet p;

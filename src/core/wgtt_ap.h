@@ -142,6 +142,7 @@ class WgttAp {
   std::uint16_t next_aid_ = 1;
   WgttApStats stats_;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::CausalTracer* causal_ = nullptr;
   obs::HealthEngine* health_ = nullptr;
   // Fault wiring (null/false/empty unless a FaultInjector is installed).
   net::FaultInjector* injector_ = nullptr;

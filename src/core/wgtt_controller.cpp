@@ -24,6 +24,7 @@ WgttController::WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
   tracer_ = trace::Tracer::current();
   decision_log_ = DecisionLog::current();
   recorder_ = net::FlightRecorder::current();
+  causal_ = obs::CausalTracer::current();
   health_ = obs::HealthEngine::current();
   if (auto* p = prof::Profiler::current()) {
     prof_ = p;
@@ -206,6 +207,11 @@ void WgttController::handle_uplink_data(net::PacketPtr pkt,
     recorder_->record(pkt->uid, sched_.now(), net::Hop::kCtrlUplink,
                       net::kControllerId, {{"ap", from_ap}});
   }
+  if (causal_ && causal_->sampled(pkt->uid)) {
+    causal_->annotate("ctrl.uplink",
+                      {{"uid", static_cast<std::int64_t>(pkt->uid)},
+                       {"ap", from_ap}});
+  }
   if (on_uplink) {
     on_uplink(std::move(pkt));
   } else if (health_) {
@@ -246,6 +252,15 @@ void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
   // active AP.
   st.selector->prune(sched_.now());
   const bool rec = recorder_ && net::flight_recorded(shared->type);
+  // One annotation per packet (the fan-out copies all leave from this same
+  // event), so the DAG joins this uid's delivery chain to the fan-out pass.
+  if (causal_ && net::flight_recorded(shared->type) &&
+      causal_->sampled(shared->uid)) {
+    causal_->annotate("ctrl.fanout",
+                      {{"uid", static_cast<std::int64_t>(shared->uid)},
+                       {"client", client},
+                       {"index", shared->index}});
+  }
   bool active_covered = false;
   bool prearm_covered = false;
   if (!cfg_.fanout_active_only) {
@@ -402,6 +417,19 @@ void WgttController::initiate_switch(net::NodeId client, ClientState& st,
                        {"from", st.active_ap},
                        {"to", target}});
   }
+  if (causal_) {
+    st.causal_start_ev = causal_->current_event();
+    causal_->annotate("ctrl.switch_start",
+                      {{"client", client},
+                       {"from", st.active_ap},
+                       {"to", target},
+                       {"switch", st.switch_id}});
+    if (tracer_) {
+      tracer_->flow_start("core", "switch_flow", sched_.now(),
+                          st.causal_start_ev,
+                          static_cast<std::int64_t>(net::kControllerId));
+    }
+  }
   if (style == SwitchStyle::kStopStart) {
     send_stop(client, st);
   } else {
@@ -421,6 +449,15 @@ void WgttController::send_stop(net::NodeId client, ClientState& st) {
   msg.next_ap = st.switch_target;
   msg.switch_id = st.switch_id;
   p.payload = msg;
+  // On a retransmission this attaches to the retx-timeout event, labelling
+  // the timeout wait in the critical path.
+  if (causal_) {
+    causal_->annotate("ctrl.stop_tx",
+                      {{"client", client},
+                       {"ap", st.active_ap},
+                       {"switch", st.switch_id},
+                       {"retx", st.stop_retx}});
+  }
   send_to(st.active_ap, std::move(p));
 
   // Retransmit the stop if the ack does not arrive in time (§3.1.2).
@@ -462,6 +499,13 @@ void WgttController::send_direct_start(net::NodeId client, ClientState& st) {
   msg.switch_id = st.switch_id;
   msg.from_ap = 0;
   p.payload = msg;
+  if (causal_) {
+    causal_->annotate("ctrl.start_tx",
+                      {{"client", client},
+                       {"ap", st.switch_target},
+                       {"switch", st.switch_id},
+                       {"retx", st.stop_retx}});
+  }
   send_to(st.switch_target, std::move(p));
 
   st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {
@@ -497,6 +541,12 @@ void WgttController::send_quench(net::NodeId ap, net::NodeId client,
   msg.switch_id = switch_id;
   msg.quench = true;  // the successor is already active: no start relay
   p.payload = msg;
+  if (causal_) {
+    causal_->annotate("ctrl.quench_tx",
+                      {{"client", client},
+                       {"ap", ap},
+                       {"switch", switch_id}});
+  }
   send_to(ap, std::move(p));
 }
 
@@ -538,6 +588,20 @@ void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
                        {"to", rec.to_ap},
                        {"stop_retx", rec.stop_retransmissions},
                        {"gap_us", (rec.completed - rec.initiated).to_ns() / 1000}});
+  }
+  if (causal_) {
+    causal_->annotate("ctrl.switch_done",
+                      {{"client", rec.client},
+                       {"from", rec.from_ap},
+                       {"to", rec.to_ap},
+                       {"switch", msg.switch_id},
+                       {"retx", rec.stop_retransmissions}});
+    if (tracer_) {
+      tracer_->flow_finish("core", "switch_flow", sched_.now(),
+                           st.causal_start_ev,
+                           static_cast<std::int64_t>(net::kControllerId));
+    }
+    st.causal_start_ev = 0;
   }
 
   const net::NodeId old_ap = st.active_ap;
@@ -753,6 +817,19 @@ void WgttController::attempt_failover(net::NodeId client, ClientState& st,
                        {"to", target},
                        {"failover", 1}});
   }
+  if (causal_) {
+    st.causal_start_ev = causal_->current_event();
+    causal_->annotate("ctrl.switch_start",
+                      {{"client", client},
+                       {"from", st.active_ap},
+                       {"to", target},
+                       {"switch", st.switch_id},
+                       {"failover", 1}});
+    if (tracer_) {
+      tracer_->flow_start("core", "switch_flow", now, st.causal_start_ev,
+                          static_cast<std::int64_t>(net::kControllerId));
+    }
+  }
   send_failover_start(client, st);
 }
 
@@ -768,6 +845,14 @@ void WgttController::send_failover_start(net::NodeId client, ClientState& st) {
   msg.switch_id = st.switch_id;
   msg.from_ap = 0;
   p.payload = msg;
+  if (causal_) {
+    causal_->annotate("ctrl.start_tx",
+                      {{"client", client},
+                       {"ap", st.switch_target},
+                       {"switch", st.switch_id},
+                       {"retx", st.stop_retx},
+                       {"failover", 1}});
+  }
   send_to(st.switch_target, std::move(p));
 
   st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {

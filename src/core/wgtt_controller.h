@@ -32,6 +32,7 @@
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/causal.h"
 #include "util/health.h"
 #include "util/metrics.h"
 #include "util/profiler.h"
@@ -179,6 +180,9 @@ class WgttController {
     Time bicast_hold;                 // incumbent overlap (kBicast only)
     /// Extra fan-out target requested by the policy (0 = none).
     net::NodeId prearm_ap = 0;
+    /// Causal id of the event that initiated the in-flight switch — the key
+    /// the ctrl.switch_start/done trace flow events pair on (causal only).
+    std::uint64_t causal_start_ev = 0;
     std::map<net::NodeId, CsiRepeat> csi_repeat;  // only fed when injector on
   };
 
@@ -265,6 +269,7 @@ class WgttController {
   trace::Tracer* tracer_ = nullptr;
   DecisionLog* decision_log_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::CausalTracer* causal_ = nullptr;
   obs::HealthEngine* health_ = nullptr;
   prof::Profiler* prof_ = nullptr;
   prof::Section* p_selection_ = nullptr;

@@ -72,6 +72,7 @@ WifiDevice::WifiDevice(MacContext& ctx, net::NodeId self, WifiDeviceConfig cfg)
   }
   tracer_ = trace::Tracer::current();
   recorder_ = net::FlightRecorder::current();
+  causal_ = obs::CausalTracer::current();
   health_ = obs::HealthEngine::current();
   if (auto* p = prof::Profiler::current()) {
     prof_ = p;
@@ -342,6 +343,18 @@ void WifiDevice::begin_exchange() {
                          {"mcs", ex.mcs->index},
                          {"ampdu",
                           static_cast<std::int64_t>(stats_.aggregates_sent)}});
+    }
+  }
+  if (causal_) {
+    for (const Mpdu& m : ex.aggregate) {
+      if (!net::flight_recorded(m.pkt->type) || !causal_->sampled(m.pkt->uid)) {
+        continue;
+      }
+      causal_->annotate("mac.tx",
+                        {{"uid", static_cast<std::int64_t>(m.pkt->uid)},
+                         {"dev", self_},
+                         {"peer", ex.peer},
+                         {"attempt", m.retries + 1}});
     }
   }
 
@@ -658,6 +671,13 @@ void WifiDevice::finish_exchange_with_ba(PendingExchange ex) {
           recorder_->record(m.pkt->uid, ctx_.sched().now(), net::Hop::kMacAck,
                             self_, {{"peer", ex.peer}, {"seq", m.seq}});
         }
+        if (causal_ && net::flight_recorded(m.pkt->type) &&
+            causal_->sampled(m.pkt->uid)) {
+          causal_->annotate("mac.ack",
+                            {{"uid", static_cast<std::int64_t>(m.pkt->uid)},
+                             {"dev", self_},
+                             {"peer", ex.peer}});
+        }
       } else {
         failed.push_back(std::move(m));
       }
@@ -699,6 +719,13 @@ void WifiDevice::finish_exchange_with_ba(PendingExchange ex) {
                         {{"peer", ex.peer},
                          {"seq", m.seq},
                          {"retries", m.retries}});
+    }
+    if (causal_ && net::flight_recorded(m.pkt->type) &&
+        causal_->sampled(m.pkt->uid)) {
+      causal_->annotate("mac.requeue",
+                        {{"uid", static_cast<std::int64_t>(m.pkt->uid)},
+                         {"dev", self_},
+                         {"retries", static_cast<std::int64_t>(m.retries)}});
     }
     st.queue.push_front(std::move(m));
   }

@@ -41,6 +41,7 @@
 #include "phy/error_model.h"
 #include "phy/rate_control.h"
 #include "sim/scheduler.h"
+#include "util/causal.h"
 #include "util/health.h"
 #include "util/metrics.h"
 #include "util/profiler.h"
@@ -302,6 +303,7 @@ class WifiDevice {
   prof::Profiler* prof_ = nullptr;
   prof::Section* p_exchange_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::CausalTracer* causal_ = nullptr;
   obs::HealthEngine* health_ = nullptr;
 };
 

@@ -4,6 +4,30 @@
 
 namespace wgtt::net {
 
+namespace {
+
+/// Frames whose backhaul hops get causal annotations: the switch-protocol
+/// control messages (always — they are the switch critical path) and the
+/// sampled data packets.  CSI reports, heartbeats, and the other chatty
+/// control types stay edge-only, keeping the stream proportional to the
+/// interesting traffic.
+bool causal_annotated(const TunneledPacket& f, const obs::CausalTracer& c) {
+  if (f.inner == nullptr) return false;
+  switch (f.inner->type) {
+    case PacketType::kStop:
+    case PacketType::kStart:
+    case PacketType::kSwitchAck:
+      return true;
+    case PacketType::kData:
+    case PacketType::kTcpAck:
+      return c.sampled(f.inner->uid);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
 Backhaul::Backhaul(sim::Scheduler& sched, BackhaulConfig cfg, Rng rng)
     : sched_(sched), cfg_(cfg), rng_(rng) {
   if (auto* reg = metrics::MetricsRegistry::current()) {
@@ -12,6 +36,7 @@ Backhaul::Backhaul(sim::Scheduler& sched, BackhaulConfig cfg, Rng rng)
     m_bytes_ = &reg->counter("net.backhaul_bytes");
   }
   recorder_ = FlightRecorder::current();
+  causal_ = obs::CausalTracer::current();
   health_ = obs::HealthEngine::current();
   injector_ = FaultInjector::current();
 }
@@ -92,12 +117,25 @@ void Backhaul::send(TunneledPacket frame) {
                       {{"dst", frame.outer_dst},
                        {"bytes", static_cast<std::int64_t>(frame.wire_bytes)}});
   }
+  const bool causal = causal_ != nullptr && causal_annotated(frame, *causal_);
+  if (causal) {
+    causal_->annotate("backhaul.tx",
+                      {{"uid", static_cast<std::int64_t>(frame.inner->uid)},
+                       {"src", frame.outer_src},
+                       {"dst", frame.outer_dst}});
+  }
   DeliverFn& deliver = it->second;
-  sched_.schedule_at(arrival, [this, rec, &deliver,
+  sched_.schedule_at(arrival, [this, rec, causal, &deliver,
                                frame = std::move(frame)]() {
     if (rec) {
       recorder_->record(frame.inner->uid, sched_.now(), Hop::kBackhaulRx,
                         frame.outer_dst, {{"src", frame.outer_src}});
+    }
+    if (causal) {
+      causal_->annotate("backhaul.rx",
+                        {{"uid", static_cast<std::int64_t>(frame.inner->uid)},
+                         {"src", frame.outer_src},
+                         {"dst", frame.outer_dst}});
     }
     deliver(frame);
   });

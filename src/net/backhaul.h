@@ -16,6 +16,7 @@
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/causal.h"
 #include "util/health.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -65,6 +66,7 @@ class Backhaul {
   metrics::Histogram* m_latency_us_ = nullptr;
   metrics::Counter* m_bytes_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
+  obs::CausalTracer* causal_ = nullptr;
   obs::HealthEngine* health_ = nullptr;
   // Fault injection (null outside chaos runs): per-frame link impairment
   // queries; drop coins come from the injector's stream, not rng_.

@@ -280,6 +280,10 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
     result.packet_jsonl = fr->jsonl();
     result.packet_records = fr->records();
   }
+  if (const obs::CausalTracer* causal = bed.causal()) {
+    result.causal_jsonl = causal->jsonl();
+    result.causal_records = causal->records();
+  }
   if (obs::HealthEngine* health = bed.health()) {
     // Idempotent: the Testbed dtor's finalize becomes a no-op, but still
     // writes cfg.testbed.health_path with the summary included.

@@ -108,6 +108,10 @@ struct DriveResult {
   /// testbed.enable_packet_log / packet_log_path is set).
   std::string packet_jsonl;
   std::uint64_t packet_records = 0;
+  /// Causal event-graph stream (JSONL; empty unless testbed.enable_causal /
+  /// causal_path is set).
+  std::string causal_jsonl;
+  std::uint64_t causal_records = 0;
   /// Host self-time per instrumented section (empty when
   /// testbed.enable_profiler is false).  Exported as the reports' "profile"
   /// block.

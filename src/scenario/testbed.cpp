@@ -46,6 +46,12 @@ Testbed::Testbed(TestbedConfig cfg)
                                                  cfg_.health_sample_rss})
                          : nullptr),
       health_scope_(health_engine_.get()),
+      causal_tracer_((cfg_.enable_causal || !cfg_.causal_path.empty())
+                         ? std::make_unique<obs::CausalTracer>(
+                               obs::CausalTracerConfig{cfg_.seed,
+                                                       cfg_.causal_sample})
+                         : nullptr),
+      causal_scope_(causal_tracer_.get()),
       fault_injector_(cfg_.faults.empty()
                           ? nullptr
                           : std::make_unique<net::FaultInjector>(
@@ -104,6 +110,8 @@ Testbed::Testbed(TestbedConfig cfg)
           flight_recorder_->jsonl().size());
       if (decision_log_) bytes += static_cast<double>(
           decision_log_->jsonl().size());
+      if (causal_tracer_) bytes += static_cast<double>(
+          causal_tracer_->jsonl().size());
       if (health_engine_) bytes += static_cast<double>(
           health_engine_->jsonl().size());
       return bytes;
@@ -127,6 +135,9 @@ Testbed::~Testbed() {
   }
   if (flight_recorder_ && !cfg_.packet_log_path.empty()) {
     write_text_file(cfg_.packet_log_path, flight_recorder_->jsonl());
+  }
+  if (causal_tracer_ && !cfg_.causal_path.empty()) {
+    write_text_file(cfg_.causal_path, causal_tracer_->jsonl());
   }
   if (health_engine_) {
     health_engine_->finalize(sched_.now());

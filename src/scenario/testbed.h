@@ -33,6 +33,7 @@
 #include "sim/scheduler.h"
 #include "transport/tcp_connection.h"
 #include "transport/udp_flow.h"
+#include "util/causal.h"
 #include "util/health.h"
 #include "util/logging.h"
 #include "util/metrics.h"
@@ -129,6 +130,19 @@ struct TestbedConfig {
   /// empty — the default — no injector exists, nothing extra is scheduled,
   /// and runs are byte-identical to builds without this feature.
   sim::FaultPlan faults{};
+  /// Causal event-graph tracing (util/causal.h): the scheduler records a
+  /// parent edge for every scheduled event and ~enough semantic annotation
+  /// sites to attribute switch latency per layer.  Enabled when true or
+  /// when causal_path is set; the JSONL (if a path is set) is written on
+  /// destruction.  Off — the default — every other output stream is
+  /// byte-identical to builds without this feature.  Per-packet annotation
+  /// sites sample 1-in-causal_sample data packets with the flight
+  /// recorder's seeded uid hash, so at equal sampling rates the two
+  /// streams cover the same packets; edges and switch/control annotations
+  /// are never sampled away.
+  bool enable_causal = false;
+  std::string causal_path{};
+  std::uint32_t causal_sample = 1;
   /// Runtime health engine (streaming windowed telemetry + invariant
   /// watchdogs; see util/health.h).  Enabled when true or when health_path
   /// is set; the health JSONL (if a path is set) is written on destruction.
@@ -175,6 +189,7 @@ class Testbed {
   net::FaultInjector* fault_injector() { return fault_injector_.get(); }
   TelemetrySampler* telemetry() { return telemetry_.get(); }
   obs::HealthEngine* health() { return health_engine_.get(); }
+  obs::CausalTracer* causal() { return causal_tracer_.get(); }
   /// Per-section host self-time; empty when profiling is disabled.
   prof::ProfileSnapshot profile_snapshot() const;
 
@@ -232,6 +247,10 @@ class Testbed {
   // HealthEngine::current() for its ledger hooks.
   std::unique_ptr<obs::HealthEngine> health_engine_;
   obs::ScopedHealthEngine health_scope_;
+  // Before sched_: the scheduler caches CausalTracer::current() — and binds
+  // itself into the tracer — at construction.
+  std::unique_ptr<obs::CausalTracer> causal_tracer_;
+  obs::ScopedCausalTracer causal_scope_;
   sim::Scheduler sched_;
   // After sched_ (schedules its fault events at construction), before every
   // component that caches FaultInjector::current().

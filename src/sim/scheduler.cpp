@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/causal.h"
+
 namespace wgtt::sim {
 
 Scheduler::Scheduler() {
@@ -16,12 +18,22 @@ Scheduler::Scheduler() {
     prof_ = p;
     p_dispatch_ = &p->section("sim.dispatch");
   }
+  if (auto* c = obs::CausalTracer::current()) {
+    causal_ = c;
+    // Annotation sites pull current_event()/now() through the tracer, so
+    // they need no scheduler reference of their own.
+    c->bind(this);
+  }
 }
 
 EventId Scheduler::schedule_at(Time when, Callback cb) {
   assert(when >= now_ && "cannot schedule in the past");
   const std::uint64_t seq = next_seq_++;
+  // Parent capture: an event scheduled while another's callback runs is
+  // caused by it; current_event_ is 0 for root (setup-time) schedules.
+  if (causal_) causal_->edge(seq, current_event_, when);
   queue_.push(Event{when, seq, std::move(cb)});
+  ++pending_;
   if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
   return EventId{seq};
 }
@@ -33,6 +45,9 @@ bool Scheduler::cancel(EventId id) {
   auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.seq_);
   if (it != cancelled_.end() && *it == id.seq_) return false;
   cancelled_.insert(it, id.seq_);
+  // Cancelled now, so no longer pending; the queue entry is skipped (with
+  // no further pending_ adjustment) when it reaches the head.
+  --pending_;
   if (m_cancelled_) m_cancelled_->add();
   return true;
 }
@@ -79,6 +94,7 @@ void Scheduler::run_until(Time until) {
     }
     now_ = ev.when;
     ++executed_;
+    --pending_;
     if (m_dispatched_) {
       m_dispatched_->add();
       m_queue_depth_->record(static_cast<double>(queue_.size()));
@@ -86,7 +102,9 @@ void Scheduler::run_until(Time until) {
     // "sim.dispatch" covers the whole callback; nested sections (channel,
     // MAC, controller, ...) carve their exclusive self-time out of it.
     prof::ScopedSection timer(prof_, p_dispatch_);
+    current_event_ = ev.seq;
     ev.cb();
+    current_event_ = 0;
   }
   // On a bounded run, advance the clock to the bound so callers can chain
   // run_until() calls; a stop() leaves the clock at the last executed event.

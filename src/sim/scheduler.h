@@ -15,6 +15,10 @@
 #include "util/profiler.h"
 #include "util/time.h"
 
+namespace wgtt::obs {
+class CausalTracer;
+}  // namespace wgtt::obs
+
 namespace wgtt::sim {
 
 /// Handle for cancelling a scheduled event.  Cancellation is lazy: the event
@@ -65,10 +69,24 @@ class Scheduler {
 
   /// Number of events executed so far (for micro-benchmarks / diagnostics).
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t events_pending() const { return queue_.size() - cancelled_.size(); }
+  /// Events scheduled but not yet fired or cancelled.  Maintained as an
+  /// explicit counter: the former `queue_.size() - cancelled_.size()`
+  /// expression relied on the invariant that every cancelled seq is still
+  /// queued — true today, but one missed guard away from a size_t underflow
+  /// that reads as ~18 quintillion pending events on a health gauge.  The
+  /// counter is exact and underflow-immune by construction.
+  std::size_t events_pending() const { return pending_; }
   /// High-water mark of the raw queue size (health-engine resource gauge:
   /// a runaway event loop shows up here before it exhausts memory).
   std::size_t peak_pending() const { return peak_pending_; }
+
+  /// Causal id (the seq) of the event whose callback is currently being
+  /// dispatched, 0 outside dispatch.  Every schedule() performed while an
+  /// event runs records this as the new event's parent — the contract the
+  /// causal event graph (util/causal.h) is built on.  Maintained
+  /// unconditionally (two plain stores per dispatch); the edge emission
+  /// itself is one branch, so runs without a CausalTracer are unchanged.
+  std::uint64_t current_event() const { return current_event_; }
 
  private:
   struct Event {
@@ -90,7 +108,9 @@ class Scheduler {
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t pending_ = 0;
   std::size_t peak_pending_ = 0;
+  std::uint64_t current_event_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<std::uint64_t> cancelled_;  // sorted insert-order, searched rarely
@@ -108,6 +128,10 @@ class Scheduler {
   metrics::Histogram* m_queue_depth_ = nullptr;
   prof::Profiler* prof_ = nullptr;
   prof::Section* p_dispatch_ = nullptr;
+  // Causal event-graph observer, cached from the context-current tracer at
+  // construction (null — a single branch per schedule — when tracing is
+  // off, which the golden-trace suites pin as byte-identical).
+  obs::CausalTracer* causal_ = nullptr;
 };
 
 }  // namespace wgtt::sim

@@ -22,6 +22,7 @@ TcpConnection::TcpConnection(sim::Scheduler& sched, IpIdAllocator& ip_ids,
     m_timeouts_ = &reg->counter("transport.tcp_timeouts");
   }
   recorder_ = net::FlightRecorder::current();
+  causal_ = obs::CausalTracer::current();
   health_ = obs::HealthEngine::current();
 }
 
@@ -76,6 +77,12 @@ void TcpConnection::send_segment(std::uint64_t seq_start,
                       sender_,
                       {{"flow", flow_id_},
                        {"seq", static_cast<std::int64_t>(seq_start)},
+                       {"retx", is_retransmission ? 1 : 0}});
+  }
+  if (causal_ && causal_->sampled(out->uid)) {
+    causal_->annotate("transport.send",
+                      {{"uid", static_cast<std::int64_t>(out->uid)},
+                       {"flow", flow_id_},
                        {"retx", is_retransmission ? 1 : 0}});
   }
   if (transmit_data) {
@@ -141,6 +148,11 @@ void TcpConnection::on_network_ack(const net::PacketPtr& pkt) {
     recorder_->record(pkt->uid, sched_.now(), net::Hop::kTransportRx, sender_,
                       {{"flow", flow_id_},
                        {"ack", static_cast<std::int64_t>(ack)}});
+  }
+  if (causal_ && causal_->sampled(pkt->uid)) {
+    causal_->annotate("transport.rx",
+                      {{"uid", static_cast<std::int64_t>(pkt->uid)},
+                       {"flow", flow_id_}});
   }
 
   if (ack <= snd_una_) {
@@ -225,6 +237,11 @@ void TcpConnection::on_network_data(const net::PacketPtr& pkt) {
                        {"seq", static_cast<std::int64_t>(start)},
                        {"dup", end <= rcv_nxt_ ? 1 : 0}});
   }
+  if (causal_ && causal_->sampled(pkt->uid)) {
+    causal_->annotate("transport.rx",
+                      {{"uid", static_cast<std::int64_t>(pkt->uid)},
+                       {"flow", flow_id_}});
+  }
   if (end <= rcv_nxt_) {
     send_ack();  // stale duplicate: re-ack
     return;
@@ -269,6 +286,12 @@ void TcpConnection::send_ack() {
                       receiver_,
                       {{"flow", flow_id_},
                        {"ack", static_cast<std::int64_t>(rcv_nxt_)}});
+  }
+  if (causal_ && causal_->sampled(out->uid)) {
+    causal_->annotate("transport.send",
+                      {{"uid", static_cast<std::int64_t>(out->uid)},
+                       {"flow", flow_id_},
+                       {"ack", 1}});
   }
   if (transmit_ack) {
     if (health_) health_->packet_sent();

@@ -19,6 +19,7 @@
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "transport/udp_flow.h"  // IpIdAllocator
+#include "util/causal.h"
 #include "util/health.h"
 #include "util/metrics.h"
 #include "util/stats.h"
@@ -131,6 +132,7 @@ class TcpConnection {
   metrics::Counter* m_retransmissions_ = nullptr;
   metrics::Counter* m_timeouts_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::CausalTracer* causal_ = nullptr;
   obs::HealthEngine* health_ = nullptr;
 };
 

@@ -9,6 +9,7 @@ UdpSender::UdpSender(sim::Scheduler& sched, IpIdAllocator& ip_ids,
       cfg_.offered_load_bps / (static_cast<double>(cfg_.datagram_bytes) * 8.0);
   interval_ = Time::sec(1.0 / pps);
   recorder_ = net::FlightRecorder::current();
+  causal_ = obs::CausalTracer::current();
   health_ = obs::HealthEngine::current();
 }
 
@@ -36,6 +37,11 @@ void UdpSender::emit() {
                       {{"flow", cfg_.flow_id},
                        {"seq", static_cast<std::int64_t>(out->seq)}});
   }
+  if (causal_ && causal_->sampled(out->uid)) {
+    causal_->annotate("transport.send",
+                      {{"uid", static_cast<std::int64_t>(out->uid)},
+                       {"flow", cfg_.flow_id}});
+  }
   if (transmit) {
     if (health_) health_->packet_sent();
     transmit(std::move(out));
@@ -46,6 +52,7 @@ void UdpSender::emit() {
 UdpReceiver::UdpReceiver(sim::Scheduler& sched, Time throughput_bin)
     : sched_(sched), series_(throughput_bin) {
   recorder_ = net::FlightRecorder::current();
+  causal_ = obs::CausalTracer::current();
   health_ = obs::HealthEngine::current();
 }
 
@@ -71,6 +78,11 @@ void UdpReceiver::on_packet(const net::PacketPtr& pkt) {
     ++duplicates_;
     if (health_) health_->packet_dropped();
     return;
+  }
+  if (causal_ && causal_->sampled(pkt->uid)) {
+    causal_->annotate("transport.rx",
+                      {{"uid", static_cast<std::int64_t>(pkt->uid)},
+                       {"flow", pkt->flow_id}});
   }
   seen_[seq] = true;
   ++received_;

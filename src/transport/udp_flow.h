@@ -13,6 +13,7 @@
 #include "net/flight_recorder.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/causal.h"
 #include "util/health.h"
 #include "util/stats.h"
 
@@ -59,6 +60,7 @@ class UdpSender {
   bool running_ = false;
   std::uint64_t next_seq_ = 0;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::CausalTracer* causal_ = nullptr;
   obs::HealthEngine* health_ = nullptr;
 };
 
@@ -93,6 +95,7 @@ class UdpReceiver {
   bool trace_enabled_ = false;
   std::vector<std::pair<Time, std::uint64_t>> trace_;
   net::FlightRecorder* recorder_ = nullptr;
+  obs::CausalTracer* causal_ = nullptr;
   obs::HealthEngine* health_ = nullptr;
 };
 

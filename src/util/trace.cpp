@@ -61,6 +61,23 @@ void Tracer::complete(std::string_view cat, std::string_view name, Time start,
   w_.end_object();
 }
 
+void Tracer::flow_start(std::string_view cat, std::string_view name, Time t,
+                        std::uint64_t id, std::int64_t tid) {
+  begin_event('s', cat, name, t, tid);
+  w_.field("id", static_cast<std::int64_t>(id));
+  w_.end_object();
+}
+
+void Tracer::flow_finish(std::string_view cat, std::string_view name, Time t,
+                         std::uint64_t id, std::int64_t tid) {
+  begin_event('f', cat, name, t, tid);
+  // Bind to the enclosing slice's end so the arrow lands on the event that
+  // completes the flow, not on the next slice of the track.
+  w_.field("bp", "e");
+  w_.field("id", static_cast<std::int64_t>(id));
+  w_.end_object();
+}
+
 void Tracer::counter(std::string_view cat, std::string_view name, Time t,
                      double value, std::int64_t tid) {
   begin_event('C', cat, name, t, tid);

@@ -47,6 +47,14 @@ class Tracer {
   /// Counter track sample.
   void counter(std::string_view cat, std::string_view name, Time t,
                double value, std::int64_t tid = 0);
+  /// Flow-event pair (ph "s"/"f") keyed on `id` — the arrows the trace
+  /// viewer draws between tracks.  Call sites key `id` on the causal event
+  /// id and emit only when causal tracing is on, so traces without it stay
+  /// byte-identical (the golden-trace hash).
+  void flow_start(std::string_view cat, std::string_view name, Time t,
+                  std::uint64_t id, std::int64_t tid = 0);
+  void flow_finish(std::string_view cat, std::string_view name, Time t,
+                   std::uint64_t id, std::int64_t tid = 0);
 
   std::size_t events() const { return events_; }
 

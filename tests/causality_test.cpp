@@ -1,0 +1,158 @@
+// Causal event-graph regression suite (ctest label: causality).
+//
+// Locks down the provenance layer end to end: the causal JSONL stream must
+// be byte-identical across repeat runs and across a parallel sweep (event
+// ids come from the scheduler's deterministic seq counter, so thread
+// placement must not leak in), and `wgtt-report critical-path` must produce
+// a per-layer attribution whose segments sum exactly — on the simulated
+// clock — to the measured switch latency, for every handoff policy and
+// under a chaos plan.  The exactness gate lives in the binary (exit 1 on
+// any mismatch), so these tests drive the real artifact like the diff
+// suite does.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/handoff_policy.h"
+#include "scenario/experiment.h"
+#include "scenario/sweep.h"
+#include "sim/fault_plan.h"
+#include "util/json.h"
+
+#ifndef WGTT_REPORT_BIN
+#error "build must define WGTT_REPORT_BIN (path to the wgtt-report binary)"
+#endif
+
+namespace wgtt {
+namespace {
+
+/// The pinned scenario (same shape as the trace/packets suites) with the
+/// causal tracer on.
+scenario::DriveScenarioConfig causal_config() {
+  scenario::DriveScenarioConfig cfg;
+  cfg.system = scenario::SystemType::kWgtt;
+  cfg.traffic = scenario::TrafficType::kTcpDownlink;
+  cfg.speed_mph = 25.0;
+  cfg.duration = Time::sec(2);
+  cfg.seed = 7;
+  cfg.testbed.enable_causal = true;
+  return cfg;
+}
+
+std::string read_file(const std::string& path) {
+  std::string out;
+  read_text_file(path, out);
+  return out;
+}
+
+TEST(CausalLogTest, SchemaHeaderEdgesAndAnnotations) {
+  const scenario::DriveResult r = scenario::run_drive(causal_config());
+  ASSERT_GT(r.causal_records, 0u);
+  ASSERT_FALSE(r.causal_jsonl.empty());
+
+  // Schema header is the first line.
+  EXPECT_EQ(r.causal_jsonl.rfind(
+                "{\"kind\":\"schema\",\"stream\":\"wgtt.causal\"", 0),
+            0u);
+  // Edges carry provenance (a parent field) and the switch-window markers
+  // the analyzer joins against the decision log are annotated.
+  EXPECT_NE(r.causal_jsonl.find("\"parent\":"), std::string::npos);
+  EXPECT_NE(r.causal_jsonl.find("\"site\":\"ctrl.switch_start\""),
+            std::string::npos);
+  EXPECT_NE(r.causal_jsonl.find("\"site\":\"ctrl.switch_done\""),
+            std::string::npos);
+  EXPECT_NE(r.causal_jsonl.find("\"site\":\"ap.ioctl\""), std::string::npos);
+
+  // One JSONL line per record, plus the schema header.
+  std::size_t lines = 0;
+  for (char ch : r.causal_jsonl) lines += ch == '\n';
+  EXPECT_EQ(lines, r.causal_records + 1);
+}
+
+TEST(CausalLogTest, ByteIdenticalAcrossRunsAndParallelSweep) {
+  const auto cfg = causal_config();
+  const scenario::DriveResult first = scenario::run_drive(cfg);
+  const scenario::DriveResult second = scenario::run_drive(cfg);
+  ASSERT_GT(first.causal_records, 0u);
+  EXPECT_EQ(first.causal_jsonl, second.causal_jsonl)
+      << "repeat run produced a different causal stream";
+  EXPECT_EQ(first.causal_records, second.causal_records);
+
+  // Same config as run 0 of an 8-worker sweep; the other seven runs vary
+  // seed/system so the workers genuinely interleave different sims.
+  std::vector<scenario::DriveScenarioConfig> configs{cfg};
+  for (std::uint64_t seed = 8; seed < 15; ++seed) {
+    scenario::DriveScenarioConfig other = causal_config();
+    other.seed = seed;
+    if (seed % 3 == 0) other.system = scenario::SystemType::kEnhanced80211r;
+    configs.push_back(other);
+  }
+  scenario::SweepRunner runner(scenario::SweepOptions{.jobs = 8});
+  const scenario::SweepOutcome outcome = runner.run(configs);
+  EXPECT_EQ(first.causal_jsonl, outcome.runs[0].result.causal_jsonl)
+      << "8-worker sweep produced a different causal stream";
+}
+
+TEST(CausalLogTest, DisabledTracerEmitsNothing) {
+  scenario::DriveScenarioConfig cfg = causal_config();
+  cfg.testbed.enable_causal = false;
+  const scenario::DriveResult r = scenario::run_drive(cfg);
+  EXPECT_EQ(r.causal_records, 0u);
+  EXPECT_TRUE(r.causal_jsonl.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Critical-path exactness, gated by the real wgtt-report binary
+// ---------------------------------------------------------------------------
+
+class CriticalPathTest : public ::testing::Test {
+ protected:
+  /// Runs the drive, writes its causal stream, and returns wgtt-report
+  /// critical-path's exit code (0 ok, 1 attribution mismatch, 2 schema).
+  int analyze(const scenario::DriveScenarioConfig& cfg, const char* tag,
+              std::string* out_text = nullptr) {
+    const scenario::DriveResult r = scenario::run_drive(cfg);
+    EXPECT_GT(r.causal_records, 0u) << tag;
+    EXPECT_GT(r.switches.size(), 0u)
+        << tag << ": drive produced no switch windows to attribute";
+    const std::string base = ::testing::TempDir() + "wgtt_causal_" + tag;
+    const std::string in = base + ".jsonl";
+    const std::string out = base + ".txt";
+    EXPECT_TRUE(write_text_file(in, r.causal_jsonl));
+    const std::string cmd = std::string(WGTT_REPORT_BIN) + " critical-path " +
+                            in + " > " + out + " 2>&1";
+    const int code = WEXITSTATUS(std::system(cmd.c_str()));
+    if (out_text) *out_text = read_file(out);
+    std::remove(in.c_str());
+    std::remove(out.c_str());
+    return code;
+  }
+};
+
+TEST_F(CriticalPathTest, SegmentsSumExactlyForEveryPolicy) {
+  for (const char* policy :
+       {"median_esnr", "predictive", "make_before_break", "bicast"}) {
+    scenario::DriveScenarioConfig cfg = causal_config();
+    ASSERT_TRUE(core::parse_policy_spec(policy, cfg.wgtt.controller.policy))
+        << policy;
+    std::string text;
+    EXPECT_EQ(analyze(cfg, policy, &text), 0)
+        << policy << " attribution mismatch:\n" << text;
+    EXPECT_NE(text.find("result: ok"), std::string::npos) << policy;
+  }
+}
+
+TEST_F(CriticalPathTest, SegmentsSumExactlyUnderChaos) {
+  scenario::DriveScenarioConfig cfg = causal_config();
+  cfg.testbed.faults = sim::FaultPlan::chaos(1.0, cfg.duration, 8, 42);
+  std::string text;
+  EXPECT_EQ(analyze(cfg, "chaos", &text), 0)
+      << "chaos attribution mismatch:\n" << text;
+  EXPECT_NE(text.find("result: ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wgtt

@@ -133,5 +133,39 @@ TEST_F(ReportDiffTest, MetricDriftWarnsButPasses) {
   EXPECT_EQ(run_diff(""), 0);
 }
 
+TEST_F(ReportDiffTest, ShowJsonEmitsMachineReadableSummary) {
+  // `show --json` must print a single parseable JSON object carrying the
+  // same per-run fields the human table shows — CI consumes this instead of
+  // scraping the table.
+  ASSERT_TRUE(write_text_file(base_path_, make_report(100.0, 200.0, 12.5)));
+  const std::string out_path = dir_ + "_show.json";
+  const std::string cmd = std::string(WGTT_REPORT_BIN) + " show --json " +
+                          base_path_ + " > " + out_path + " 2>/dev/null";
+  ASSERT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 0);
+
+  std::string out;
+  ASSERT_TRUE(read_text_file(out_path, out));
+  JsonValue parsed;
+  std::string err;
+  ASSERT_TRUE(json_parse(out, parsed, &err)) << err;
+
+  EXPECT_EQ(parsed.string_or("bench", "?"), "budget_fixture");
+  EXPECT_DOUBLE_EQ(parsed.number_or("wall_ms", 0.0), 300.0);
+  const JsonValue* runs = parsed.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->as_array().size(), 2u);
+  const JsonValue& row = runs->as_array()[1];
+  EXPECT_EQ(row.string_or("label", "?"), "row/two");
+  EXPECT_DOUBLE_EQ(row.number_or("goodput_mbps", 0.0), 12.5);
+  EXPECT_DOUBLE_EQ(row.number_or("switches", 0.0), 5.0);
+}
+
+TEST_F(ReportDiffTest, ShowJsonUnparseableReportExitsTwo) {
+  ASSERT_TRUE(write_text_file(base_path_, "{\"bench\":"));
+  const std::string cmd = std::string(WGTT_REPORT_BIN) + " show --json " +
+                          base_path_ + " > /dev/null 2>&1";
+  EXPECT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 2);
+}
+
 }  // namespace
 }  // namespace wgtt

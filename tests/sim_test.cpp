@@ -228,6 +228,77 @@ TEST(SchedulerTest, BulkCancellationAcrossMaximalOutOfOrderWindow) {
   EXPECT_TRUE(again);
 }
 
+TEST(SchedulerTest, PendingCountExactUnderInterleavedCancelPopSchedule) {
+  // Regression for the events_pending() bookkeeping audit: the old
+  // queue_.size() - cancelled_.size() expression was only correct while
+  // every cancelled seq was still *in* the queue.  Interleaving pops of
+  // cancelled events with fresh schedules and further cancels exercises
+  // every transient the expression depended on; the explicit counter must
+  // stay exact (and in particular never wrap a size_t) throughout.
+  Scheduler s;
+  EXPECT_EQ(s.events_pending(), 0u);
+
+  EventId a = s.schedule(Time::ms(1), []() {});
+  EventId b = s.schedule(Time::ms(2), []() {});
+  EventId c = s.schedule(Time::ms(3), []() {});
+  EXPECT_EQ(s.events_pending(), 3u);
+
+  EXPECT_TRUE(s.cancel(a));
+  EXPECT_TRUE(s.cancel(b));
+  EXPECT_EQ(s.events_pending(), 1u);
+
+  // Pop the two cancelled events (skipped) and the live one.  With the old
+  // expression this transient — cancelled seqs popped but not yet pruned —
+  // is exactly where queue_.size() < cancelled_.size() could underflow.
+  s.run_until(Time::ms(1));
+  EXPECT_EQ(s.events_pending(), 1u);
+  s.run_until(Time::ms(10));
+  EXPECT_EQ(s.events_pending(), 0u);
+
+  // Mixed wave: schedule, cancel some, fire some, schedule more mid-run.
+  // Clock is now 10ms; delays are relative, so wave[i] fires at 30+i ms.
+  std::vector<EventId> wave;
+  for (int i = 0; i < 8; ++i) {
+    wave.push_back(s.schedule(Time::ms(20 + i), []() {}));
+  }
+  EXPECT_EQ(s.events_pending(), 8u);
+  EXPECT_TRUE(s.cancel(wave[1]));  // 31ms
+  EXPECT_TRUE(s.cancel(wave[6]));  // 36ms
+  EXPECT_EQ(s.events_pending(), 6u);
+  s.schedule(Time::ms(21), [&]() {  // 31ms, same instant as cancelled wave[1]
+    // Re-entrant: one more event and one more cancel while dispatching.
+    s.schedule(Time::ms(40), []() {});  // 71ms
+    EXPECT_TRUE(s.cancel(wave[7]));     // 37ms
+  });
+  EXPECT_EQ(s.events_pending(), 7u);
+  // Fires wave[0], the re-entrant lambda (skipping cancelled wave[1] at the
+  // same instant), and wave[2..5]; wave[6] and wave[7] pop later as skips.
+  s.run_until(Time::ms(35));
+  EXPECT_EQ(s.events_pending(), 1u);  // just the 71ms event
+  s.run();
+  EXPECT_EQ(s.events_pending(), 0u);
+  EXPECT_FALSE(s.cancel(c));  // long-fired id stays a recognised no-op
+}
+
+TEST(SchedulerTest, CurrentEventExposesDispatchProvenance) {
+  // current_event() is the parent-capture contract the causal tracer builds
+  // on: zero outside dispatch, the executing event's seq inside it, and
+  // restored to zero afterwards (roots scheduled from the outside world get
+  // parent 0).
+  Scheduler s;
+  EXPECT_EQ(s.current_event(), 0u);
+  std::uint64_t inside = 0, inside_child = 0;
+  s.schedule(Time::ms(1), [&]() {
+    inside = s.current_event();
+    s.schedule(Time::ms(1), [&]() { inside_child = s.current_event(); });
+  });
+  s.run();
+  EXPECT_NE(inside, 0u);
+  EXPECT_NE(inside_child, 0u);
+  EXPECT_NE(inside, inside_child);
+  EXPECT_EQ(s.current_event(), 0u);
+}
+
 TEST(SchedulerTest, ScheduleAtAbsoluteTime) {
   Scheduler s;
   Time seen;
