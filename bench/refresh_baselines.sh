@@ -24,6 +24,7 @@ baseline_dir="${repo_root}/bench/baselines"
 benches=(
   "fig13_speed_sweep fig13.json --jobs 1"
   "chaos_sweep chaos.json --jobs 1"
+  "control_chaos control_chaos.json --jobs 1"
   "policy_tournament tournament.json --jobs 1"
   "hotpath hotpath.json --reps 5"
 )

@@ -58,11 +58,15 @@
 //       Analyze a runtime-health JSONL (the --health output of the benches):
 //       the packet-conservation ledger, a per-series drift table
 //       (least-squares slope per simulated hour over the trailing half of
-//       the windows — a leak shows up as a stubbornly positive slope), and
-//       the watchdog violation rollup.  --strict exits 1 on any
-//       error-severity violation.  --baseline compares the ledger, the
-//       violation counts, and the drift slopes against a committed baseline
-//       (exit 1 on mismatch); --emit-baseline writes that baseline JSON.
+//       the windows — a leak shows up as a stubbornly positive slope), the
+//       watchdog violation rollup, and (schema-v2 fault-aware logs) the
+//       convergence section: per-client outage windows, the longest outage,
+//       and reconvergence time after the last fault cleared.  --strict
+//       exits 1 on any error-severity violation or any outage still open at
+//       the end of the run (an unconverged client).  --baseline compares
+//       the ledger, the violation counts, and the drift slopes against a
+//       committed baseline (exit 1 on mismatch); --emit-baseline writes
+//       that baseline JSON.
 //
 // All JSONL inputs may carry a {"kind":"schema","stream":...,"version":...}
 // header line; a recognized header is validated (wrong stream or a version
@@ -178,7 +182,8 @@ int cmd_show_json(const JsonValue& report) {
         for (const auto& [name, v] : counters->as_object()) {
           if (!v.is_number()) continue;
           if (name.rfind("fault.", 0) == 0 ||
-              name.rfind("controller.liveness.", 0) == 0) {
+              name.rfind("controller.liveness.", 0) == 0 ||
+              name.rfind("controller.protocol.", 0) == 0) {
             chaos[name] += v.as_number();
           }
         }
@@ -250,13 +255,15 @@ int cmd_show(const std::string& path, bool json) {
     for (const auto& [name, v] : counters->as_object()) {
       if (!v.is_number()) continue;
       if (name.rfind("fault.", 0) == 0 ||
-          name.rfind("controller.liveness.", 0) == 0) {
+          name.rfind("controller.liveness.", 0) == 0 ||
+          name.rfind("controller.protocol.", 0) == 0) {
         chaos[name] += v.as_number();
       }
     }
   }
   if (!chaos.empty()) {
-    std::printf("\nchaos (fault + liveness counters, summed over runs):\n");
+    std::printf(
+        "\nchaos (fault + liveness + protocol counters, summed over runs):\n");
     for (const auto& [name, v] : chaos) {
       std::printf("  %-36s %.0f\n", name.c_str(), v);
     }
@@ -665,6 +672,20 @@ struct HealthLog {
   double sent = 0, copies = 0, delivered = 0, retired = 0, dropped = 0;
   double in_flight = 0;
   bool has_summary = false;
+  // Schema-v2 (fault-aware) records: client outage windows and fault edges.
+  struct Outage {
+    std::int64_t client = 0;
+    double begin_us = 0.0, end_us = 0.0;
+    bool open = false;
+  };
+  struct FaultMark {
+    double t_us = 0.0;
+    std::string fault;
+    std::int64_t node = 0;
+    bool active = false;
+  };
+  std::vector<Outage> outages;
+  std::vector<FaultMark> faults;
 };
 
 bool load_health_log(const std::string& path, HealthLog& out) {
@@ -691,7 +712,25 @@ bool load_health_log(const std::string& path, HealthLog& out) {
     }
     const std::string kind = v.string_or("kind", "");
     if (kind == "schema") {
-      if (!check_schema_record(v, path, "wgtt.health", 1)) return false;
+      if (!check_schema_record(v, path, "wgtt.health", 2)) return false;
+    } else if (kind == "outage") {
+      HealthLog::Outage o;
+      o.client = static_cast<std::int64_t>(v.number_or("client", 0.0));
+      o.begin_us = v.number_or("begin_us", 0.0);
+      o.end_us = v.number_or("end_us", 0.0);
+      if (const JsonValue* b = v.find("open"); b && b->is_bool()) {
+        o.open = b->as_bool();
+      }
+      out.outages.push_back(std::move(o));
+    } else if (kind == "fault") {
+      HealthLog::FaultMark f;
+      f.t_us = v.number_or("t_us", 0.0);
+      f.fault = v.string_or("fault", "?");
+      f.node = static_cast<std::int64_t>(v.number_or("node", 0.0));
+      if (const JsonValue* b = v.find("active"); b && b->is_bool()) {
+        f.active = b->as_bool();
+      }
+      out.faults.push_back(std::move(f));
     } else if (kind == "window") {
       out.t_hours.push_back(v.number_or("t_us", 0.0) / 3.6e9);
       out.series["in_flight"].push_back(v.number_or("in_flight", 0.0));
@@ -802,6 +841,44 @@ int cmd_health(const std::string& path, bool strict,
     }
   }
 
+  // --- convergence (schema-v2 fault-aware logs only) ----------------------
+  std::size_t open_outages = 0;
+  if (!log.outages.empty() || !log.faults.empty()) {
+    double last_clear_us = 0.0;
+    for (const auto& f : log.faults) {
+      if (!f.active) last_clear_us = std::max(last_clear_us, f.t_us);
+    }
+    double longest_us = 0.0;
+    double last_end_us = 0.0;
+    for (const auto& o : log.outages) {
+      if (o.open) ++open_outages;
+      longest_us = std::max(longest_us, o.end_us - o.begin_us);
+      last_end_us = std::max(last_end_us, o.end_us);
+    }
+    std::printf("\nconvergence: %zu outage window(s), %zu still open\n",
+                log.outages.size(), open_outages);
+    if (!log.outages.empty()) {
+      std::printf("%8s %14s %14s %12s %6s\n", "client", "begin_us", "end_us",
+                  "length_ms", "open");
+      for (const auto& o : log.outages) {
+        std::printf("%8" PRId64 " %14.3f %14.3f %12.3f %6s\n", o.client,
+                    o.begin_us, o.end_us, (o.end_us - o.begin_us) / 1e3,
+                    o.open ? "OPEN" : "no");
+      }
+      std::printf("longest outage: %.3f ms\n", longest_us / 1e3);
+    }
+    if (last_clear_us > 0.0) {
+      // Reconvergence: how long after the last fault cleared the last client
+      // recovered.  Negative means every outage closed before the clear.
+      std::printf("last fault clear: %.3f us", last_clear_us);
+      if (!log.outages.empty()) {
+        std::printf("   reconvergence: %.3f ms after clear",
+                    (last_end_us - last_clear_us) / 1e3);
+      }
+      std::printf("\n");
+    }
+  }
+
   // --- baseline emit / compare -------------------------------------------
   if (!emit_baseline_path.empty()) {
     wgtt::JsonWriter w;
@@ -900,6 +977,11 @@ int cmd_health(const std::string& path, bool strict,
   if (strict && log.errors > 0) {
     std::printf("result: STRICT FAIL — %" PRIu64
                 " error-severity violation(s)\n", log.errors);
+    return 1;
+  }
+  if (strict && open_outages > 0) {
+    std::printf("result: STRICT FAIL — %zu client(s) never reconverged "
+                "(outage window still open at end of run)\n", open_outages);
     return 1;
   }
   std::printf("result: ok\n");
@@ -1349,7 +1431,7 @@ int cmd_decisions(const std::string& path) {
     }
     const std::string kind = v.string_or("kind", "");
     if (kind == "schema") {
-      if (!check_schema_record(v, path, "wgtt.decisions", 1)) return 2;
+      if (!check_schema_record(v, path, "wgtt.decisions", 2)) return 2;
       continue;
     }
     last_t_us = v.number_or("t_us", last_t_us);

@@ -1,0 +1,98 @@
+// Per-link control-frame sequencing and duplicate suppression.
+//
+// The hardened control plane (armed only when a FaultInjector is installed)
+// stamps every state-bearing control frame with a per-destination monotonic
+// sequence number (net::Packet::ctrl_seq).  Receivers run each (source,
+// seq) pair through a ControlDedup window: an adversarially duplicated
+// frame carries the same seq as its original and is suppressed, while a
+// deliberate retransmission is a fresh packet with a fresh seq and always
+// passes.  Bounded reordering is tolerated with a 64-deep bitmap per
+// source.  Pure memory — no RNG, no scheduler events — so merely compiling
+// this in changes nothing; fault-free runs never stamp a sequence number.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "net/packet.h"
+
+namespace wgtt::core {
+
+/// The state-bearing control types the hardened plane sequences and fences.
+/// Idempotent chatter (CSI reports, heartbeats, assoc sync) and data frames
+/// are deliberately excluded: duplicating or reordering them is harmless by
+/// construction, and sequencing them would bloat the dedup windows.
+inline bool sequenced_control(net::PacketType t) {
+  switch (t) {
+    case net::PacketType::kStop:
+    case net::PacketType::kStart:
+    case net::PacketType::kSwitchAck:
+    case net::PacketType::kActiveAp:
+    case net::PacketType::kResync:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Sender side: one monotonic counter per destination, starting at 1
+/// (0 means "unsequenced" and is never issued).
+class ControlSequencer {
+ public:
+  std::uint64_t next(net::NodeId dst) { return ++next_[dst]; }
+  void reset() { next_.clear(); }
+
+ private:
+  std::map<net::NodeId, std::uint64_t> next_;
+};
+
+/// Receiver side: per-source high-water mark plus a 64-bit bitmap over the
+/// seqs just below it, so duplicates are caught even when the duplicate
+/// overtakes its original under msg_reorder.
+class ControlDedup {
+ public:
+  /// True if (src, seq) is fresh (first sighting); false for a duplicate.
+  /// seq == 0 (unsequenced, e.g. a fault-free sender) always passes.
+  bool accept(net::NodeId src, std::uint64_t seq) {
+    if (seq == 0) return true;
+    PerSrc& st = seen_[src];
+    if (seq > st.high) {
+      const std::uint64_t shift = seq - st.high;
+      // Slide the window up; the old high-water seq becomes bit 0.
+      st.window = shift >= 64 ? 0 : (st.window << shift) | (1ull << (shift - 1));
+      st.high = seq;
+      return true;
+    }
+    if (seq == st.high) {
+      ++duplicates_;
+      return false;
+    }
+    const std::uint64_t offset = st.high - seq;  // >= 1
+    if (offset > 64) {
+      // Older than the window tracks: treat as duplicate — a live protocol
+      // never legitimately delivers a frame 64 control messages late.
+      ++duplicates_;
+      return false;
+    }
+    const std::uint64_t bit = 1ull << (offset - 1);
+    if (st.window & bit) {
+      ++duplicates_;
+      return false;
+    }
+    st.window |= bit;
+    return true;
+  }
+
+  void reset() { seen_.clear(); }
+  std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  struct PerSrc {
+    std::uint64_t high = 0;    // highest seq accepted
+    std::uint64_t window = 0;  // bit i set => seq high-1-i already seen
+  };
+  std::map<net::NodeId, PerSrc> seen_;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace wgtt::core

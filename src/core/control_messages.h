@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/association.h"
 #include "mac/block_ack.h"
@@ -24,6 +25,11 @@ struct StopMsg {
   /// Start-first handoff styles (make-before-break / bicast): `next_ap` is
   /// already transmitting, so deactivate and flush but relay no start(c, k).
   bool quench = false;
+  /// Controller fencing epoch (0 = unfenced, the fault-free wire format).
+  /// Stamped only by the hardened control plane; receivers reject strictly
+  /// older (epoch, switch_id) pairs.  Packs into the spare wire bytes —
+  /// kWireBytes feeds the backhaul timing model and must not change.
+  std::uint32_t epoch = 0;
   static constexpr std::size_t kWireBytes = 24;
 };
 
@@ -41,6 +47,9 @@ struct StartMsg {
   std::uint32_t first_unsent_index = 0;  // k
   std::uint32_t switch_id = 0;
   net::NodeId from_ap = 0;
+  /// Controller fencing epoch, relayed from the stop(c) that caused this
+  /// start (0 = unfenced; packs into spare wire bytes).
+  std::uint32_t epoch = 0;
   static constexpr std::size_t kWireBytes = 24;
 };
 
@@ -49,6 +58,9 @@ struct SwitchAckMsg {
   net::NodeId client = 0;
   net::NodeId new_ap = 0;
   std::uint32_t switch_id = 0;
+  /// Echo of the start's fencing epoch (0 = unfenced; spare wire bytes).  A
+  /// restarted controller uses it to reject acks from before its crash.
+  std::uint32_t epoch = 0;
   static constexpr std::size_t kWireBytes = 20;
 };
 
@@ -97,6 +109,14 @@ struct ActiveApMsg {
   /// broadcasts leave this false: a falsely-suspected incumbent keeps the
   /// shared-BSSID behaviour.
   bool overlap = false;
+  /// Per-client monotonic broadcast version (hardened runs only; 0 =
+  /// unfenced).  A reordered older broadcast must not overwrite a newer
+  /// active-AP belief at the receiving AP.  Packs into the 6 spare wire
+  /// bytes — kWireBytes is part of the timing model and must not change.
+  std::uint32_t version = 0;
+  /// Controller fencing epoch the version counts within: versions restart
+  /// at 1 after a warm restart, so receivers order by (epoch, version).
+  std::uint32_t epoch = 0;
   static constexpr std::size_t kWireBytes = 16;
 };
 
@@ -106,6 +126,35 @@ struct ActiveApMsg {
 struct HeartbeatMsg {
   net::NodeId ap = 0;
   static constexpr std::size_t kWireBytes = 12;
+};
+
+/// Controller -> all APs after a warm restart (ctrl_crash clear): report
+/// your replicated client state.  `epoch` is the restarted controller's new
+/// fencing epoch; the reply must echo it so a delayed report from before an
+/// even later restart cannot poison the rebuild.
+struct ResyncRequestMsg {
+  std::uint32_t epoch = 0;
+  static constexpr std::size_t kWireBytes = 12;
+};
+
+/// One client's replicated state at an AP: the §4.3 sta_info plus whether
+/// this AP's queue stack is actively transmitting to the client.
+struct ResyncEntry {
+  StaInfo info;
+  bool active = false;
+};
+
+/// AP -> controller: full replicated-state report.  Sent in response to a
+/// ResyncRequestMsg (epoch echoed), and unsolicited with epoch = 0 when the
+/// AP itself recovers from a crash (rejoin — lets the controller re-start
+/// clients stranded on a recovered AP whose stacks were purged).
+struct ResyncReportMsg {
+  net::NodeId ap = 0;
+  std::uint32_t epoch = 0;
+  std::vector<ResyncEntry> entries;
+  /// Base wire size; each entry adds one replicated sta_info record.
+  static constexpr std::size_t kWireBytes = 16;
+  static constexpr std::size_t kEntryWireBytes = 72;
 };
 
 /// Over-the-air management bodies (client association handshake).

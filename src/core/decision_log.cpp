@@ -26,6 +26,7 @@ const char* to_string(DecisionReason r) {
     case DecisionReason::kChallengerAhead: return "challenger_ahead";
     case DecisionReason::kApSuspect: return "ap_suspect";
     case DecisionReason::kAllSuspect: return "all_suspect";
+    case DecisionReason::kResync: return "resync";
   }
   return "?";
 }
@@ -43,12 +44,15 @@ std::string format_milli(double v) {
 
 }  // namespace
 
-DecisionLog::DecisionLog() {
+DecisionLog::DecisionLog(bool protocol_extensions) {
   // Schema header line.  Not a decision record (entries_ stays 0): it
   // declares the stream identity + version so consumers fail loudly on a
-  // format they do not understand instead of mis-parsing it.
+  // format they do not understand instead of mis-parsing it.  Only runs with
+  // the hardened control plane armed advertise version 2 (which adds the
+  // "resync" reason); fault-free logs stay byte-identical to version 1.
   out_ += "{\"kind\":\"schema\",\"stream\":\"wgtt.decisions\",\"version\":";
-  out_ += std::to_string(kDecisionLogSchemaVersion);
+  out_ += std::to_string(protocol_extensions ? kDecisionLogSchemaVersionResync
+                                             : kDecisionLogSchemaVersion);
   out_ += "}\n";
 }
 

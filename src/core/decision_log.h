@@ -41,11 +41,13 @@ enum class DecisionReason {
   kChallengerAhead, // switch: challenger beats incumbent (+margin)
   kApSuspect,       // switch: liveness failover off a dead/suspect AP
   kAllSuspect,      // defer: every candidate AP is suspect/quarantined
+  kResync,          // switch/keep: warm-restart resync adoption or orphan
+                    // re-start after a controller crash wiped client state
 };
 
 /// One past the last DecisionReason value.  Keep in sync when adding a
 /// reason; the exhaustive-coverage unit test fails loudly if this lags.
-constexpr std::size_t kDecisionReasonCount = 9;
+constexpr std::size_t kDecisionReasonCount = 10;
 
 const char* to_string(DecisionOutcome o);
 const char* to_string(DecisionReason r);
@@ -87,11 +89,17 @@ struct LivenessRecord {
 /// JSONL schema version emitted as the stream's header line
 /// ({"kind":"schema","stream":"wgtt.decisions","version":N}); wgtt-report
 /// refuses decision logs whose version it does not understand (exit 2).
+/// Version 2 adds the "resync" reason enum value and is only emitted by
+/// fault-injected runs (the constructor's protocol_extensions flag), so
+/// fault-free decision logs stay byte-identical to version 1.
 constexpr int kDecisionLogSchemaVersion = 1;
+constexpr int kDecisionLogSchemaVersionResync = 2;
 
 class DecisionLog {
  public:
-  DecisionLog();
+  /// `protocol_extensions` marks a run with the hardened control plane armed
+  /// (a FaultInjector installed): the header advertises schema version 2.
+  explicit DecisionLog(bool protocol_extensions = false);
   DecisionLog(const DecisionLog&) = delete;
   DecisionLog& operator=(const DecisionLog&) = delete;
 

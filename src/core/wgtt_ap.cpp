@@ -1,6 +1,7 @@
 #include "core/wgtt_ap.h"
 
 #include <cassert>
+#include <utility>
 
 #include "phy/esnr.h"
 #include "util/logging.h"
@@ -39,6 +40,10 @@ WgttAp::WgttAp(sim::Scheduler& sched, net::Backhaul& backhaul,
   if (injector_ != nullptr) {
     injector_->on_ap_fault(cfg_.id, [this](bool down) { on_fault(down); });
     sched_.schedule(cfg_.heartbeat_period, [this]() { heartbeat_tick(); });
+    if (auto* reg = metrics::MetricsRegistry::current()) {
+      m_dup_suppressed_ = &reg->counter("controller.protocol.dup_suppressed");
+      m_stale_rejected_ = &reg->counter("controller.protocol.stale_rejected");
+    }
   }
 }
 
@@ -56,8 +61,11 @@ void WgttAp::on_fault(bool down) {
     WGTT_LOG(kInfo, "ap", "ap " << cfg_.id << " crashed");
   } else {
     // Recovery: associations survive (sta_info is replicated state), queues
-    // restart empty; the controller's fan-out refills them.
+    // restart empty; the controller's fan-out refills them.  Announce the
+    // rejoin with an unsolicited state report (epoch 0) so the controller
+    // can quench us if it failed our clients over while we were dark.
     WGTT_LOG(kInfo, "ap", "ap " << cfg_.id << " recovered");
+    send_resync_report(0);
   }
 }
 
@@ -89,6 +97,13 @@ bool WgttAp::active_for(net::NodeId client) const {
   return it != active_ap_.end() && it->second == cfg_.id;
 }
 
+bool WgttAp::transmitting(net::NodeId client) const {
+  if (down_) return false;
+  auto it = stacks_.find(client);
+  return it != stacks_.end() && it->second->active() &&
+         !device_.shadow_stream(client);
+}
+
 const ApQueueStack* WgttAp::stack_for(net::NodeId client) const {
   auto it = stacks_.find(client);
   return it == stacks_.end() ? nullptr : it->second.get();
@@ -109,6 +124,12 @@ void WgttAp::send_to(net::NodeId dst, net::Packet fields) {
   fields.src = cfg_.id;
   fields.dst = dst;
   fields.created = sched_.now();
+  // Hardened runs: per-link seq for dup suppression, plus the highest
+  // controller epoch we have seen (relays inherit it; 0 until heard).
+  if (injector_ != nullptr && sequenced_control(fields.type)) {
+    fields.ctrl_seq = ctrl_seq_.next(dst);
+    fields.ctrl_epoch = epoch_seen_;
+  }
   backhaul_.send(net::encapsulate(net::make_packet(std::move(fields)),
                                   cfg_.id, dst));
 }
@@ -131,6 +152,26 @@ void WgttAp::on_backhaul_frame(const net::TunneledPacket& frame) {
                       {{"client", inner->dst}, {"index", inner->index}});
     }
     return;
+  }
+  if (injector_ != nullptr && sequenced_control(inner->type)) {
+    // Duplicate suppression before dispatch: an adversarial duplicate
+    // carries its original's seq (a retransmission carries a fresh one).
+    if (!ctrl_dedup_.accept(frame.outer_src, inner->ctrl_seq)) {
+      ++stats_.ctrl_dups_suppressed;
+      if (m_dup_suppressed_) m_dup_suppressed_->add();
+      return;
+    }
+    // Coarse epoch fence: a frame stamped before a controller restart is
+    // stale wholesale (per-message (epoch, id) fences below catch the
+    // finer-grained races inside one epoch).
+    if (inner->ctrl_epoch != 0) {
+      if (inner->ctrl_epoch < epoch_seen_) {
+        ++stats_.stale_epoch_rejected;
+        if (m_stale_rejected_) m_stale_rejected_->add();
+        return;
+      }
+      epoch_seen_ = inner->ctrl_epoch;
+    }
   }
   switch (inner->type) {
     case net::PacketType::kData:
@@ -165,6 +206,16 @@ void WgttAp::on_backhaul_frame(const net::TunneledPacket& frame) {
         handle_active_ap(*msg);
       }
       return;
+    case net::PacketType::kResync:
+      // Warm-restart state query: answer over the same prioritized control
+      // path as stop/start (the report is control-plane work too).
+      if (const auto* msg = net::payload_as<ResyncRequestMsg>(*inner)) {
+        const std::uint32_t epoch = msg->epoch;
+        sched_.schedule(control_delay(), [this, epoch]() {
+          if (!down_) send_resync_report(epoch);
+        });
+      }
+      return;
     default:
       return;
   }
@@ -189,6 +240,15 @@ void WgttAp::handle_downlink_data(net::PacketPtr pkt) {
 }
 
 void WgttAp::handle_stop(const StopMsg& msg) {
+  if (injector_ != nullptr &&
+      !fence_accept(msg.client, msg.epoch, msg.switch_id)) {
+    // A stop from an already-superseded switch (delayed past a newer one by
+    // msg_reorder, or from before a controller restart).  Obeying it would
+    // silence the transmitter the newer switch installed.
+    ++stats_.stale_stops_rejected;
+    if (m_stale_rejected_) m_stale_rejected_->add();
+    return;
+  }
   ++stats_.stops_handled;
   if (causal_) {
     causal_->annotate("ap.stop", {{"ap", cfg_.id},
@@ -244,6 +304,7 @@ void WgttAp::handle_stop(const StopMsg& msg) {
     start.client = msg.client;
     start.first_unsent_index = k;
     start.switch_id = msg.switch_id;
+    start.epoch = msg.epoch;
     start.from_ap = cfg_.id;
     p.payload = start;
     send_to(msg.next_ap, std::move(p));
@@ -251,6 +312,16 @@ void WgttAp::handle_stop(const StopMsg& msg) {
 }
 
 void WgttAp::handle_start(const StartMsg& msg) {
+  if (injector_ != nullptr &&
+      !fence_accept(msg.client, msg.epoch, msg.switch_id)) {
+    // The pre-hardening bug: a stale start (a reordered duplicate of an old
+    // switch, or one relayed across a controller restart) used to activate
+    // this AP unconditionally, leaving two APs transmitting to the client
+    // under the shared BSSID.  Fence it off instead.
+    ++stats_.stale_starts_rejected;
+    if (m_stale_rejected_) m_stale_rejected_->add();
+    return;
+  }
   ++stats_.starts_handled;
   active_ap_[msg.client] = cfg_.id;
   // Becoming the active member of the BSSID again ends any shadow window
@@ -279,11 +350,25 @@ void WgttAp::handle_start(const StartMsg& msg) {
   ack.client = msg.client;
   ack.new_ap = cfg_.id;
   ack.switch_id = msg.switch_id;
+  ack.epoch = msg.epoch;
   p.payload = ack;
   send_to(cfg_.controller, std::move(p));
 }
 
 void WgttAp::handle_active_ap(const ActiveApMsg& msg) {
+  if (injector_ != nullptr && msg.version != 0) {
+    // (epoch, version) fence: a reordered older broadcast must not roll the
+    // active-AP map back.  Versions restart per epoch (the controller wipes
+    // client state on crash), hence the lexicographic pair.
+    const auto stamp = std::make_pair(msg.epoch, msg.version);
+    auto it = active_fence_.find(msg.client);
+    if (it != active_fence_.end() && stamp < it->second) {
+      ++stats_.stale_actives_rejected;
+      if (m_stale_rejected_) m_stale_rejected_->add();
+      return;
+    }
+    active_fence_[msg.client] = stamp;
+  }
   active_ap_[msg.client] = msg.active_ap;
   if (msg.bootstrap && msg.active_ap == cfg_.id) {
     ApQueueStack& st = stack(msg.client);
@@ -309,6 +394,44 @@ void WgttAp::handle_active_ap(const ActiveApMsg& msg) {
 
 void WgttAp::handle_assoc_sync(const AssocSyncMsg& msg) {
   assoc_.add(msg.info);
+}
+
+bool WgttAp::fence_accept(net::NodeId client, std::uint32_t epoch,
+                          std::uint32_t switch_id) {
+  const auto stamp = std::make_pair(epoch, switch_id);
+  auto it = switch_fence_.find(client);
+  if (it != switch_fence_.end() && stamp < it->second) return false;
+  switch_fence_[client] = stamp;
+  return true;
+}
+
+void WgttAp::send_resync_report(std::uint32_t epoch) {
+  ++stats_.resync_reports_sent;
+  ResyncReportMsg report;
+  report.ap = cfg_.id;
+  report.epoch = epoch;
+  for (net::NodeId client : assoc_.clients()) {
+    const StaInfo* info = assoc_.find(client);
+    if (info == nullptr) continue;
+    ResyncEntry entry;
+    entry.info = *info;
+    auto it = stacks_.find(client);
+    entry.active = it != stacks_.end() && it->second->active();
+    report.entries.push_back(entry);
+  }
+  if (causal_) {
+    causal_->annotate("ap.resync_report",
+                      {{"ap", cfg_.id},
+                       {"epoch", epoch},
+                       {"entries",
+                        static_cast<std::int64_t>(report.entries.size())}});
+  }
+  net::Packet p;
+  p.type = net::PacketType::kResync;
+  p.size_bytes = ResyncReportMsg::kWireBytes +
+                 report.entries.size() * ResyncReportMsg::kEntryWireBytes;
+  p.payload = std::move(report);
+  send_to(cfg_.controller, std::move(p));
 }
 
 void WgttAp::handle_ba_forward(const BaForwardMsg& msg) {

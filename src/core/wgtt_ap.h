@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/ap_queue_stack.h"
 #include "core/association.h"
+#include "core/control_link.h"
 #include "core/control_messages.h"
 #include "mac/wifi_device.h"
 #include "net/backhaul.h"
@@ -30,6 +32,7 @@
 #include "phy/csi.h"
 #include "net/packet.h"
 #include "sim/scheduler.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace wgtt::core {
@@ -81,6 +84,13 @@ struct WgttApStats {
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t fault_crashes = 0;        // crash onsets seen
   std::uint64_t crash_purged_packets = 0; // queued packets lost to crashes
+  // Control-plane hardening (all zero without an installed FaultInjector):
+  std::uint64_t ctrl_dups_suppressed = 0;   // adversarial duplicates dropped
+  std::uint64_t stale_epoch_rejected = 0;   // frames from an older epoch
+  std::uint64_t stale_stops_rejected = 0;   // fenced-off stop(c) messages
+  std::uint64_t stale_starts_rejected = 0;  // fenced-off start(c, k) messages
+  std::uint64_t stale_actives_rejected = 0; // fenced-off active-AP broadcasts
+  std::uint64_t resync_reports_sent = 0;    // warm-restart state reports
 };
 
 class WgttAp {
@@ -99,6 +109,10 @@ class WgttAp {
   bool down() const { return down_; }
   /// Queue-stack introspection (microbenchmarks / tests).
   const ApQueueStack* stack_for(net::NodeId client) const;
+  /// True if this AP's queue stack is actively transmitting to `client`
+  /// under the shared BSSID (shadow-stream overlap windows excluded).  The
+  /// scenario layer's dual-active probe counts these per client.
+  bool transmitting(net::NodeId client) const;
 
  private:
   void on_backhaul_frame(const net::TunneledPacket& frame);
@@ -108,6 +122,15 @@ class WgttAp {
   void handle_active_ap(const ActiveApMsg& msg);
   void handle_assoc_sync(const AssocSyncMsg& msg);
   void handle_ba_forward(const BaForwardMsg& msg);
+  /// Warm-restart support: report this AP's replicated client state to the
+  /// controller.  `epoch` echoes a ResyncRequestMsg; 0 marks the unsolicited
+  /// rejoin report sent when this AP recovers from its own crash.
+  void send_resync_report(std::uint32_t epoch);
+  /// (epoch, switch_id) fence shared by stop and start handling: false for
+  /// strictly older pairs (stale — reject and count), true otherwise (equal
+  /// pairs re-process idempotently, e.g. a retransmitted stop).
+  bool fence_accept(net::NodeId client, std::uint32_t epoch,
+                    std::uint32_t switch_id);
 
   void on_frame_heard(const mac::RxMeta& meta);
   void on_fault(bool down);
@@ -149,6 +172,19 @@ class WgttAp {
   bool down_ = false;
   /// Last genuine CSI per client, replayed while a csi_freeze fault holds.
   std::map<net::NodeId, phy::Csi> last_csi_;
+  // Hardened control plane (inert without an installed FaultInjector).
+  ControlSequencer ctrl_seq_;
+  ControlDedup ctrl_dedup_;
+  /// Highest controller epoch seen on any accepted control frame.
+  std::uint32_t epoch_seen_ = 0;
+  /// Per-client (epoch, switch_id) high-water across stop/start messages.
+  std::map<net::NodeId, std::pair<std::uint32_t, std::uint32_t>> switch_fence_;
+  /// Per-client (epoch, version) high-water across active-AP broadcasts.
+  std::map<net::NodeId, std::pair<std::uint32_t, std::uint32_t>> active_fence_;
+  /// Shared control-plane counters (see WgttController: get-or-create names
+  /// total each phenomenon across controller + APs).
+  metrics::Counter* m_dup_suppressed_ = nullptr;
+  metrics::Counter* m_stale_rejected_ = nullptr;
 };
 
 }  // namespace wgtt::core

@@ -52,8 +52,16 @@ WgttController::WgttController(sim::Scheduler& sched, net::Backhaul& backhaul,
       m_quarantines_ = &reg->counter("controller.liveness.quarantines");
       m_live_aps_ = &reg->gauge("controller.liveness.live_aps");
       m_live_aps_->set(static_cast<double>(ap_ids_.size()));
+      m_dup_suppressed_ = &reg->counter("controller.protocol.dup_suppressed");
+      m_stale_rejected_ = &reg->counter("controller.protocol.stale_rejected");
+      m_stale_acks_ = &reg->counter("controller.protocol.stale_acks");
+      m_retries_ = &reg->counter("controller.protocol.retries");
+      m_resyncs_ = &reg->counter("controller.protocol.resyncs");
     }
     sched_.schedule(cfg_.heartbeat_period, [this]() { liveness_tick(); });
+    // ctrl_crash faults target node 0 — this process.
+    injector_->on_ap_fault(net::kControllerId,
+                           [this](bool down) { on_ctrl_fault(down); });
   }
 }
 
@@ -61,6 +69,14 @@ void WgttController::send_to(net::NodeId dst, net::Packet fields) {
   fields.src = net::kControllerId;
   fields.dst = dst;
   fields.created = sched_.now();
+  // Hardened runs stamp state-bearing control frames with a per-link seq
+  // (dup suppression) and the fencing epoch.  A retransmission rebuilds its
+  // packet, so it always carries a fresh seq and is never mistaken for an
+  // adversarial duplicate.
+  if (injector_ != nullptr && sequenced_control(fields.type)) {
+    fields.ctrl_seq = ctrl_seq_.next(dst);
+    fields.ctrl_epoch = epoch_;
+  }
   backhaul_.send(net::encapsulate(net::make_packet(std::move(fields)),
                                   net::kControllerId, dst));
 }
@@ -120,6 +136,28 @@ struct WgttController::PolicyEnvImpl final : PolicyEnv {
 
 void WgttController::on_backhaul_frame(const net::TunneledPacket& frame) {
   net::PacketPtr inner = net::decapsulate(frame);
+  if (ctrl_down_) {
+    // A crashed controller consumes nothing: uplink data dies (with a ledger
+    // mirror), control vanishes — AP-side senders have no ack machinery for
+    // these types, so the post-restart resync round repairs the state.
+    if (net::flight_recorded(inner->type)) {
+      if (health_) health_->packet_dropped();
+      if (recorder_) {
+        recorder_->drop(inner->uid, sched_.now(), net::Hop::kCtrlUplink,
+                        net::kControllerId, net::DropCause::kFaultInjected,
+                        {{"src", frame.outer_src}});
+      }
+    }
+    return;
+  }
+  // Duplicate suppression: an adversarially duplicated control frame
+  // carries the seq of its original and is dropped here, before dispatch.
+  if (injector_ != nullptr && sequenced_control(inner->type) &&
+      !ctrl_dedup_.accept(frame.outer_src, inner->ctrl_seq)) {
+    ++stats_.dup_frames_suppressed;
+    if (m_dup_suppressed_) m_dup_suppressed_->add();
+    return;
+  }
   switch (inner->type) {
     case net::PacketType::kCsiReport:
       if (const auto* msg = net::payload_as<CsiReportMsg>(*inner)) {
@@ -139,6 +177,11 @@ void WgttController::on_backhaul_frame(const net::TunneledPacket& frame) {
     case net::PacketType::kHeartbeat:
       if (const auto* msg = net::payload_as<HeartbeatMsg>(*inner)) {
         handle_heartbeat(*msg);
+      }
+      return;
+    case net::PacketType::kResync:
+      if (const auto* msg = net::payload_as<ResyncReportMsg>(*inner)) {
+        handle_resync_report(*msg);
       }
       return;
     case net::PacketType::kData:
@@ -182,6 +225,7 @@ void WgttController::handle_csi_report(const CsiReportMsg& msg) {
 
 void WgttController::handle_client_joined(const ClientJoinedMsg& msg) {
   ClientState& st = client_state(msg.info.client);
+  st.associated = true;
   if (st.active_ap != 0) return;  // already bootstrapped
   st.active_ap = msg.info.associating_ap;
   st.last_switch = sched_.now();
@@ -226,6 +270,16 @@ void WgttController::handle_uplink_data(net::PacketPtr pkt,
 
 void WgttController::send_downlink(net::NodeId client, net::PacketPtr pkt) {
   const bool hfr = health_ != nullptr && net::flight_recorded(pkt->type);
+  if (ctrl_down_) {
+    // Crashed: the wired side's packets die at our ingress.
+    if (hfr) health_->packet_dropped();
+    if (recorder_ && net::flight_recorded(pkt->type)) {
+      recorder_->drop(pkt->uid, sched_.now(), net::Hop::kCtrlFanout,
+                      net::kControllerId, net::DropCause::kFaultInjected,
+                      {{"client", client}});
+    }
+    return;
+  }
   auto it = clients_.find(client);
   if (it == clients_.end() || it->second.active_ap == 0) {
     // Not joined: pre-association traffic ends at the controller (benign;
@@ -349,6 +403,12 @@ void WgttController::log_decision(net::NodeId client, const ClientState& st,
 
 void WgttController::run_selection() {
   prof::ScopedSection timer(prof_, p_selection_);
+  if (ctrl_down_) {
+    // Crashed: no selection, but keep the pass scheduled so it resumes the
+    // instant the fault clears.
+    sched_.schedule(cfg_.selection_period, [this]() { run_selection(); });
+    return;
+  }
   const Time now = sched_.now();
   for (auto& [client, st] : clients_) {
     // Every early-out below is an auditable decision: when a DecisionLog is
@@ -448,6 +508,7 @@ void WgttController::send_stop(net::NodeId client, ClientState& st) {
   msg.client = client;
   msg.next_ap = st.switch_target;
   msg.switch_id = st.switch_id;
+  if (injector_ != nullptr) msg.epoch = epoch_;
   p.payload = msg;
   // On a retransmission this attaches to the retx-timeout event, labelling
   // the timeout wait in the critical path.
@@ -461,7 +522,8 @@ void WgttController::send_stop(net::NodeId client, ClientState& st) {
   send_to(st.active_ap, std::move(p));
 
   // Retransmit the stop if the ack does not arrive in time (§3.1.2).
-  st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {
+  st.retx_event = sched_.schedule(retx_timeout(st.stop_retx),
+                                  [this, client]() {
     auto it = clients_.find(client);
     if (it == clients_.end() || !it->second.switch_in_flight) return;
     ClientState& cs = it->second;
@@ -479,6 +541,7 @@ void WgttController::send_stop(net::NodeId client, ClientState& st) {
     }
     ++stats_.stop_retransmissions;
     ++cs.stop_retx;
+    if (m_retries_) m_retries_->add();
     send_stop(client, cs);
   });
 }
@@ -498,6 +561,7 @@ void WgttController::send_direct_start(net::NodeId client, ClientState& st) {
   msg.first_unsent_index = kResumeHeadIndex;
   msg.switch_id = st.switch_id;
   msg.from_ap = 0;
+  if (injector_ != nullptr) msg.epoch = epoch_;
   p.payload = msg;
   if (causal_) {
     causal_->annotate("ctrl.start_tx",
@@ -508,7 +572,8 @@ void WgttController::send_direct_start(net::NodeId client, ClientState& st) {
   }
   send_to(st.switch_target, std::move(p));
 
-  st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {
+  st.retx_event = sched_.schedule(retx_timeout(st.stop_retx),
+                                  [this, client]() {
     auto it = clients_.find(client);
     if (it == clients_.end() || !it->second.switch_in_flight) return;
     ClientState& cs = it->second;
@@ -524,6 +589,7 @@ void WgttController::send_direct_start(net::NodeId client, ClientState& st) {
     }
     ++stats_.stop_retransmissions;
     ++cs.stop_retx;
+    if (m_retries_) m_retries_->add();
     send_direct_start(client, cs);
   });
 }
@@ -540,6 +606,7 @@ void WgttController::send_quench(net::NodeId ap, net::NodeId client,
   msg.next_ap = new_ap;
   msg.switch_id = switch_id;
   msg.quench = true;  // the successor is already active: no start relay
+  if (injector_ != nullptr) msg.epoch = epoch_;
   p.payload = msg;
   if (causal_) {
     causal_->annotate("ctrl.quench_tx",
@@ -552,9 +619,25 @@ void WgttController::send_quench(net::NodeId ap, net::NodeId client,
 
 void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
   auto it = clients_.find(msg.client);
-  if (it == clients_.end()) return;
+  // Fencing: an ack must name the in-flight switch AND (on hardened runs)
+  // the current epoch.  Anything else is stale — a duplicate of an already
+  // consumed ack, the ack of an abandoned switch arriving after its
+  // successor was initiated, or an ack from before a controller restart.
+  // Before this fence, a reordered old ack whose switch_id happened to
+  // match a recycled post-restart id could complete the wrong switch.
+  const bool stale =
+      it == clients_.end() || !it->second.switch_in_flight ||
+      msg.switch_id != it->second.switch_id ||
+      (injector_ != nullptr && msg.epoch != epoch_);
+  if (stale) {
+    if (injector_ != nullptr) {
+      ++stats_.stale_acks;
+      if (m_stale_acks_) m_stale_acks_->add();
+      if (m_stale_rejected_) m_stale_rejected_->add();
+    }
+    return;
+  }
   ClientState& st = it->second;
-  if (!st.switch_in_flight || msg.switch_id != st.switch_id) return;
 
   sched_.cancel(st.retx_event);
   ++stats_.switches_completed;
@@ -565,6 +648,8 @@ void WgttController::handle_switch_ack(const SwitchAckMsg& msg) {
   rec.from_ap = st.active_ap;
   rec.to_ap = msg.new_ap;
   rec.stop_retransmissions = st.stop_retx;
+  rec.switch_id = msg.switch_id;
+  rec.epoch = injector_ != nullptr ? epoch_ : 0;
   stats_.switch_latency_ms.add((rec.completed - rec.initiated).to_ms());
   switch_log_.push_back(rec);
   if (m_switches_) {
@@ -711,6 +796,12 @@ net::NodeId WgttController::select_live(const ClientState& st,
 }
 
 void WgttController::liveness_tick() {
+  if (ctrl_down_) {
+    // Crashed: the monitor is dark, but keep the tick alive so it resumes
+    // with the warm restart.
+    sched_.schedule(cfg_.heartbeat_period, [this]() { liveness_tick(); });
+    return;
+  }
   const Time now = sched_.now();
   const Time deadline = Time::ns(cfg_.heartbeat_period.to_ns() *
                                  static_cast<std::int64_t>(cfg_.liveness_misses));
@@ -752,18 +843,27 @@ void WgttController::liveness_tick() {
   }
   // Stranded clients: the serving AP went suspect/quarantined mid-dwell.
   // Fail over immediately, bypassing hysteresis — and keep retrying every
-  // tick while no live candidate exists.
+  // tick while no live candidate exists.  Orphans (associated but with no
+  // active AP — a warm restart whose resync round found no active claim,
+  // because the crash hit mid-switch) are re-adopted through the same
+  // direct-start path.
   for (auto& [client, st] : clients_) {
-    if (st.active_ap != 0 && !st.switch_in_flight && st.selector &&
-        !ap_live(st.active_ap)) {
+    if (health_) {
+      health_->client_stranded(
+          client, st.active_ap == 0 || !ap_live(st.active_ap), now);
+    }
+    if (st.switch_in_flight || !st.selector) continue;
+    if (st.active_ap != 0 && !ap_live(st.active_ap)) {
       attempt_failover(client, st, now);
+    } else if (st.active_ap == 0 && st.associated) {
+      attempt_failover(client, st, now, DecisionReason::kResync);
     }
   }
   sched_.schedule(cfg_.heartbeat_period, [this]() { liveness_tick(); });
 }
 
 void WgttController::attempt_failover(net::NodeId client, ClientState& st,
-                                      Time now) {
+                                      Time now, DecisionReason reason) {
   net::NodeId target = select_live(st, client, now);
   if (target == 0 || target == st.active_ap) {
     // No live AP has an eligible median: a dwell on a dead AP silences the
@@ -788,11 +888,18 @@ void WgttController::attempt_failover(net::NodeId client, ClientState& st,
     return;
   }
   if (decision_log_) {
-    log_decision(client, st, now, DecisionOutcome::kSwitch,
-                 DecisionReason::kApSuspect, target, Time::zero());
+    log_decision(client, st, now, DecisionOutcome::kSwitch, reason, target,
+                 Time::zero());
   }
-  ++stats_.liveness_failovers;
-  if (m_failovers_) m_failovers_->add();
+  if (reason == DecisionReason::kResync) {
+    // A warm-restart re-adoption: no suspect event drove it, so it counts
+    // under the resync machinery, not as a liveness reaction (the health
+    // engine's liveness_fsm watchdog holds failovers <= suspects).
+    ++stats_.resync_readoptions;
+  } else {
+    ++stats_.liveness_failovers;
+    if (m_failovers_) m_failovers_->add();
+  }
   ++stats_.switches_initiated;
   st.switch_in_flight = true;
   st.failover_in_flight = true;
@@ -844,6 +951,7 @@ void WgttController::send_failover_start(net::NodeId client, ClientState& st) {
   msg.first_unsent_index = kResumeHeadIndex;
   msg.switch_id = st.switch_id;
   msg.from_ap = 0;
+  if (injector_ != nullptr) msg.epoch = epoch_;
   p.payload = msg;
   if (causal_) {
     causal_->annotate("ctrl.start_tx",
@@ -855,7 +963,8 @@ void WgttController::send_failover_start(net::NodeId client, ClientState& st) {
   }
   send_to(st.switch_target, std::move(p));
 
-  st.retx_event = sched_.schedule(cfg_.ack_timeout, [this, client]() {
+  st.retx_event = sched_.schedule(retx_timeout(st.stop_retx),
+                                  [this, client]() {
     auto it = clients_.find(client);
     if (it == clients_.end() || !it->second.switch_in_flight) return;
     ClientState& cs = it->second;
@@ -873,8 +982,18 @@ void WgttController::send_failover_start(net::NodeId client, ClientState& st) {
     }
     ++stats_.stop_retransmissions;
     ++cs.stop_retx;
+    if (m_retries_) m_retries_->add();
     send_failover_start(client, cs);
   });
+}
+
+Time WgttController::retx_timeout(unsigned retx) const {
+  // Hardened runs back off exponentially (1x, 2x, 4x, 8x, then capped):
+  // under adversarial loss a flat timer synchronizes retransmission storms
+  // with the fault window.  Fault-free runs keep the paper's flat 30 ms.
+  if (injector_ == nullptr || retx == 0) return cfg_.ack_timeout;
+  const unsigned shift = std::min(retx, 3u);
+  return Time::ns(cfg_.ack_timeout.to_ns() << shift);
 }
 
 void WgttController::log_liveness(net::NodeId ap, const char* event,
@@ -894,6 +1013,11 @@ void WgttController::log_liveness(net::NodeId ap, const char* event,
 
 void WgttController::broadcast_active(net::NodeId client, net::NodeId ap,
                                       bool bootstrap, bool overlap) {
+  // One version draw per broadcast (hardened runs): every AP receives the
+  // same (epoch, version), so a reordered older broadcast loses to a newer
+  // one at every receiver identically.
+  std::uint32_t version = 0;
+  if (injector_ != nullptr) version = ++client_state(client).active_version;
   for (net::NodeId dest : ap_ids_) {
     net::Packet p;
     p.type = net::PacketType::kActiveAp;
@@ -903,8 +1027,99 @@ void WgttController::broadcast_active(net::NodeId client, net::NodeId ap,
     msg.active_ap = ap;
     msg.bootstrap = bootstrap;
     msg.overlap = overlap;
+    msg.version = version;
+    if (injector_ != nullptr) msg.epoch = epoch_;
     p.payload = msg;
     send_to(dest, std::move(p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm restart (ctrl_crash faults)
+// ---------------------------------------------------------------------------
+
+void WgttController::on_ctrl_fault(bool down) {
+  if (down == ctrl_down_) return;
+  ctrl_down_ = down;
+  if (down) {
+    ++stats_.ctrl_crashes;
+    // Crash semantics: every piece of soft state dies — association and
+    // active-AP beliefs, switch FSMs (cancel their timers first), the
+    // liveness monitor, and both dedup filters.  The APs keep transmitting
+    // from their replicated state; only *coordination* is lost.
+    for (auto& [client, st] : clients_) {
+      if (st.switch_in_flight) sched_.cancel(st.retx_event);
+      if (health_) health_->client_stranded(client, true, sched_.now());
+    }
+    clients_.clear();
+    ap_health_.clear();
+    dedup_ = Deduplicator();
+    ctrl_dedup_.reset();
+    // The per-link send sequencer survives deliberately: it models the
+    // NIC-level counter, and resetting it would make post-restart frames
+    // look like ancient duplicates to the APs' dedup windows.
+    log_liveness(net::kControllerId, "ctrl_down", 0, Time::zero());
+    WGTT_LOG(kWarn, "controller", "controller crashed (control state lost)");
+  } else {
+    ++stats_.ctrl_restarts;
+    ++epoch_;
+    next_switch_id_ = 1;  // ids restart; (epoch, id) stays monotonic
+    for (net::NodeId ap : ap_ids_) {
+      ApHealth h;
+      h.last_heartbeat = sched_.now();
+      ap_health_.emplace(ap, h);
+    }
+    if (m_live_aps_) m_live_aps_->set(static_cast<double>(ap_ids_.size()));
+    log_liveness(net::kControllerId, "ctrl_restart", epoch_, Time::zero());
+    WGTT_LOG(kInfo, "controller",
+             "controller restarted (epoch " << epoch_ << "), resyncing");
+    broadcast_resync_request();
+  }
+}
+
+void WgttController::broadcast_resync_request() {
+  ++stats_.resync_rounds;
+  if (m_resyncs_) m_resyncs_->add();
+  for (net::NodeId ap : ap_ids_) {
+    net::Packet p;
+    p.type = net::PacketType::kResync;
+    p.size_bytes = ResyncRequestMsg::kWireBytes;
+    p.payload = ResyncRequestMsg{epoch_};
+    send_to(ap, std::move(p));
+  }
+}
+
+void WgttController::handle_resync_report(const ResyncReportMsg& msg) {
+  // epoch == 0 marks an unsolicited rejoin report (an AP recovering from its
+  // own crash); anything else must match the current epoch, or the report
+  // predates an even later restart and would poison the rebuild.
+  if (msg.epoch != 0 && msg.epoch != epoch_) {
+    ++stats_.stale_resyncs;
+    if (m_stale_rejected_) m_stale_rejected_->add();
+    return;
+  }
+  ++stats_.resync_reports;
+  const Time now = sched_.now();
+  for (const ResyncEntry& e : msg.entries) {
+    ClientState& st = client_state(e.info.client);
+    st.associated = true;
+    if (!e.active) continue;
+    if (st.active_ap == 0 && !st.switch_in_flight) {
+      // First active claim for this client: adopt it.
+      st.active_ap = msg.ap;
+      st.last_switch = now;
+      ++stats_.resync_adoptions;
+      if (decision_log_) {
+        log_decision(e.info.client, st, now, DecisionOutcome::kKeep,
+                     DecisionReason::kResync, msg.ap, Time::zero());
+      }
+      broadcast_active(e.info.client, msg.ap, /*bootstrap=*/false);
+    } else if (st.active_ap != msg.ap) {
+      // A second AP also believes it transmits to this client (crash or
+      // recovery raced a switch): keep the adopted claim, quench this one.
+      ++stats_.resync_conflicts;
+      send_quench(msg.ap, e.info.client, st.active_ap, 0);
+    }
   }
 }
 

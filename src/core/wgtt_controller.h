@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/ap_selector.h"
+#include "core/control_link.h"
 #include "core/control_messages.h"
 #include "core/decision_log.h"
 #include "core/dedup.h"
@@ -92,6 +93,11 @@ struct SwitchRecord {
   net::NodeId from_ap = 0;
   net::NodeId to_ap = 0;
   unsigned stop_retransmissions = 0;
+  /// Protocol identity of the completed switch (hardened runs; 0/0 in
+  /// fault-free runs).  The protocol fuzzer asserts (epoch, switch_id) is
+  /// non-decreasing per client across this log.
+  std::uint32_t switch_id = 0;
+  std::uint32_t epoch = 0;
 };
 
 struct ControllerStats {
@@ -117,6 +123,17 @@ struct ControllerStats {
   std::uint64_t quench_stops = 0;          // post-ack incumbent quenches
   std::uint64_t bicast_windows = 0;        // overlap windows opened
   std::uint64_t quenches_skipped = 0;      // stale quenches suppressed
+  // Control-plane hardening (all zero without an installed FaultInjector):
+  std::uint64_t dup_frames_suppressed = 0;  // adversarial duplicates dropped
+  std::uint64_t stale_acks = 0;             // fenced-off SwitchAckMsgs
+  std::uint64_t ctrl_crashes = 0;           // injected controller crashes
+  std::uint64_t ctrl_restarts = 0;          // warm restarts completed
+  std::uint64_t resync_rounds = 0;          // resync requests broadcast
+  std::uint64_t resync_reports = 0;         // AP state reports consumed
+  std::uint64_t stale_resyncs = 0;          // reports from an older epoch
+  std::uint64_t resync_adoptions = 0;       // active claims adopted
+  std::uint64_t resync_readoptions = 0;     // orphans re-homed post-restart
+  std::uint64_t resync_conflicts = 0;       // dual-claim quenches issued
 };
 
 class WgttController {
@@ -153,6 +170,16 @@ class WgttController {
   const ControllerStats& stats() const { return stats_; }
   const std::vector<SwitchRecord>& switch_log() const { return switch_log_; }
   const ControllerConfig& config() const { return cfg_; }
+  /// Current fencing epoch (1 until the first warm restart bumps it).
+  std::uint32_t epoch() const { return epoch_; }
+  /// True while an injected ctrl_crash fault holds the controller down.
+  bool crashed() const { return ctrl_down_; }
+  /// True while a stop/start/ack handshake is outstanding for `client`
+  /// (the scenario layer's dual-active probe excludes these transitions).
+  bool switch_in_flight(net::NodeId client) const {
+    auto it = clients_.find(client);
+    return it != clients_.end() && it->second.switch_in_flight;
+  }
 
  private:
   /// Per-(client, AP) frozen-CSI detector state (stale-CSI defense).
@@ -184,6 +211,12 @@ class WgttController {
     /// the ctrl.switch_start/done trace flow events pair on (causal only).
     std::uint64_t causal_start_ev = 0;
     std::map<net::NodeId, CsiRepeat> csi_repeat;  // only fed when injector on
+    /// Per-client ActiveApMsg broadcast version (hardened runs only).
+    std::uint32_t active_version = 0;
+    /// The client is known-associated (join or resync report) — a client
+    /// with associated && active_ap == 0 is an orphan the liveness tick
+    /// re-adopts after a warm restart.
+    bool associated = false;
   };
 
   /// Liveness monitor state per AP (fault tolerance; only maintained when a
@@ -203,6 +236,14 @@ class WgttController {
   void handle_client_joined(const ClientJoinedMsg& msg);
   void handle_uplink_data(net::PacketPtr pkt, net::NodeId from_ap);
   void handle_heartbeat(const HeartbeatMsg& msg);
+  void handle_resync_report(const ResyncReportMsg& msg);
+
+  // -- warm restart (ctrl_crash faults; injector-armed runs only) ----------
+  void on_ctrl_fault(bool down);
+  void broadcast_resync_request();
+  /// Ack-timeout with exponential backoff on hardened runs (fault-free runs
+  /// keep the paper's flat 30 ms cadence, part of the golden timing).
+  Time retx_timeout(unsigned retx) const;
 
   // -- liveness / failover (no-ops unless a FaultInjector is installed) ----
   void liveness_tick();
@@ -211,7 +252,8 @@ class WgttController {
   /// and APs whose CSI for this client looks frozen.
   net::NodeId select_live(const ClientState& st, net::NodeId client, Time now);
   bool csi_frozen(const ClientState& st, net::NodeId ap) const;
-  void attempt_failover(net::NodeId client, ClientState& st, Time now);
+  void attempt_failover(net::NodeId client, ClientState& st, Time now,
+                        DecisionReason reason = DecisionReason::kApSuspect);
   void send_failover_start(net::NodeId client, ClientState& st);
   Time quarantine_for(std::uint32_t flaps) const;
   void log_liveness(net::NodeId ap, const char* event, std::uint32_t flaps,
@@ -250,6 +292,12 @@ class WgttController {
   std::map<net::NodeId, MobilityProvider> mobility_;
   Deduplicator dedup_;
   std::uint32_t next_switch_id_ = 1;
+  // Hardened control plane (inert without an installed FaultInjector: no
+  // sequence numbers are stamped and no fences are evaluated).
+  ControlSequencer ctrl_seq_;
+  ControlDedup ctrl_dedup_;
+  std::uint32_t epoch_ = 1;   // bumped by each warm restart
+  bool ctrl_down_ = false;    // a ctrl_crash fault currently holds us down
   ControllerStats stats_;
   std::vector<SwitchRecord> switch_log_;
   // Liveness monitor (populated only when a FaultInjector is installed;
@@ -266,6 +314,14 @@ class WgttController {
   metrics::Counter* m_failovers_ = nullptr;
   metrics::Counter* m_quarantines_ = nullptr;
   metrics::Gauge* m_live_aps_ = nullptr;
+  // Protocol-hardening instruments (injector-armed runs only).  The dup /
+  // stale counters are shared with the APs via the registry's get-or-create
+  // naming, so one counter totals each phenomenon across the control plane.
+  metrics::Counter* m_dup_suppressed_ = nullptr;
+  metrics::Counter* m_stale_rejected_ = nullptr;
+  metrics::Counter* m_stale_acks_ = nullptr;
+  metrics::Counter* m_retries_ = nullptr;
+  metrics::Counter* m_resyncs_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   DecisionLog* decision_log_ = nullptr;
   net::FlightRecorder* recorder_ = nullptr;

@@ -99,12 +99,29 @@ void Backhaul::send(TunneledPacket frame) {
   // (after delivery_delay so the jitter draw is undisturbed).
   Time arrival =
       sched_.now() + delivery_delay(frame.wire_bytes) + fault.extra_latency;
-  // FIFO per (src, dst): never deliver earlier than a previously sent frame.
-  auto key = std::make_pair(frame.outer_src, frame.outer_dst);
-  auto [prev, inserted] = last_delivery_.try_emplace(key, arrival);
-  if (!inserted) {
-    arrival = std::max(arrival, prev->second);
-    prev->second = arrival;
+  // msg_reorder: a coin-selected control frame gains bounded extra delay and
+  // bypasses the FIFO book, so frames sent after it may overtake it — the
+  // in-order guarantee the switch protocol otherwise enjoys is broken for
+  // exactly these frames.  Data stays FIFO: TCP reordering is modelled at
+  // the MAC, not here.
+  const bool ctrl = frame.inner != nullptr && !flight_recorded(frame.inner->type);
+  bool reordered = false;
+  if (ctrl && fault.reorder_rate > 0.0 && injector_->coin(fault.reorder_rate)) {
+    reordered = true;
+    ++frames_reordered_;
+    arrival += Time::ns(
+        injector_->rng().uniform_int(1, std::max<std::int64_t>(
+                                            1, fault.reorder_jitter.to_ns())));
+  }
+  if (!reordered) {
+    // FIFO per (src, dst): never deliver earlier than a previously sent
+    // frame.
+    auto key = std::make_pair(frame.outer_src, frame.outer_dst);
+    auto [prev, inserted] = last_delivery_.try_emplace(key, arrival);
+    if (!inserted) {
+      arrival = std::max(arrival, prev->second);
+      prev->second = arrival;
+    }
   }
 
   if (m_latency_us_) {
@@ -123,6 +140,20 @@ void Backhaul::send(TunneledPacket frame) {
                       {{"uid", static_cast<std::int64_t>(frame.inner->uid)},
                        {"src", frame.outer_src},
                        {"dst", frame.outer_dst}});
+  }
+  // msg_dup: schedule a second, slightly later delivery of the same control
+  // frame (same uid, same ctrl_seq — exactly what a duplicating switch
+  // fabric produces).  The copy also bypasses the FIFO book.
+  if (ctrl && fault.dup_rate > 0.0 && injector_->coin(fault.dup_rate)) {
+    ++frames_duplicated_;
+    const Time dup_arrival =
+        arrival + Time::ns(injector_->rng().uniform_int(1, Time::ms(1).to_ns()));
+    DeliverFn& dup_deliver = it->second;
+    TunneledPacket copy = frame;
+    sched_.schedule_at(dup_arrival,
+                       [&dup_deliver, copy = std::move(copy)]() {
+                         dup_deliver(copy);
+                       });
   }
   DeliverFn& deliver = it->second;
   sched_.schedule_at(arrival, [this, rec, causal, &deliver,

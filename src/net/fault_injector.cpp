@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "util/health.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -28,6 +29,7 @@ FaultInjector::FaultInjector(sim::Scheduler& sched, sim::FaultPlan plan,
   }
   tracer_ = trace::Tracer::current();
   recorder_ = FlightRecorder::current();
+  health_ = obs::HealthEngine::current();
   for (const sim::FaultEvent& ev : plan_.events) {
     sched_.schedule_at(ev.at, [this, &ev] { apply(ev, true); });
     if (ev.duration > Time::zero()) {
@@ -62,6 +64,10 @@ LinkImpairment FaultInjector::link(NodeId a, NodeId b) const {
   imp.blocked = it->second.blocked > 0;
   imp.drop_rate = it->second.drop_rate > 1.0 ? 1.0 : it->second.drop_rate;
   imp.extra_latency = Time::ns(it->second.extra_ns);
+  imp.dup_rate = it->second.dup_rate > 1.0 ? 1.0 : it->second.dup_rate;
+  imp.reorder_rate =
+      it->second.reorder_rate > 1.0 ? 1.0 : it->second.reorder_rate;
+  imp.reorder_jitter = Time::ns(it->second.reorder_jitter_ns);
   return imp;
 }
 
@@ -95,6 +101,23 @@ void FaultInjector::apply(const sim::FaultEvent& ev, bool onset) {
     case sim::FaultKind::kLinkLatency:
       links_[link_key(ev.node, ev.peer)].extra_ns += delta * ev.extra.to_ns();
       break;
+    case sim::FaultKind::kMsgDup:
+      links_[link_key(ev.node, ev.peer)].dup_rate += delta * ev.rate;
+      break;
+    case sim::FaultKind::kMsgReorder: {
+      LinkState& st = links_[link_key(ev.node, ev.peer)];
+      st.reorder_rate += delta * ev.rate;
+      st.reorder_jitter_ns += delta * ev.extra.to_ns();
+      break;
+    }
+    case sim::FaultKind::kCtrlCrash: {
+      // The controller is node 0 regardless of what the clause named.
+      ApState& st = aps_[kControllerId];
+      const bool was_down = st.down > 0;
+      st.down += delta;
+      crash_transition = was_down != (st.down > 0);
+      break;
+    }
   }
   if (onset) {
     ++faults_applied_;
@@ -106,7 +129,9 @@ void FaultInjector::apply(const sim::FaultEvent& ev, bool onset) {
   // Fire crash subscriptions after the books are updated so a callback that
   // re-queries ap_down() sees the new state.
   if (crash_transition) {
-    const auto [lo, hi] = ap_callbacks_.equal_range(ev.node);
+    const NodeId victim =
+        ev.kind == sim::FaultKind::kCtrlCrash ? kControllerId : ev.node;
+    const auto [lo, hi] = ap_callbacks_.equal_range(victim);
     for (auto it = lo; it != hi; ++it) it->second(onset);
   }
 }
@@ -135,6 +160,9 @@ void FaultInjector::observe(const sim::FaultEvent& ev, bool onset) {
     recorder_->marker(now, onset ? Hop::kFaultOn : Hop::kFaultOff, ev.node,
                       {{"kind", static_cast<std::int64_t>(ev.kind)},
                        {"peer", static_cast<std::int64_t>(ev.peer)}});
+  }
+  if (health_) {
+    health_->fault_mark(now, to_string(ev.kind), ev.node, onset);
   }
 }
 

@@ -40,6 +40,9 @@ class Gauge;
 namespace wgtt::trace {
 class Tracer;
 }
+namespace wgtt::obs {
+class HealthEngine;
+}
 
 namespace wgtt::net {
 
@@ -52,8 +55,12 @@ struct LinkImpairment {
   bool blocked = false;          // partition: deliver nothing
   double drop_rate = 0.0;        // drop burst: per-frame loss probability
   Time extra_latency;            // latency spike: added one-way delay
+  double dup_rate = 0.0;         // msg_dup: control-frame copy probability
+  double reorder_rate = 0.0;     // msg_reorder: per-frame jitter probability
+  Time reorder_jitter;           // msg_reorder: max added delay (FIFO bypass)
   bool impaired() const {
-    return blocked || drop_rate > 0.0 || extra_latency > Time::zero();
+    return blocked || drop_rate > 0.0 || extra_latency > Time::zero() ||
+           dup_rate > 0.0 || reorder_rate > 0.0;
   }
 };
 
@@ -70,6 +77,8 @@ class FaultInjector {
   static FaultInjector* current();
 
   bool ap_down(NodeId ap) const;
+  /// ctrl_crash windows open on the controller (kControllerId books).
+  bool ctrl_down() const { return ap_down(kControllerId); }
   CsiFaultMode csi_mode(NodeId ap) const;
   /// Combined impairment on the (undirected) link between `a` and `b`.
   LinkImpairment link(NodeId a, NodeId b) const;
@@ -81,6 +90,7 @@ class FaultInjector {
 
   /// Subscribe to crash/recover transitions of one AP; `cb(true)` fires at
   /// onset (purge queues, silence the radio), `cb(false)` at recovery.
+  /// Subscribing with ap == kControllerId observes ctrl_crash windows.
   void on_ap_fault(NodeId ap, std::function<void(bool down)> cb);
 
   /// Onset events applied so far (fault.injected metric mirror).
@@ -99,6 +109,9 @@ class FaultInjector {
     int blocked = 0;
     double drop_rate = 0.0;
     std::int64_t extra_ns = 0;
+    double dup_rate = 0.0;
+    double reorder_rate = 0.0;
+    std::int64_t reorder_jitter_ns = 0;
   };
   static std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b);
 
@@ -116,6 +129,7 @@ class FaultInjector {
 
   trace::Tracer* tracer_ = nullptr;
   FlightRecorder* recorder_ = nullptr;
+  obs::HealthEngine* health_ = nullptr;
   metrics::Counter* m_injected_ = nullptr;
   metrics::Counter* m_cleared_ = nullptr;
   metrics::Gauge* m_active_ = nullptr;

@@ -20,6 +20,7 @@ const char* to_string(PacketType t) {
     case PacketType::kBeacon: return "BEACON";
     case PacketType::kMgmt: return "MGMT";
     case PacketType::kHeartbeat: return "HEARTBEAT";
+    case PacketType::kResync: return "RESYNC";
   }
   return "?";
 }

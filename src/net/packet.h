@@ -43,11 +43,12 @@ enum class PacketType : std::uint8_t {
   kBeacon,      // AP -> air: 802.11 beacon (baseline discovery)
   kMgmt,        // authentication / (re)association frames
   kHeartbeat,   // AP -> controller: liveness beacon (fault tolerance)
+  kResync,      // controller <-> AP: warm-restart state resynchronization
 };
 
 /// One past the last PacketType value.  Keep in sync when adding a type;
 /// the exhaustive-switch unit test fails loudly if this lags the enum.
-constexpr std::size_t kPacketTypeCount = 12;
+constexpr std::size_t kPacketTypeCount = 13;
 
 const char* to_string(PacketType t);
 
@@ -66,6 +67,16 @@ struct Packet {
   std::uint32_t index = 0;      // WGTT per-client cyclic index (12-bit space)
   std::size_t size_bytes = 0;   // layer-3 size including headers
   Time created;                 // creation time (for latency accounting)
+  /// Per-link control-frame sequence number (0 = unsequenced).  Stamped by
+  /// the hardened control plane (only when a FaultInjector is installed) so
+  /// receivers can suppress adversarial duplicates; a deliberate
+  /// retransmission is a fresh packet with a fresh sequence number, so it
+  /// is never mistaken for a duplicate.  Packs into spare bytes of each
+  /// control message's modelled wire size — size_bytes is unchanged.
+  std::uint64_t ctrl_seq = 0;
+  /// Controller epoch at send time (0 = unfenced).  Bumped by each warm
+  /// restart; receivers reject control frames from earlier epochs.
+  std::uint32_t ctrl_epoch = 0;
   /// Structured control payload (stop/start/CSI/BA-forward messages) —
   /// the simulation's stand-in for the wire encoding of control packets.
   std::any payload;

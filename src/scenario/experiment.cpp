@@ -296,6 +296,13 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
       if (v.severity == "error") ++result.health_errors;
     }
     result.health_in_flight = health->in_flight();
+    for (const obs::OutageRecord& o : health->outages()) {
+      ++result.outages;
+      if (o.open) ++result.unconverged_clients;
+      const double ms =
+          static_cast<double>((o.end - o.begin).to_ns()) / 1e6;
+      if (ms > result.longest_outage_ms) result.longest_outage_ms = ms;
+    }
   }
   if (wgtt) {
     result.switches = wgtt->controller().switch_log();
@@ -306,6 +313,12 @@ DriveResult run_drive(const DriveScenarioConfig& cfg) {
     result.downlink_duplicates_removed = wgtt->client_duplicates_removed();
     result.switch_latencies_ms =
         wgtt->controller().stats().switch_latency_ms.samples();
+    // At-most-one-transmitter snapshot, taken before teardown while the
+    // overlay is still alive.  Only meaningful (and only nonempty) on
+    // fault-injected runs — the hardened protocol's fences keep it empty.
+    if (bed.fault_injector() != nullptr) {
+      result.dual_active_clients = wgtt->dual_active_clients();
+    }
   }
   std::size_t tcp_i = 0;
   std::size_t udp_i = 0;

@@ -128,6 +128,17 @@ struct DriveResult {
   /// Final packet-conservation balance (sent + copies - delivered -
   /// retired - dropped); small and non-negative in a healthy run.
   std::int64_t health_in_flight = 0;
+  // Control-plane convergence (populated only on fault-injected WGTT runs).
+  /// Clients two or more APs were still actively transmitting to at the end
+  /// of the run (transient in-flight switches excluded) — the at-most-one
+  /// transmitter invariant; must be empty after convergence.
+  std::vector<net::NodeId> dual_active_clients;
+  /// Client outage windows the health engine ledgered (closed + open).
+  std::uint64_t outages = 0;
+  /// Clients still stranded when the run ended (open outage windows).
+  std::uint64_t unconverged_clients = 0;
+  /// Longest single outage window (ms).
+  double longest_outage_ms = 0.0;
 
   double mean_goodput_mbps() const {
     if (clients.empty()) return 0.0;

@@ -27,7 +27,8 @@ Testbed::Testbed(TestbedConfig cfg)
                                      : nullptr),
       profiler_scope_(profiler_.get()),
       decision_log_((cfg_.enable_decision_log || !cfg_.decision_log_path.empty())
-                        ? std::make_unique<core::DecisionLog>()
+                        ? std::make_unique<core::DecisionLog>(
+                              /*protocol_extensions=*/!cfg_.faults.empty())
                         : nullptr),
       decision_scope_(decision_log_.get()),
       uid_scope_(&uid_alloc_),
@@ -43,7 +44,9 @@ Testbed::Testbed(TestbedConfig cfg)
                                obs::HealthConfig{cfg_.health_window,
                                                  /*ring_capacity=*/4096,
                                                  cfg_.health_max_in_flight,
-                                                 cfg_.health_sample_rss})
+                                                 cfg_.health_sample_rss,
+                                                 /*fault_aware=*/
+                                                 !cfg_.faults.empty()})
                          : nullptr),
       health_scope_(health_engine_.get()),
       causal_tracer_((cfg_.enable_causal || !cfg_.causal_path.empty())
@@ -317,12 +320,34 @@ WgttNetwork::WgttNetwork(Testbed& bed, WgttNetworkConfig cfg)
                                                     bed_.backhaul(), dev,
                                                     ap_cfg));
   }
+  // Observational dual-active gauge (fault-injected runs only, so fault-free
+  // health streams stay byte-identical).  No ceiling: transient overlap
+  // during switches is legitimate — the authoritative at-most-one check is
+  // the end-of-run dual_active_clients() probe the protocol fuzzer asserts.
+  if (bed_.health() != nullptr && bed_.fault_injector() != nullptr) {
+    bed_.health()->add_gauge("protocol.dual_active", [this] {
+      return static_cast<double>(dual_active_clients().size());
+    });
+  }
 }
 
 core::WgttAp& WgttNetwork::ap(net::NodeId id) {
   auto it = aps_.find(id);
   assert(it != aps_.end());
   return *it->second;
+}
+
+std::vector<net::NodeId> WgttNetwork::dual_active_clients() const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId client : bed_.client_ids()) {
+    if (controller_->switch_in_flight(client)) continue;
+    std::size_t active = 0;
+    for (const auto& [id, ap] : aps_) {
+      if (ap->transmitting(client)) ++active;
+    }
+    if (active > 1) out.push_back(client);
+  }
+  return out;
 }
 
 unsigned WgttNetwork::ap_channel(net::NodeId ap) const {

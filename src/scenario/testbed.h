@@ -384,6 +384,12 @@ class WgttNetwork {
   /// Downlink duplicates absorbed at the clients (start-first / bicast
   /// policies interpose a per-client Deduplicator; 0 for stop-start).
   std::uint64_t client_duplicates_removed() const;
+  /// At-most-one-transmitter probe: clients that more than one AP is
+  /// actively transmitting to right now, excluding clients whose switch
+  /// handshake is still in flight (stop-start relays and declared overlap
+  /// windows legitimately pass through two-transmitter states).  Must be
+  /// empty once a chaos run has converged; the protocol fuzzer asserts it.
+  std::vector<net::NodeId> dual_active_clients() const;
 
  private:
   void retry_associate(net::NodeId client);

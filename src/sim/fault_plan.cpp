@@ -46,7 +46,8 @@ bool parse_kind(std::string_view v, FaultKind& out) {
 
 bool is_link_kind(FaultKind k) {
   return k == FaultKind::kLinkDrop || k == FaultKind::kLinkLatency ||
-         k == FaultKind::kPartition;
+         k == FaultKind::kPartition || k == FaultKind::kMsgDup ||
+         k == FaultKind::kMsgReorder;
 }
 
 }  // namespace
@@ -59,6 +60,9 @@ const char* to_string(FaultKind k) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kCsiFreeze: return "csi_freeze";
     case FaultKind::kCsiGarbage: return "csi_garbage";
+    case FaultKind::kMsgDup: return "msg_dup";
+    case FaultKind::kMsgReorder: return "msg_reorder";
+    case FaultKind::kCtrlCrash: return "ctrl_crash";
   }
   return "?";
 }
@@ -82,7 +86,7 @@ bool FaultPlan::parse(std::string_view spec, FaultPlan& out,
       return fail(error, "unknown fault kind '" +
                              std::string(clause.substr(0, colon)) + "'");
 
-    bool have_at = false, have_node = false;
+    bool have_at = false, have_node = false, have_rate = false;
     std::size_t kpos = colon + 1;
     while (kpos < clause.size()) {
       std::size_t kend = clause.find(',', kpos);
@@ -110,6 +114,7 @@ bool FaultPlan::parse(std::string_view spec, FaultPlan& out,
         ev.rate = std::atof(std::string(val).c_str());
         if (!(ev.rate >= 0.0 && ev.rate <= 1.0))
           return fail(error, "rate must be in [0, 1]");
+        have_rate = true;
       } else if (key == "extra") {
         if (!parse_time(val, ev.extra))
           return fail(error, "bad time '" + std::string(val) + "' (use us/ms/s)");
@@ -117,7 +122,9 @@ bool FaultPlan::parse(std::string_view spec, FaultPlan& out,
         return fail(error, "unknown key '" + std::string(key) + "'");
       }
     }
-    if (!have_node)
+    // ctrl_crash always targets the controller (node 0), so its node id is
+    // optional; every other kind must name the faulted AP / link endpoint.
+    if (!have_node && ev.kind != FaultKind::kCtrlCrash)
       return fail(error, std::string(to_string(ev.kind)) +
                              ": missing ap=/src= node id");
     if (!have_at)
@@ -126,6 +133,14 @@ bool FaultPlan::parse(std::string_view spec, FaultPlan& out,
       return fail(error, "link_drop: missing rate=");
     if (ev.kind == FaultKind::kLinkLatency && ev.extra <= Time::zero())
       return fail(error, "link_latency: missing extra=");
+    // Unlike link_drop (where the 1.0 default means blackout), a dup or
+    // reorder burst has no meaningful default probability: require rate=.
+    if (ev.kind == FaultKind::kMsgDup && (!have_rate || ev.rate <= 0.0))
+      return fail(error, "msg_dup: missing rate=");
+    if (ev.kind == FaultKind::kMsgReorder && (!have_rate || ev.rate <= 0.0))
+      return fail(error, "msg_reorder: missing rate=");
+    if (ev.kind == FaultKind::kMsgReorder && ev.extra <= Time::zero())
+      return fail(error, "msg_reorder: missing extra= (jitter bound)");
     plan.events.push_back(ev);
   }
   out = std::move(plan);
@@ -143,14 +158,58 @@ FaultPlan FaultPlan::chaos(double intensity, Time horizon,
   const Time hi = horizon * 0.85;
   for (std::size_t i = 0; i < n; ++i) {
     FaultEvent ev;
-    ev.kind = static_cast<FaultKind>(
-        rng.uniform_int(0, static_cast<std::int64_t>(kFaultKindCount) - 1));
+    ev.kind = static_cast<FaultKind>(rng.uniform_int(
+        0, static_cast<std::int64_t>(kClassicChaosKindCount) - 1));
     ev.node = static_cast<std::uint32_t>(rng.uniform_int(1, n_aps));
     ev.peer = 0;  // link faults hit the AP <-> controller leg
     ev.at = Time::ns(rng.uniform_int(lo.to_ns(), hi.to_ns()));
     ev.duration = Time::ms(rng.uniform(80.0, 400.0));
     ev.rate = rng.uniform(0.3, 0.9);
     ev.extra = Time::ms(rng.uniform(2.0, 20.0));
+    plan.events.push_back(ev);
+  }
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at < b.at;
+            });
+  return plan;
+}
+
+FaultPlan FaultPlan::control_chaos(double intensity, Time horizon,
+                                   std::uint32_t n_aps, std::uint64_t seed,
+                                   unsigned kind_mask) {
+  FaultPlan plan;
+  if (intensity <= 0.0 || horizon <= Time::zero() || n_aps == 0) return plan;
+  std::vector<FaultKind> kinds;
+  if (kind_mask & kChaosMsgDup) kinds.push_back(FaultKind::kMsgDup);
+  if (kind_mask & kChaosMsgReorder) kinds.push_back(FaultKind::kMsgReorder);
+  if (kind_mask & kChaosCtrlCrash) kinds.push_back(FaultKind::kCtrlCrash);
+  if (kind_mask & kChaosLinkDrop) kinds.push_back(FaultKind::kLinkDrop);
+  if (kind_mask & kChaosLinkLatency) kinds.push_back(FaultKind::kLinkLatency);
+  if (kinds.empty()) return plan;
+  Rng rng = Rng(seed).fork("control-chaos");
+  const double horizon_s = horizon.to_sec();
+  const auto n = static_cast<std::size_t>(std::llround(intensity * horizon_s));
+  // Windows end by 75% of the horizon plus the longest duration below, so
+  // the fuzzer's reconvergence check always has fault-free tail time.
+  const Time lo = horizon * 0.10;
+  const Time hi = horizon * 0.75;
+  for (std::size_t i = 0; i < n; ++i) {
+    FaultEvent ev;
+    ev.kind = kinds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(kinds.size()) - 1))];
+    ev.node = static_cast<std::uint32_t>(rng.uniform_int(1, n_aps));
+    ev.peer = 0;  // control traffic rides the AP <-> controller leg
+    ev.at = Time::ns(rng.uniform_int(lo.to_ns(), hi.to_ns()));
+    ev.duration = Time::ms(rng.uniform(60.0, 250.0));
+    ev.rate = rng.uniform(0.2, 0.8);
+    ev.extra = Time::ms(rng.uniform(1.0, 8.0));
+    if (ev.kind == FaultKind::kCtrlCrash) {
+      ev.node = 0;
+      // Keep controller blackouts short relative to the horizon: the
+      // interesting behaviour is the warm restart, not a long outage.
+      ev.duration = Time::ms(rng.uniform(40.0, 120.0));
+    }
     plan.events.push_back(ev);
   }
   std::sort(plan.events.begin(), plan.events.end(),
@@ -169,11 +228,13 @@ std::string FaultPlan::describe() const {
                   to_string(ev.kind), ev.node, ev.peer, ev.at.to_sec(),
                   ev.duration.to_ms());
     out += line;
-    if (ev.kind == FaultKind::kLinkDrop) {
+    if (ev.kind == FaultKind::kLinkDrop || ev.kind == FaultKind::kMsgDup ||
+        ev.kind == FaultKind::kMsgReorder) {
       std::snprintf(line, sizeof line, " rate=%.2f", ev.rate);
       out += line;
     }
-    if (ev.kind == FaultKind::kLinkLatency) {
+    if (ev.kind == FaultKind::kLinkLatency ||
+        ev.kind == FaultKind::kMsgReorder) {
       std::snprintf(line, sizeof line, " extra=%.1fms", ev.extra.to_ms());
       out += line;
     }

@@ -28,9 +28,19 @@ enum class FaultKind : std::uint8_t {
   kPartition,    // backhaul link delivers nothing
   kCsiFreeze,    // AP keeps reporting CSI but the measurement is stale
   kCsiGarbage,   // AP reports CSI with random subcarrier SNRs
+  kMsgDup,       // backhaul link duplicates control frames with prob `rate`
+  kMsgReorder,   // control frames gain uniform extra delay in (0, `extra`],
+                 // bypassing the per-link FIFO guarantee (reordering)
+  kCtrlCrash,    // controller down: control state lost, warm restart + resync
 };
 
-constexpr std::size_t kFaultKindCount = 6;
+constexpr std::size_t kFaultKindCount = 9;
+
+/// Kinds the legacy chaos() generator draws from.  Frozen at the PR-5 set:
+/// enlarging the draw range would silently reshuffle every existing chaos
+/// plan (and its committed baselines) for a given seed.  The control-plane
+/// kinds are reachable only through explicit specs and control_chaos().
+constexpr std::size_t kClassicChaosKindCount = 6;
 
 const char* to_string(FaultKind k);
 
@@ -59,11 +69,14 @@ struct FaultPlan {
   ///   SPEC   := clause (';' clause)*
   ///   clause := KIND ':' key '=' value (',' key '=' value)*
   ///   KIND   := ap_crash | link_drop | link_latency | partition |
-  ///             csi_freeze | csi_garbage
+  ///             csi_freeze | csi_garbage | msg_dup | msg_reorder |
+  ///             ctrl_crash
   ///   keys   := ap (node id) | src | dst | at | for | rate | extra
   ///   times  := <number> suffixed us | ms | s
   ///
   /// e.g. "ap_crash:ap=3,at=1s,for=500ms;link_drop:src=2,at=2s,for=1s,rate=0.5"
+  /// ctrl_crash targets the controller, so its node id is optional; msg_dup
+  /// requires rate= and msg_reorder requires rate= and extra= (jitter bound).
   /// Returns false (and sets *error if given) on a malformed spec.
   static bool parse(std::string_view spec, FaultPlan& out,
                     std::string* error = nullptr);
@@ -71,9 +84,30 @@ struct FaultPlan {
   /// A deterministic pseudo-random plan: roughly `intensity` faults per
   /// simulated second over [15%, 85%] of `horizon`, drawn from a dedicated
   /// RNG stream so the same (intensity, horizon, n_aps, seed) always yields
-  /// the same plan.  intensity <= 0 yields an empty plan.
+  /// the same plan.  intensity <= 0 yields an empty plan.  Draws only the
+  /// classic PR-5 kinds (see kClassicChaosKindCount).
   static FaultPlan chaos(double intensity, Time horizon, std::uint32_t n_aps,
                          std::uint64_t seed);
+
+  /// Bitmask selecting which kinds control_chaos() may draw.
+  enum : unsigned {
+    kChaosMsgDup = 1u << 0,
+    kChaosMsgReorder = 1u << 1,
+    kChaosCtrlCrash = 1u << 2,
+    kChaosLinkDrop = 1u << 3,
+    kChaosLinkLatency = 1u << 4,
+    kChaosControlAll = (1u << 5) - 1,
+  };
+
+  /// The protocol fuzzer's schedule generator: a deterministic adversarial
+  /// control-plane plan of roughly `intensity` faults per simulated second
+  /// drawn from the kinds enabled in `kind_mask`, windows confined to
+  /// [10%, 75%] of `horizon` so every fault clears with convergence
+  /// headroom before the run ends.  Its own RNG stream ("control-chaos")
+  /// keeps it independent of chaos() for the same seed.
+  static FaultPlan control_chaos(double intensity, Time horizon,
+                                 std::uint32_t n_aps, std::uint64_t seed,
+                                 unsigned kind_mask = kChaosControlAll);
 
   /// Human-readable one-per-line summary for bench/CLI output.
   std::string describe() const;

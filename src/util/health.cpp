@@ -60,8 +60,45 @@ HealthEngine::HealthEngine(HealthConfig cfg)
   if (cfg_.ring_capacity == 0) cfg_.ring_capacity = 1;
   out_.reserve(1 << 14);
   out_ += "{\"kind\":\"schema\",\"stream\":\"wgtt.health\",\"version\":";
-  out_ += std::to_string(kHealthSchemaVersion);
+  out_ += std::to_string(cfg_.fault_aware ? kHealthSchemaVersionFaultAware
+                                          : kHealthSchemaVersion);
   out_ += "}\n";
+}
+
+void HealthEngine::client_stranded(std::uint32_t client, bool stranded,
+                                   Time t) {
+  if (!cfg_.fault_aware) return;
+  auto it = open_outages_.find(client);
+  if (stranded) {
+    if (it == open_outages_.end()) open_outages_.emplace(client, t);
+    return;
+  }
+  if (it == open_outages_.end()) return;
+  OutageRecord rec{client, it->second, t, false};
+  open_outages_.erase(it);
+  out_ += "{\"kind\":\"outage\",\"client\":";
+  out_ += std::to_string(rec.client);
+  out_ += ",\"begin_us\":";
+  out_ += trace::Tracer::format_ts(rec.begin);
+  out_ += ",\"end_us\":";
+  out_ += trace::Tracer::format_ts(rec.end);
+  out_ += ",\"open\":false}\n";
+  outages_.push_back(rec);
+}
+
+void HealthEngine::fault_mark(Time t, const char* kind, std::uint32_t node,
+                              bool active) {
+  if (!cfg_.fault_aware) return;
+  out_ += "{\"kind\":\"fault\",\"t_us\":";
+  out_ += trace::Tracer::format_ts(t);
+  out_ += ",\"fault\":\"";
+  append_escaped(out_, kind);
+  out_ += "\",\"node\":";
+  out_ += std::to_string(node);
+  out_ += ",\"active\":";
+  out_ += active ? "true" : "false";
+  out_ += "}\n";
+  if (!active) last_fault_clear_ = t;
 }
 
 HealthEngine* HealthEngine::current() { return t_current_health; }
@@ -210,6 +247,21 @@ void HealthEngine::on_window_close(Time t) {
 void HealthEngine::finalize(Time t) {
   if (finalized_) return;
   finalized_ = true;
+  // Flush still-open outages: a client stranded at teardown is exactly what
+  // the convergence gate must see, so each one becomes an open=true record.
+  for (const auto& [client, begin] : open_outages_) {
+    OutageRecord rec{client, begin, t, true};
+    out_ += "{\"kind\":\"outage\",\"client\":";
+    out_ += std::to_string(rec.client);
+    out_ += ",\"begin_us\":";
+    out_ += trace::Tracer::format_ts(rec.begin);
+    out_ += ",\"end_us\":";
+    out_ += trace::Tracer::format_ts(rec.end);
+    out_ += ",\"open\":true}\n";
+    outages_.push_back(rec);
+  }
+  const std::size_t unconverged = open_outages_.size();
+  open_outages_.clear();
   out_ += "{\"kind\":\"summary\",\"t_us\":";
   out_ += trace::Tracer::format_ts(t);
   out_ += ",\"windows\":";
@@ -230,6 +282,12 @@ void HealthEngine::finalize(Time t) {
   out_ += std::to_string(dropped_);
   out_ += ",\"in_flight\":";
   out_ += std::to_string(in_flight());
+  if (cfg_.fault_aware) {
+    out_ += ",\"outages\":";
+    out_ += std::to_string(outages_.size());
+    out_ += ",\"unconverged\":";
+    out_ += std::to_string(unconverged);
+  }
   out_ += "}\n";
 }
 

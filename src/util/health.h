@@ -57,8 +57,12 @@
 namespace wgtt::obs {
 
 /// JSONL schema version emitted in the header line; wgtt-report refuses
-/// files whose version it does not understand (exit 2).
+/// files whose version it does not understand (exit 2).  Version 2 adds the
+/// "outage" / "fault" record kinds and the convergence summary fields, and
+/// is only emitted by fault-aware engines so fault-free streams stay
+/// byte-identical to version 1.
 constexpr int kHealthSchemaVersion = 1;
+constexpr int kHealthSchemaVersionFaultAware = 2;
 
 struct HealthConfig {
   /// Rollup window on the simulated clock.
@@ -71,6 +75,20 @@ struct HealthConfig {
   /// Sample /proc/self/statm RSS into each window ("rss_kb").  Off by
   /// default: it is the only nondeterministic field in the stream.
   bool sample_host_rss = false;
+  /// Arm the fault-tolerance ledger (client outage windows, fault marks,
+  /// convergence summary) and advertise schema version 2.  The scenario
+  /// layer sets this when a FaultInjector is installed; fault-free runs
+  /// keep it off so their streams stay byte-identical.
+  bool fault_aware = false;
+};
+
+/// One client-stranded interval (fault-aware engines only).  `end` equals
+/// `begin` while the outage is still open at finalize.
+struct OutageRecord {
+  std::uint32_t client = 0;
+  Time begin;
+  Time end;
+  bool open = false;  // still stranded when the run ended
 };
 
 /// One watchdog violation, also serialized as a {"kind":"violation"} line.
@@ -109,6 +127,19 @@ class HealthEngine {
   void packet_retired(std::uint64_t n = 1) { retired_ += n; }
   void packet_dropped(std::uint64_t n = 1) { dropped_ += n; }
 
+  // -- fault-tolerance ledger (no-ops unless cfg.fault_aware) ------------
+
+  /// Report whether `client` is stranded (no live active AP) at time `t`.
+  /// Idempotent: repeated same-state reports are absorbed; a transition
+  /// opens or closes an outage window ({"kind":"outage"} line on close).
+  /// The controller's liveness tick drives this every heartbeat period.
+  void client_stranded(std::uint32_t client, bool stranded, Time t);
+
+  /// Record a fault-plan edge ({"kind":"fault"} line): `kind` names the
+  /// FaultKind, `active` marks onset vs clear.  The clear edges feed the
+  /// convergence summary (reconvergence = last outage close vs last clear).
+  void fault_mark(Time t, const char* kind, std::uint32_t node, bool active);
+
   /// Register a resource gauge before the first window closes; sampled in
   /// registration order at every window close.  `ceiling` > 0 arms the
   /// bounded_gauge watchdog for this gauge.
@@ -145,6 +176,13 @@ class HealthEngine {
   }
   /// Total watchdog evaluations (counted whether they pass or fail).
   std::uint64_t checks() const { return checks_; }
+  /// Closed outage windows, in close order (fault-aware engines only;
+  /// finalize() flushes any still-open outages here with open = true).
+  const std::vector<OutageRecord>& outages() const { return outages_; }
+  /// Clients stranded right now (open outage windows).
+  std::size_t open_outages() const { return open_outages_.size(); }
+  /// Time of the last fault *clear* edge seen (Time() if none).
+  Time last_fault_clear() const { return last_fault_clear_; }
   /// The accumulated JSONL document, starting with the schema header line.
   const std::string& jsonl() const { return out_; }
   const HealthConfig& config() const { return cfg_; }
@@ -183,6 +221,10 @@ class HealthEngine {
   // the liveness-FSM sanity check.
   metrics::MetricsRegistry* metrics_ = nullptr;
   std::map<std::string, std::uint64_t> prev_counters_;
+  // Fault-tolerance ledger (only touched when cfg_.fault_aware).
+  std::map<std::uint32_t, Time> open_outages_;  // client -> outage begin
+  std::vector<OutageRecord> outages_;
+  Time last_fault_clear_;
 };
 
 /// Install `engine` as the calling thread's current health engine for this

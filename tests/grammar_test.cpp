@@ -385,6 +385,22 @@ TEST(FaultPlanGrammar, MalformedClausesRejectWithPreciseErrors) {
       {"link_drop:src=1,at=1s,rate=-0.1", "rate must be in [0, 1]"},
       {"link_latency:src=1,at=1s", "missing extra="},
       {"link_latency:src=1,at=1s,extra=3", "bad time"},
+      // Adversarial-backhaul kinds (control-plane hardening).
+      {"msg_dup:src=1,at=1s,rate=0", "missing rate="},
+      {"msg_dup:src=1,at=1s", "missing rate="},
+      {"msg_dup:src=1,at=1s,rate=1.01", "rate must be in [0, 1]"},
+      {"msg_dup:src=1,at=1s,rate=-1", "rate must be in [0, 1]"},
+      {"msg_reorder:src=1,at=1s,extra=5ms,rate=0", "missing rate="},
+      {"msg_reorder:src=1,at=1s,extra=5ms", "missing rate="},
+      {"msg_reorder:src=1,at=1s,rate=0.5", "missing extra= (jitter bound)"},
+      {"msg_reorder:src=1,at=1s,rate=0.5,extra=0us",
+       "missing extra= (jitter bound)"},
+      {"msg_reorder:src=1,at=1s,rate=2,extra=5ms", "rate must be in [0, 1]"},
+      {"msg_reorder:src=1,at=1s,rate=0.5,extra=7", "bad time"},
+      {"ctrl_crash:ap=0", "missing at="},
+      {"ctrl_crash:at=800", "bad time"},
+      {"ctrl_crash:at=1s,for=2x", "bad time"},
+      {"ctrl_crash:at=1s,blast=5", "unknown key"},
   };
   for (const Case& c : cases) {
     sim::FaultPlan plan;
@@ -393,6 +409,75 @@ TEST(FaultPlanGrammar, MalformedClausesRejectWithPreciseErrors) {
         << "accepted: " << c.spec;
     EXPECT_NE(error.find(c.expect_in_error), std::string::npos)
         << "spec '" << c.spec << "' produced error: " << error;
+  }
+}
+
+TEST(FaultPlanGrammar, ControlChaosKindsParseAndRoundTrip) {
+  // ctrl_crash needs no node id (the controller is always node 0); the two
+  // message-corruption kinds take the usual link syntax.
+  sim::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(sim::FaultPlan::parse(
+      "ctrl_crash:at=2s,for=300ms;"
+      "msg_dup:src=1,dst=0,at=1s,for=2s,rate=0.3;"
+      "msg_reorder:src=2,at=1500ms,for=1s,rate=0.4,extra=8ms",
+      plan, &error))
+      << error;
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].kind, sim::FaultKind::kCtrlCrash);
+  EXPECT_EQ(plan.events[1].kind, sim::FaultKind::kMsgDup);
+  EXPECT_EQ(plan.events[1].rate, 0.3);
+  EXPECT_EQ(plan.events[2].kind, sim::FaultKind::kMsgReorder);
+  EXPECT_EQ(plan.events[2].extra.to_ns(), Time::ms(8).to_ns());
+  // parse(render(x)) == x through the shared canonical renderer.
+  sim::FaultPlan again;
+  ASSERT_TRUE(sim::FaultPlan::parse(render_spec(plan), again, &error))
+      << error;
+  ASSERT_EQ(again.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(again.events[i].kind, plan.events[i].kind);
+    EXPECT_EQ(again.events[i].rate, plan.events[i].rate);
+    EXPECT_EQ(again.events[i].extra.to_ns(), plan.events[i].extra.to_ns());
+  }
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("ctrl_crash"), std::string::npos);
+  EXPECT_NE(text.find("msg_dup"), std::string::npos);
+  EXPECT_NE(text.find("msg_reorder"), std::string::npos);
+}
+
+TEST(FaultPlanGrammar, ControlChaosGeneratorHonoursKindMask) {
+  using sim::FaultKind;
+  const Time horizon = Time::sec(20);
+  // Each single-kind mask yields only that kind; ctrl_crash plans pin the
+  // victim to the controller.
+  struct MaskCase {
+    unsigned mask;
+    FaultKind want;
+  };
+  for (const MaskCase& mc :
+       {MaskCase{sim::FaultPlan::kChaosMsgDup, FaultKind::kMsgDup},
+        MaskCase{sim::FaultPlan::kChaosMsgReorder, FaultKind::kMsgReorder},
+        MaskCase{sim::FaultPlan::kChaosCtrlCrash, FaultKind::kCtrlCrash}}) {
+    const sim::FaultPlan plan =
+        sim::FaultPlan::control_chaos(1.0, horizon, 8, 7, mc.mask);
+    ASSERT_FALSE(plan.empty());
+    for (const sim::FaultEvent& ev : plan.events) {
+      EXPECT_EQ(ev.kind, mc.want);
+      if (ev.kind == FaultKind::kCtrlCrash) EXPECT_EQ(ev.node, 0u);
+      EXPECT_GE(ev.at.to_ns(), (horizon * 0.10).to_ns());
+      EXPECT_LE(ev.at.to_ns(), (horizon * 0.75).to_ns());
+      EXPECT_GT(ev.duration.to_ns(), 0);
+    }
+  }
+  // Same (seed, mask) reproduces the exact same schedule.
+  const sim::FaultPlan a =
+      sim::FaultPlan::control_chaos(1.0, horizon, 8, 11, sim::FaultPlan::kChaosControlAll);
+  const sim::FaultPlan b =
+      sim::FaultPlan::control_chaos(1.0, horizon, 8, 11, sim::FaultPlan::kChaosControlAll);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].at.to_ns(), b.events[i].at.to_ns());
   }
 }
 
